@@ -1,0 +1,40 @@
+// Ablation: how many unit-sized immunity records a contact can carry. The
+// paper's complaint — "the number of immunity tables transmitted is
+// proportional to the load" — manifests as slow vaccination when the
+// per-contact budget is small; the cumulative table is immune to it.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace epi::exp;
+  const epi::bench::Args args = epi::bench::parse_args(argc, argv);
+  try {
+    std::vector<SeriesDef> series;
+    for (const std::uint32_t rate : {1u, 5u, 20u, 100u}) {
+      epi::ProtocolParams params = immunity_params();
+      params.immunity_records_per_contact = rate;
+      series.push_back({"imm rate=" + std::to_string(rate), trace_scenario(),
+                        params});
+    }
+    series.push_back(
+        {"cumulative", trace_scenario(), cumulative_immunity_params()});
+    for (const Metric metric :
+         {Metric::kBufferOccupancy, Metric::kControlRecords}) {
+      const Figure figure = run_figure(
+          "ablation_immrate",
+          "Immunity-record budget per contact (trace)", metric, series,
+          args.options);
+      print_figure(std::cout, figure);
+      if (args.csv) print_figure_csv(std::cout, figure);
+      std::cout << "\n";
+    }
+    std::cout << "design note: starving the record budget slows vaccination "
+                 "and raises buffer\noccupancy; the cumulative table gets "
+                 "full coverage from a single record.\n\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Ablation: the P and Q transmission probabilities (paper SIV experiments
+// with 0.1, 0.5 and 1). SII-C's argument: probabilities below one squander
+// scarce encounters, so delay rises and delivery falls.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace epi::exp;
+  const epi::bench::Args args = epi::bench::parse_args(argc, argv);
+  try {
+    std::vector<SeriesDef> series;
+    for (const double pq : {0.1, 0.5, 1.0}) {
+      series.push_back({"P=Q=" + std::to_string(pq).substr(0, 3),
+                        trace_scenario(), pq_params(pq, pq)});
+    }
+    for (const Metric metric :
+         {Metric::kDeliveryRatio, Metric::kDelay}) {
+      const Figure figure = run_figure(
+          "ablation_pq", "P-Q epidemic: transmission probability sweep (trace)",
+          metric, series, args.options);
+      print_figure(std::cout, figure);
+      if (args.csv) print_figure_csv(std::cout, figure);
+      std::cout << "\n";
+    }
+    std::cout << "paper shape: P=Q<1 wastes encounters: delivery drops and "
+                 "delay rises as the\nprobabilities shrink (SII-C).\n\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

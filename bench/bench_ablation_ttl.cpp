@@ -1,0 +1,35 @@
+// Ablation: the fixed TTL value (paper SIV experiments with 50, 100, 150 and
+// 200 s, plus the 300 s used in the comparison figures). SII-C: small TTLs
+// discard bundles prematurely, large ones hoard delivered bundles.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace epi::exp;
+  const epi::bench::Args args = epi::bench::parse_args(argc, argv);
+  try {
+    std::vector<SeriesDef> series;
+    for (const double ttl : {50.0, 100.0, 150.0, 200.0, 300.0}) {
+      series.push_back({"TTL=" + std::to_string(static_cast<int>(ttl)),
+                        trace_scenario(), fixed_ttl_params(ttl)});
+    }
+    series.push_back({"dynamic", trace_scenario(), dynamic_ttl_params()});
+    for (const Metric metric :
+         {Metric::kDeliveryRatio, Metric::kBufferOccupancy}) {
+      const Figure figure =
+          run_figure("ablation_ttl", "Fixed TTL value sweep (trace)", metric,
+                     series, args.options);
+      print_figure(std::cout, figure);
+      if (args.csv) print_figure_csv(std::cout, figure);
+      std::cout << "\n";
+    }
+    std::cout << "paper shape: delivery improves with larger TTL values but "
+                 "every constant loses\nto the dynamic TTL, which adapts to "
+                 "the encounter interval (SIII).\n\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Baselines bench: situate the epidemic family against direct delivery and
+// binary spray-and-wait (the paper's SI framing — epidemic buys minimum
+// delay with maximum resource usage; bounded-replication schemes sit in
+// between).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace epi::exp;
+  const epi::bench::Args args = epi::bench::parse_args(argc, argv);
+  try {
+    std::vector<SeriesDef> series;
+    {
+      epi::ProtocolParams direct;
+      direct.kind = epi::ProtocolKind::kDirectDelivery;
+      series.push_back({"direct", trace_scenario(), direct});
+      for (const std::uint32_t quota : {4u, 8u}) {
+        epi::ProtocolParams spray;
+        spray.kind = epi::ProtocolKind::kSprayAndWait;
+        spray.spray_copies = quota;
+        series.push_back({"spray L=" + std::to_string(quota),
+                          trace_scenario(), spray});
+      }
+      series.push_back({"epidemic (imm)", trace_scenario(), immunity_params()});
+      series.push_back(
+          {"epidemic (cum)", trace_scenario(), cumulative_immunity_params()});
+    }
+    for (const Metric metric :
+         {Metric::kDeliveryRatio, Metric::kDelay, Metric::kTransmissions,
+          Metric::kBufferOccupancy}) {
+      const Figure figure =
+          run_figure("baselines", "Epidemic family vs DTN baselines (trace)",
+                     metric, series, args.options);
+      print_figure(std::cout, figure);
+      if (args.csv) print_figure_csv(std::cout, figure);
+      std::cout << "\n";
+    }
+    std::cout << "expected shape: direct delivery spends one transmission "
+                 "per bundle but pays the\nlongest delays and misses "
+                 "never-meeting pairs; spray-and-wait interpolates;\n"
+                 "epidemic flooding minimises delay at the highest "
+                 "transmission/buffer cost.\n\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

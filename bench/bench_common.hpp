@@ -1,0 +1,81 @@
+// Shared CLI scaffolding for the figure-reproduction benches.
+//
+// Every binary accepts:
+//   --reps N     replications per load point (default 10, the paper's count)
+//   --seed S     master seed (default 42)
+//   --threads T  worker threads (default: hardware concurrency)
+//   --csv        additionally dump machine-readable CSV
+#pragma once
+
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "exp/figures.hpp"
+#include "exp/report.hpp"
+
+namespace epi::bench {
+
+struct Args {
+  exp::FigureOptions options;
+  bool csv = false;
+};
+
+inline Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--reps") {
+      args.options.replications =
+          static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--seed") {
+      args.options.master_seed =
+          static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--threads") {
+      args.options.threads = static_cast<unsigned>(std::atoi(next()));
+    } else if (arg == "--csv") {
+      args.csv = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0]
+                << " [--reps N] [--seed S] [--threads T] [--csv]\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+/// Runs one figure bench: executes the experiment, prints the table, then a
+/// note stating the paper's shape claim for eyeball comparison.
+inline int figure_main(int argc, char** argv,
+                       const std::function<exp::Figure(
+                           const exp::FigureOptions&)>& run,
+                       std::string_view paper_claim) {
+  const Args args = parse_args(argc, argv);
+  try {
+    const exp::Figure figure = run(args.options);
+    exp::print_figure(std::cout, figure);
+    if (args.csv) {
+      std::cout << "\n";
+      exp::print_figure_csv(std::cout, figure);
+    }
+    std::cout << "\npaper shape: " << paper_claim << "\n\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace epi::bench

@@ -1,0 +1,6 @@
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return epi::bench::figure_main(argc, argv, epi::exp::run_fig07,
+                                 "delay grows fastest for EC and slowest for P-Q as load rises (trace file)");
+}

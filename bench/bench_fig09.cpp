@@ -1,0 +1,6 @@
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return epi::bench::figure_main(argc, argv, epi::exp::run_fig09,
+                                 "EC has the lowest duplication rate; immunity exceeds 60%; P-Q is high (trace file)");
+}

@@ -1,0 +1,6 @@
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return epi::bench::figure_main(argc, argv, epi::exp::run_fig10,
+                                 "EC lowest, immunity/P-Q highest duplication rate (RWP)");
+}

@@ -1,0 +1,6 @@
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return epi::bench::figure_main(argc, argv, epi::exp::run_fig13,
+                                 "both EC and TTL delivery ratios fall as load rises; TTL falls further (trace file)");
+}

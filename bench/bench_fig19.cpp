@@ -1,0 +1,6 @@
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return epi::bench::figure_main(argc, argv, epi::exp::run_fig19,
+                                 "dynamic TTL duplicates slightly more than fixed; EC+TTL >= EC past load 30; cumulative below immunity (RWP + interval)");
+}

@@ -1,0 +1,114 @@
+// Engine microbenchmarks (google-benchmark): the hot paths of the simulator.
+#include <benchmark/benchmark.h>
+
+#include "core/event_queue.hpp"
+#include "core/rng.hpp"
+#include "dtn/buffer.hpp"
+#include "dtn/summary_vector.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "mobility/synthetic_haggle.hpp"
+
+namespace {
+
+void BM_RngNext(benchmark::State& state) {
+  epi::Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngLognormal(benchmark::State& state) {
+  epi::Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.lognormal_median(500.0, 1.0));
+  }
+}
+BENCHMARK(BM_RngLognormal);
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  epi::Rng rng(7);
+  for (auto _ : state) {
+    epi::core::EventQueue queue;
+    for (std::size_t i = 0; i < batch; ++i) {
+      queue.schedule(rng.uniform(0.0, 1e6), [] {});
+    }
+    while (!queue.empty()) {
+      benchmark::DoNotOptimize(queue.pop().time);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(batch) *
+                          state.iterations());
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_BufferInsertFindRemove(benchmark::State& state) {
+  for (auto _ : state) {
+    epi::dtn::BundleBuffer buffer(10);
+    for (epi::BundleId id = 1; id <= 10; ++id) {
+      epi::dtn::StoredBundle copy;
+      copy.id = id;
+      buffer.insert(copy);
+    }
+    for (epi::BundleId id = 1; id <= 10; ++id) {
+      benchmark::DoNotOptimize(buffer.find(id));
+    }
+    benchmark::DoNotOptimize(buffer.highest_ec_bundle());
+    for (epi::BundleId id = 1; id <= 10; ++id) {
+      benchmark::DoNotOptimize(buffer.remove(id).has_value());
+    }
+  }
+}
+BENCHMARK(BM_BufferInsertFindRemove);
+
+void BM_SummaryVectorDifference(benchmark::State& state) {
+  const auto n = static_cast<epi::BundleId>(state.range(0));
+  epi::dtn::SummaryVector a;
+  epi::dtn::SummaryVector b;
+  for (epi::BundleId id = 1; id <= n; ++id) {
+    a.insert(id);
+    if (id % 2 == 0) b.insert(id);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.difference(b).size());
+  }
+}
+BENCHMARK(BM_SummaryVectorDifference)->Arg(16)->Arg(256);
+
+void BM_GenerateHaggleTrace(benchmark::State& state) {
+  epi::mobility::SyntheticHaggleParams params;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        epi::mobility::generate_synthetic_haggle(params, ++seed).size());
+  }
+}
+BENCHMARK(BM_GenerateHaggleTrace);
+
+void BM_FullRun(benchmark::State& state) {
+  // One end-to-end simulation: the unit of work the sweeps parallelise.
+  const auto scenario = epi::exp::trace_scenario();
+  const auto trace = epi::exp::build_contact_trace(scenario, 42);
+  const char* protocol =
+      state.range(0) == 0 ? "immunity"
+                          : (state.range(0) == 1 ? "encounter_count"
+                                                 : "cumulative_immunity");
+  std::uint32_t rep = 0;
+  for (auto _ : state) {
+    epi::exp::RunSpec spec;
+    spec.protocol.kind = epi::protocol_from_string(protocol);
+    spec.load = 25;
+    spec.replication = ++rep;
+    spec.horizon = trace.end_time();
+    benchmark::DoNotOptimize(
+        epi::exp::run_single(spec, trace).delivery_ratio);
+  }
+  state.SetLabel(protocol);
+}
+BENCHMARK(BM_FullRun)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

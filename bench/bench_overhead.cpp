@@ -1,0 +1,30 @@
+// Signaling-overhead comparison (abstract claim): per-bundle immunity tables
+// vs the cumulative immunity table, on both mobility inputs.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const epi::bench::Args args = epi::bench::parse_args(argc, argv);
+  try {
+    for (const bool rwp : {false, true}) {
+      const epi::exp::Figure figure = epi::exp::run_overhead(args.options, rwp);
+      epi::exp::print_figure(std::cout, figure);
+      if (args.csv) {
+        std::cout << "\n";
+        epi::exp::print_figure_csv(std::cout, figure);
+      }
+      const double imm = figure.series_mean(figure.series("Immunity"));
+      const double cum = figure.series_mean(figure.series("CumImmunity"));
+      std::cout << "overhead ratio (immunity / cumulative): "
+                << (cum > 0.0 ? imm / cum : 0.0) << "x\n\n";
+    }
+    std::cout << "paper shape: cumulative immunity incurs an order of "
+                 "magnitude less signaling\noverhead than per-bundle "
+                 "immunity tables, growing with load.\n\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

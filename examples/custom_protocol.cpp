@@ -1,0 +1,96 @@
+// Extending the library with a custom protocol: hop-limited epidemic.
+//
+// The Protocol interface was designed so that a new variant only overrides
+// the decision points in which it differs from pure flooding. Here we build
+// a two-hop "spray" variant (bundles are only forwarded while their copy has
+// travelled fewer than `max_hops` hops — the engine's encounter count is the
+// hop depth of a copy's lineage) and benchmark it against pure epidemic and
+// cumulative immunity on the campus trace.
+#include <iostream>
+#include <memory>
+
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "routing/engine.hpp"
+#include "routing/factory.hpp"
+#include "routing/protocol.hpp"
+
+namespace {
+
+/// Bundles stop being forwarded once their copy lineage is `max_hops` deep.
+/// Delivery to the destination is always allowed — the hop limit gates relay
+/// fan-out, not the final hop (checked by the engine before make_room).
+class HopLimitedEpidemic final : public epi::routing::Protocol {
+ public:
+  explicit HopLimitedEpidemic(std::uint32_t max_hops) : max_hops_(max_hops) {}
+
+  [[nodiscard]] epi::ProtocolKind kind() const noexcept override {
+    return epi::ProtocolKind::kPureEpidemic;  // reported family
+  }
+
+  [[nodiscard]] bool may_offer(epi::routing::Engine& engine,
+                               epi::routing::SessionId,
+                               const epi::dtn::DtnNode&,
+                               const epi::dtn::DtnNode& receiver,
+                               const epi::dtn::StoredBundle& copy,
+                               bool) override {
+    // Relay fan-out only below the hop budget; the final hop to the
+    // destination is always permitted.
+    if (receiver.id() == engine.bundle(copy.id).destination) return true;
+    return copy.ec < max_hops_;
+  }
+
+ private:
+  std::uint32_t max_hops_;
+};
+
+void report(const char* name, const epi::metrics::RunSummary& run) {
+  std::cout << "  " << name << ": delivery " << run.delivery_ratio
+            << ", transmissions " << run.bundle_transmissions
+            << ", peak spread " << run.duplication_rate << ", buffer "
+            << run.buffer_occupancy << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace epi;
+  try {
+    const exp::ScenarioSpec scenario = exp::trace_scenario();
+    const mobility::ContactTrace trace =
+        exp::build_contact_trace(scenario, 42);
+
+    SimulationConfig config;
+    config.node_count = trace.node_count();
+    config.load = 20;
+    config.source = 0;
+    config.destination = 5;
+    config.horizon = trace.end_time();
+
+    std::cout << "hop-limited epidemic vs library protocols (load "
+              << config.load << "):\n";
+
+    for (const std::uint32_t hops : {1u, 2u, 4u}) {
+      routing::Engine engine(config, trace,
+                             std::make_unique<HopLimitedEpidemic>(hops), 1);
+      report(("hop limit " + std::to_string(hops)).c_str(), engine.run());
+    }
+
+    for (const auto kind :
+         {ProtocolKind::kPureEpidemic, ProtocolKind::kCumulativeImmunity}) {
+      config.protocol.kind = kind;
+      routing::Engine engine(config, trace,
+                             routing::make_protocol(config.protocol), 1);
+      report(std::string(to_string(kind)).c_str(), engine.run());
+    }
+
+    std::cout << "\nA one-hop limit saves transmissions but struggles to "
+                 "reach the destination;\nwider budgets converge to "
+                 "flooding. Custom policies need only override the\n"
+                 "Protocol decision points they change.\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// One-to-all dissemination (the paper's second motivating use case:
+// "epidemic routing protocols are also critical to one-to-all communication
+// schemes, which can be used to disseminate advertisements or events").
+//
+// A campaign node pushes the same `ads` bundles to every other device on the
+// campus, expressed as one unicast flow per recipient (multi-flow engine).
+// Compares the flooding family against bounded-replication baselines on
+// time-to-full-coverage and radio cost.
+//
+//   ./one_to_all [ads]
+#include <algorithm>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "exp/scenario.hpp"
+#include "routing/engine.hpp"
+#include "routing/factory.hpp"
+
+int main(int argc, char** argv) {
+  using namespace epi;
+  const auto ads =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 3u;
+
+  try {
+    const exp::ScenarioSpec scenario = exp::trace_scenario();
+    const mobility::ContactTrace trace =
+        exp::build_contact_trace(scenario, 42);
+    const NodeId campaign = 0;
+
+    std::cout << "disseminating " << ads << " ads from node " << campaign
+              << " to " << trace.node_count() - 1
+              << " recipients on the campus trace\n\n"
+              << std::left << std::setw(22) << "protocol" << std::right
+              << std::setw(10) << "coverage" << std::setw(9) << "worst"
+              << std::setw(14)
+              << "all-seen (h)" << std::setw(12) << "bundle tx"
+              << std::setw(12) << "signaling" << "\n";
+
+    for (const char* name :
+         {"pure_epidemic", "pq_epidemic", "fixed_ttl", "dynamic_ttl",
+          "encounter_count", "ec_ttl", "immunity", "spray_and_wait",
+          "direct_delivery"}) {
+      SimulationConfig config;
+      config.node_count = trace.node_count();
+      config.horizon = trace.end_time();
+      config.protocol.kind = protocol_from_string(name);
+      for (NodeId recipient = 0; recipient < config.node_count; ++recipient) {
+        if (recipient != campaign) {
+          config.flows.push_back(FlowSpec{campaign, recipient, ads});
+        }
+      }
+
+      routing::Engine engine(config, trace,
+                             routing::make_protocol(config.protocol), 7);
+      const metrics::RunSummary run = engine.run();
+      // Worst-served recipient: the number dissemination studies care about.
+      double worst = 1.0;
+      for (const double d : run.flow_delivery) worst = std::min(worst, d);
+      std::cout << std::left << std::setw(22) << name << std::right
+                << std::fixed << std::setprecision(2) << std::setw(9)
+                << run.delivery_ratio * 100.0 << "%" << std::setw(8)
+                << worst * 100.0 << "%" << std::setprecision(1)
+                << std::setw(14)
+                << (run.complete ? run.completion_time / 3'600.0 : -1.0)
+                << std::setw(12) << run.bundle_transmissions << std::setw(12)
+                << run.control_records << "\n";
+    }
+    std::cout << "\n(all-seen = hours until every recipient has every ad; "
+                 "-1 = never within the trace)\n"
+              << "The broadcast workload stresses source-buffer reclamation: "
+                 "protocols with\ndelivery feedback (anti-packets, immunity, "
+                 "implicit ACKs) push all "
+              << ads * (trace.node_count() - 1)
+              << " bundles\nthrough a 10-slot buffer, while pure epidemic "
+                 "and fixed TTL choke on the backlog.\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: simulate one epidemic protocol on the synthetic Cambridge-like
+// trace and print the paper's four metrics.
+//
+//   ./quickstart [protocol] [load]
+//
+// protocol: pure_epidemic | pq_epidemic | fixed_ttl | dynamic_ttl |
+//           encounter_count | ec_ttl | immunity | cumulative_immunity
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace epi;
+
+  const std::string protocol_name =
+      argc > 1 ? argv[1] : "cumulative_immunity";
+  const std::uint32_t load =
+      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 25;
+
+  try {
+    // 1. Build the mobility input: a statistical twin of the Cambridge
+    //    iMote trace (12 students, 5 days of encounters).
+    const exp::ScenarioSpec scenario = exp::trace_scenario();
+    const mobility::ContactTrace trace =
+        exp::build_contact_trace(scenario, /*seed=*/42);
+    const mobility::TraceStats stats = trace.stats();
+    std::cout << "mobility: " << stats.contact_count << " contacts among "
+              << stats.node_count << " nodes over " << stats.last_end
+              << " s\n"
+              << "          mean contact " << stats.mean_duration
+              << " s, mean inter-contact " << stats.mean_inter_contact
+              << " s\n\n";
+
+    // 2. Configure one run: `load` bundles from a random source to a random
+    //    destination, routed by the chosen protocol.
+    exp::RunSpec spec;
+    spec.protocol.kind = protocol_from_string(protocol_name);
+    spec.load = load;
+    spec.horizon = scenario.horizon();
+
+    // 3. Run and report.
+    const metrics::RunSummary run = exp::run_single(spec, trace);
+    std::cout << "protocol:           " << protocol_name << "\n"
+              << "load (bundles):     " << load << "\n"
+              << "delivery ratio:     " << run.delivery_ratio << "\n"
+              << "complete:           " << (run.complete ? "yes" : "no")
+              << "\n"
+              << "completion time:    " << run.completion_time << " s\n"
+              << "mean bundle delay:  " << run.mean_bundle_delay << " s\n"
+              << "buffer occupancy:   " << run.buffer_occupancy << "\n"
+              << "duplication rate:   " << run.duplication_rate << "\n"
+              << "transmissions:      " << run.bundle_transmissions << "\n"
+              << "signaling records:  " << run.control_records << "\n"
+              << "contacts processed: " << run.contacts << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// ZebraNet-style wildlife tracking (the paper's motivating example [1]):
+// collared zebras roam a park and occasionally wander near a ranger station;
+// sensed data must reach the station despite there never being a
+// contemporaneous path.
+//
+// The herd is modelled with the subscriber-point mobility generator
+// (watering holes = subscriber points); the station is the node the flow
+// targets. Compares a TTL-based protocol against the cumulative-immunity
+// enhancement for battery- and storage-constrained collars.
+//
+//   ./zebranet [herd_size] [readings]
+#include <cstdlib>
+#include <iostream>
+
+#include "exp/runner.hpp"
+#include "routing/engine.hpp"
+#include "routing/factory.hpp"
+#include "exp/scenario.hpp"
+#include "mobility/rwp.hpp"
+
+int main(int argc, char** argv) {
+  using namespace epi;
+
+  const auto herd =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 10u;
+  const auto readings =
+      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 30u;
+
+  try {
+    // Park mobility: zebras drift between watering holes across 4 km^2; the
+    // station is just another "node" that happens to sit at a few holes.
+    mobility::RwpParams park;
+    park.node_count = herd + 1;  // + the ranger station
+    park.area_side_m = 2'000.0;
+    park.subscriber_points = 25;      // watering holes
+    park.max_pause_s = 3'000.0;       // grazing stops are long
+    park.horizon = 1'000'000.0;       // ~11 days of tracking
+    park.max_contact_s = 900.0;       // herds mingle for a while
+
+    const mobility::ContactTrace trace = mobility::generate_rwp(park, 2024);
+    const auto stats = trace.stats();
+    std::cout << "park: " << stats.contact_count << " contacts among " << herd
+              << " zebras + 1 station over " << park.horizon / 86'400.0
+              << " days\n"
+              << "      mean inter-contact " << stats.mean_inter_contact
+              << " s, mean contact " << stats.mean_duration << " s\n\n";
+
+    // One zebra's collar uploads `readings` sensor bundles to the station
+    // (node herd). Collars have tiny buffers.
+    for (const char* name : {"fixed_ttl", "dynamic_ttl", "encounter_count",
+                             "ec_ttl", "cumulative_immunity"}) {
+      SimulationConfig config;
+      config.node_count = park.node_count;
+      config.buffer_capacity = 8;  // collars store very little
+      config.load = readings;
+      config.source = 0;            // the tracked zebra
+      config.destination = herd;    // the ranger station
+      config.horizon = trace.end_time();
+      config.protocol.kind = protocol_from_string(name);
+
+      routing::Engine engine(config, trace,
+                             routing::make_protocol(config.protocol), 7);
+      const metrics::RunSummary run = engine.run();
+      std::cout << "  " << name << ": delivered "
+                << static_cast<int>(run.delivery_ratio * readings) << "/"
+                << readings << " readings";
+      if (run.complete) {
+        std::cout << " in " << run.completion_time / 3'600.0 << " h";
+      }
+      std::cout << ", collar storage used " << run.buffer_occupancy * 100.0
+                << "%, radio signaling " << run.control_records
+                << " msgs\n";
+    }
+    std::cout << "\nTakeaway: on sparse wildlife contact graphs a constant "
+                 "TTL loses readings;\nthe adaptive and immunity-based "
+                 "variants get everything to the station while\nkeeping "
+                 "collar storage low.\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Time-respecting reachability analysis of a contact trace.
+//
+// A bundle can only travel along a time-respecting path: a sequence of
+// contacts whose transfer instants are non-decreasing in time. Under the
+// paper's transmission model a transfer instant is a *slot completion*
+// (contact start + k * 100 s, k >= 1, within the contact), so the earliest
+// time a bundle created at `start` on `source` can reach node v is a
+// label-correcting sweep over slot completions in chronological order.
+//
+// Why this matters: "epidemic routing protocols are able to achieve minimum
+// delivery delay" (paper SI, citing Zhang et al.). With unbounded buffers
+// and a single bundle, flooding IS the earliest-arrival oracle — which gives
+// an end-to-end correctness check of the whole engine (test_oracle.cpp) and
+// a lower bound against which the buffer-managed protocols' extra delay can
+// be measured (bench_oracle).
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "mobility/contact_trace.hpp"
+
+namespace epi::analysis {
+
+/// Earliest arrival time at every node for a bundle available at `source`
+/// from time `start`, moving one hop per slot completion. Unreachable nodes
+/// get kNoExpiry (infinity). `slot_seconds` must be positive.
+[[nodiscard]] std::vector<SimTime> earliest_arrivals(
+    const mobility::ContactTrace& trace, NodeId source, SimTime start,
+    SimTime slot_seconds = defaults::kSlotSeconds);
+
+/// Earliest arrival at one destination (kNoExpiry if unreachable).
+[[nodiscard]] SimTime earliest_arrival(const mobility::ContactTrace& trace,
+                                       NodeId source, NodeId destination,
+                                       SimTime start,
+                                       SimTime slot_seconds =
+                                           defaults::kSlotSeconds);
+
+/// Fraction of ordered (source, destination) pairs connected by a
+/// time-respecting path starting at time 0 — an upper bound on any
+/// protocol's delivery ratio on this trace.
+[[nodiscard]] double reachable_pair_fraction(
+    const mobility::ContactTrace& trace,
+    SimTime slot_seconds = defaults::kSlotSeconds);
+
+/// Per-hop earliest-arrival matrix row summary used by reports: the mean
+/// oracle delay of reachable destinations from `source` (0 if none).
+[[nodiscard]] double mean_oracle_delay(const mobility::ContactTrace& trace,
+                                       NodeId source, SimTime start,
+                                       SimTime slot_seconds =
+                                           defaults::kSlotSeconds);
+
+}  // namespace epi::analysis

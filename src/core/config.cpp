@@ -1,0 +1,96 @@
+#include "core/config.hpp"
+
+#include <array>
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace epi {
+namespace {
+
+constexpr std::array<std::pair<ProtocolKind, std::string_view>, 10> kNames{{
+    {ProtocolKind::kPureEpidemic, "pure_epidemic"},
+    {ProtocolKind::kPqEpidemic, "pq_epidemic"},
+    {ProtocolKind::kFixedTtl, "fixed_ttl"},
+    {ProtocolKind::kEncounterCount, "encounter_count"},
+    {ProtocolKind::kImmunity, "immunity"},
+    {ProtocolKind::kDynamicTtl, "dynamic_ttl"},
+    {ProtocolKind::kEcTtl, "ec_ttl"},
+    {ProtocolKind::kCumulativeImmunity, "cumulative_immunity"},
+    {ProtocolKind::kDirectDelivery, "direct_delivery"},
+    {ProtocolKind::kSprayAndWait, "spray_and_wait"},
+}};
+
+}  // namespace
+
+std::string_view to_string(ProtocolKind kind) noexcept {
+  for (const auto& [k, name] : kNames) {
+    if (k == kind) return name;
+  }
+  return "unknown";
+}
+
+ProtocolKind protocol_from_string(std::string_view name) {
+  for (const auto& [k, n] : kNames) {
+    if (n == name) return k;
+  }
+  throw ConfigError("unknown protocol name: " + std::string(name));
+}
+
+void ProtocolParams::validate() const {
+  if (p < 0.0 || p > 1.0) throw ConfigError("P must lie in [0,1]");
+  if (q < 0.0 || q > 1.0) throw ConfigError("Q must lie in [0,1]");
+  if (fixed_ttl <= 0.0) throw ConfigError("fixed_ttl must be positive");
+  if (ttl_multiplier <= 0.0)
+    throw ConfigError("ttl_multiplier must be positive");
+  if (dynamic_ttl_fallback <= 0.0)
+    throw ConfigError("dynamic_ttl_fallback must be positive");
+  if (ec_ttl_base < 0.0) throw ConfigError("ec_ttl_base must be >= 0");
+  if (ec_ttl_step <= 0.0) throw ConfigError("ec_ttl_step must be positive");
+  if (immunity_records_per_contact == 0)
+    throw ConfigError("immunity_records_per_contact must be >= 1");
+  if (spray_copies == 0) throw ConfigError("spray_copies must be >= 1");
+}
+
+std::vector<FlowSpec> SimulationConfig::resolved_flows() const {
+  if (!flows.empty()) return flows;
+  return {FlowSpec{source, destination, load}};
+}
+
+std::uint32_t SimulationConfig::total_load() const {
+  std::uint32_t total = 0;
+  for (const auto& flow : resolved_flows()) total += flow.load;
+  return total;
+}
+
+void SimulationConfig::validate() const {
+  if (node_count < 2) throw ConfigError("need at least two nodes");
+  if (buffer_capacity == 0) throw ConfigError("buffer_capacity must be > 0");
+  if (slot_seconds <= 0.0) throw ConfigError("slot_seconds must be positive");
+  if (horizon <= 0.0) throw ConfigError("horizon must be positive");
+  const auto resolved = resolved_flows();
+  for (const auto& flow : resolved) {
+    if (flow.load == 0) throw ConfigError("flow load must be >= 1");
+    if (flow.source >= node_count) throw ConfigError("source out of range");
+    if (flow.destination >= node_count)
+      throw ConfigError("destination out of range");
+    if (flow.source == flow.destination)
+      throw ConfigError("source and destination must differ");
+  }
+  if (resolved.size() > 1 &&
+      protocol.kind == ProtocolKind::kCumulativeImmunity) {
+    // The cumulative table is defined on ONE sequential id space
+    // ("an immunity table with a bundle ID of 30 means the destination has
+    // received bundles 1 to 30") — it has no meaning across interleaved
+    // flows.
+    throw ConfigError(
+        "cumulative_immunity is defined for a single flow only");
+  }
+  if (sample_interval <= 0.0)
+    throw ConfigError("sample_interval must be positive");
+  if (encounter_session_gap <= 0.0)
+    throw ConfigError("encounter_session_gap must be positive");
+  protocol.validate();
+}
+
+}  // namespace epi

@@ -1,0 +1,28 @@
+// Exception hierarchy. Configuration and input-format problems are reported
+// by throwing; simulation-internal invariant violations use assertions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace epi {
+
+/// Base class for all errors raised by this library.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// An invalid SimulationConfig / protocol parameter block.
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A malformed contact-trace file or in-memory trace.
+class TraceError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace epi

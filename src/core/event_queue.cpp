@@ -1,0 +1,49 @@
+#include "core/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace epi::core {
+
+EventHandle EventQueue::schedule(SimTime at, Action action) {
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{at, seq, std::move(action)});
+  queued_.insert(seq);
+  return EventHandle{seq};
+}
+
+void EventQueue::cancel(EventHandle handle) {
+  // If the seq is not live (already fired or already cancelled), ignore.
+  queued_.erase(handle.seq);
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled_head();
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_cancelled_head();
+  assert(!heap_.empty());
+  // priority_queue::top() is const&; the Entry must be moved out via
+  // const_cast, which is safe because pop() immediately removes it.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Popped out{top.time, std::move(top.action)};
+  queued_.erase(top.seq);
+  heap_.pop();
+  return out;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+  queued_.clear();
+}
+
+void EventQueue::drop_cancelled_head() const {
+  while (!heap_.empty() && !queued_.contains(heap_.top().seq)) {
+    heap_.pop();
+  }
+}
+
+}  // namespace epi::core

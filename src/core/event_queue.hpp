@@ -1,0 +1,80 @@
+// A stable discrete-event queue.
+//
+// Events scheduled for the same instant pop in scheduling order (FIFO), which
+// makes simulations reproducible: the paper's trace is processed "event by
+// event", and tie order matters when several contacts begin simultaneously.
+// Cancellation is supported through handles; cancelled events are dropped
+// lazily when popped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace epi::core {
+
+/// Token identifying a scheduled event; usable to cancel it.
+struct EventHandle {
+  std::uint64_t seq = 0;
+  friend bool operator==(EventHandle, EventHandle) = default;
+};
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `action` to fire at absolute time `at`.
+  EventHandle schedule(SimTime at, Action action);
+
+  /// Cancels a previously scheduled event. Cancelling an event that already
+  /// fired (or was cancelled) is a harmless no-op.
+  void cancel(EventHandle handle);
+
+  /// True when no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const noexcept { return queued_.empty(); }
+
+  /// Number of live events.
+  [[nodiscard]] std::size_t size() const noexcept { return queued_.size(); }
+
+  /// Time of the earliest pending event. Requires !empty().
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pops and returns the earliest live event. Requires !empty().
+  struct Popped {
+    SimTime time;
+    Action action;
+  };
+  Popped pop();
+
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled_head() const;
+
+  // `mutable` so that const queries can discard cancelled heads lazily.
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> queued_;  // live seqs
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace epi::core

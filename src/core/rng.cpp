@@ -1,0 +1,93 @@
+#include "core/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace epi {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+  // All-zero state would be absorbing; SplitMix64 cannot produce four zero
+  // outputs in a row from any seed, so no explicit guard is needed, but keep
+  // one for safety against future refactors.
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
+}
+
+Rng Rng::derive(std::uint64_t master, std::uint64_t tag_a, std::uint64_t tag_b,
+                std::uint64_t tag_c) noexcept {
+  SplitMix64 sm(master);
+  std::uint64_t h = sm.next();
+  h ^= SplitMix64(tag_a ^ 0x5851F42D4C957F2DULL).next();
+  h = SplitMix64(h).next();
+  h ^= SplitMix64(tag_b ^ 0x14057B7EF767814FULL).next();
+  h = SplitMix64(h).next();
+  h ^= SplitMix64(tag_c ^ 0x2545F4914F6CDD1DULL).next();
+  return Rng(SplitMix64(h).next());
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::below(std::uint64_t n) noexcept {
+  // Classic unbiased rejection: 2^64 = q*n + r with r = 2^64 mod n; values
+  // below r are rejected so the remaining range is an exact multiple of n.
+  const std::uint64_t reject_below = (0 - n) % n;
+  std::uint64_t x = next();
+  while (x < reject_below) x = next();
+  return x % n;
+}
+
+std::int64_t Rng::between(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+bool Rng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::exponential(double mean) noexcept {
+  // uniform() can return exactly 0; use 1 - u which lies in (0, 1].
+  return -mean * std::log(1.0 - uniform());
+}
+
+double Rng::normal() noexcept {
+  const double u1 = 1.0 - uniform();  // (0, 1]
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::lognormal_median(double median, double sigma) noexcept {
+  return median * std::exp(sigma * normal());
+}
+
+}  // namespace epi

@@ -1,0 +1,86 @@
+// Deterministic random number generation.
+//
+// Experiments are replicated across threads; to keep results bit-identical
+// regardless of thread count, every run derives its own independent stream
+// from (master_seed, load, replication) via SplitMix64, and the stream itself
+// is xoshiro256** (public domain, Blackman & Vigna). We avoid std::mt19937 /
+// std::uniform_*_distribution because their outputs are not guaranteed
+// identical across standard library implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace epi {
+
+/// SplitMix64: used to expand a 64-bit seed into stream state. Also a fine
+/// standalone generator for hashing-style seed derivation.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** with convenience distributions. All distribution code is
+/// self-contained so that two builds on different platforms agree bit-for-bit.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words by expanding `seed` through SplitMix64.
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Derives an independent stream for a tagged sub-experiment. Mixing is by
+  /// SplitMix64 over the concatenation of the seed and tags, so streams with
+  /// different tags are statistically uncorrelated.
+  [[nodiscard]] static Rng derive(std::uint64_t master, std::uint64_t tag_a,
+                                  std::uint64_t tag_b = 0,
+                                  std::uint64_t tag_c = 0) noexcept;
+
+  std::uint64_t next() noexcept;
+
+  // UniformRandomBitGenerator interface (for std::shuffle).
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+  result_type operator()() noexcept { return next(); }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses Lemire's method with
+  /// rejection, so it is unbiased.
+  std::uint64_t below(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Bernoulli trial with probability p (clamped to [0, 1]).
+  bool chance(double p) noexcept;
+
+  /// Exponentially distributed with the given mean (> 0).
+  double exponential(double mean) noexcept;
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal() noexcept;
+
+  /// Log-normal such that the *median* of the distribution is `median` and
+  /// the log-space standard deviation is `sigma`.
+  double lognormal_median(double median, double sigma) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace epi

@@ -1,0 +1,19 @@
+#include "core/simulator.hpp"
+
+namespace epi::core {
+
+SimTime Simulator::run(SimTime horizon) {
+  while (!stopped_ && !queue_.empty()) {
+    if (queue_.next_time() > horizon) break;
+    auto [time, action] = queue_.pop();
+    // Events never run backwards; equal times are allowed.
+    assert(time >= now_);
+    now_ = time;
+    ++events_processed_;
+    action();
+  }
+  if (!stopped_ && now_ < horizon) now_ = horizon;
+  return now_;
+}
+
+}  // namespace epi::core

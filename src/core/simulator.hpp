@@ -1,0 +1,64 @@
+// The simulation clock and run loop.
+//
+// A Simulator owns an EventQueue and a monotonically advancing clock. Client
+// code (mobility drivers, protocols, metric samplers) schedules callbacks at
+// absolute times; run() drains the queue until a horizon is reached, the
+// queue empties, or stop() is called from inside a callback.
+#pragma once
+
+#include <cassert>
+#include <utility>
+
+#include "core/event_queue.hpp"
+#include "core/types.hpp"
+
+namespace epi::core {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `action` at absolute time `at`. Scheduling in the past is a
+  /// programming error (asserted); same-time events fire in FIFO order.
+  template <typename F>
+  EventHandle at(SimTime time, F&& action) {
+    assert(time >= now_ && "cannot schedule into the past");
+    return queue_.schedule(time, std::forward<F>(action));
+  }
+
+  /// Schedules `action` after a relative delay (>= 0).
+  template <typename F>
+  EventHandle after(SimTime delay, F&& action) {
+    assert(delay >= 0.0);
+    return queue_.schedule(now_ + delay, std::forward<F>(action));
+  }
+
+  void cancel(EventHandle handle) { queue_.cancel(handle); }
+
+  /// Runs until `horizon` (inclusive: events at exactly `horizon` fire), the
+  /// queue drains, or stop() is called. Returns the final clock value.
+  SimTime run(SimTime horizon);
+
+  /// Requests that run() return after the current callback completes.
+  void stop() noexcept { stopped_ = true; }
+
+  [[nodiscard]] bool stopped() const noexcept { return stopped_; }
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return queue_.size();
+  }
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return events_processed_;
+  }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  bool stopped_ = false;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace epi::core

@@ -1,0 +1,54 @@
+// Fundamental vocabulary types shared by every subsystem.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace epi {
+
+/// Simulation time in seconds. The paper's traces use integer seconds, but
+/// derived quantities (averages, speeds) are fractional, so we keep a double.
+using SimTime = double;
+
+/// Identifier of a DTN node (device carried by a student/zebra/vehicle).
+using NodeId = std::uint32_t;
+
+/// Identifier of a bundle. Bundles of one flow are numbered sequentially from
+/// 1 so that a cumulative immunity table <H> can mean "bundles 1..H arrived".
+using BundleId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr BundleId kInvalidBundle = 0;
+
+/// Sentinel meaning "no deadline / infinite TTL".
+inline constexpr SimTime kNoExpiry = std::numeric_limits<SimTime>::infinity();
+
+namespace defaults {
+
+/// Paper SIV: each bundle transfer occupies 100 s of contact time; a contact
+/// of duration d carries floor(d/100) bundle slots.
+inline constexpr SimTime kSlotSeconds = 100.0;
+
+/// Paper SIV: "We set each node to hold 10 bundles."
+inline constexpr std::uint32_t kBufferCapacity = 10;
+
+/// Paper SIV: maximum recorded time of the Cambridge iMote trace.
+inline constexpr SimTime kTraceHorizon = 524'162.0;
+
+/// Paper SIV: RWP experiments simulate a 600,000 s period.
+inline constexpr SimTime kRwpHorizon = 600'000.0;
+
+/// Paper SV: fixed-TTL experiments in the comparison figures use 300 s.
+inline constexpr SimTime kFixedTtl = 300.0;
+
+/// Paper SIII (Algo 2): EC threshold after which a bundle acquires a TTL.
+inline constexpr std::uint32_t kEcThreshold = 8;
+
+/// Paper SIII (Algo 2): base TTL granted when the EC threshold is crossed.
+inline constexpr SimTime kEcTtlBase = 300.0;
+
+/// Paper SIII (Algo 2): TTL reduction per transmission past the threshold.
+inline constexpr SimTime kEcTtlStep = 100.0;
+
+}  // namespace defaults
+}  // namespace epi

@@ -1,0 +1,57 @@
+#include "dtn/buffer.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace epi::dtn {
+
+BundleBuffer::BundleBuffer(std::uint32_t capacity) : capacity_(capacity) {
+  assert(capacity_ > 0);
+  entries_.reserve(capacity_);
+}
+
+bool BundleBuffer::contains(BundleId id) const noexcept {
+  return find(id) != nullptr;
+}
+
+StoredBundle* BundleBuffer::find(BundleId id) noexcept {
+  for (auto& e : entries_) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+const StoredBundle* BundleBuffer::find(BundleId id) const noexcept {
+  for (const auto& e : entries_) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+StoredBundle& BundleBuffer::insert(StoredBundle copy) {
+  assert(!full() && "insert into a full buffer");
+  assert(!contains(copy.id) && "duplicate bundle in buffer");
+  entries_.push_back(copy);
+  return entries_.back();
+}
+
+std::optional<StoredBundle> BundleBuffer::remove(BundleId id) {
+  const auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [id](const StoredBundle& e) { return e.id == id; });
+  if (it == entries_.end()) return std::nullopt;
+  StoredBundle out = *it;
+  entries_.erase(it);  // keeps FIFO order of the rest
+  return out;
+}
+
+BundleId BundleBuffer::highest_ec_bundle() const noexcept {
+  if (entries_.empty()) return kInvalidBundle;
+  // FIFO order means the first maximum found is also the oldest-stored one.
+  const StoredBundle* best = &entries_.front();
+  for (const auto& e : entries_) {
+    if (e.ec > best->ec) best = &e;
+  }
+  return best->id;
+}
+
+}  // namespace epi::dtn

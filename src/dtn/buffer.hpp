@@ -1,0 +1,58 @@
+// A capacity-bounded bundle store.
+//
+// Buffers are tiny (the paper fixes them at 10 bundles), so a flat vector in
+// insertion order beats any tree/hash container and gives us FIFO iteration
+// for free.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dtn/bundle.hpp"
+
+namespace epi::dtn {
+
+class BundleBuffer {
+ public:
+  explicit BundleBuffer(std::uint32_t capacity);
+
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(entries_.size());
+  }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] bool full() const noexcept { return size() >= capacity_; }
+  [[nodiscard]] double occupancy() const noexcept {
+    return static_cast<double>(size()) / static_cast<double>(capacity_);
+  }
+
+  [[nodiscard]] bool contains(BundleId id) const noexcept;
+
+  /// Pointer to the stored copy, or nullptr. Stable only until the next
+  /// insert/remove.
+  [[nodiscard]] StoredBundle* find(BundleId id) noexcept;
+  [[nodiscard]] const StoredBundle* find(BundleId id) const noexcept;
+
+  /// Inserts a copy. Precondition (asserted): not full, id not present.
+  StoredBundle& insert(StoredBundle copy);
+
+  /// Removes and returns the copy with `id`; nullopt if absent.
+  std::optional<StoredBundle> remove(BundleId id);
+
+  /// Entries in insertion (FIFO) order.
+  [[nodiscard]] std::span<const StoredBundle> entries() const noexcept {
+    return entries_;
+  }
+
+  /// The eviction victim of the EC policy: the copy with the highest EC,
+  /// breaking ties toward the oldest-stored copy. kInvalidBundle when empty.
+  [[nodiscard]] BundleId highest_ec_bundle() const noexcept;
+
+ private:
+  std::uint32_t capacity_;
+  std::vector<StoredBundle> entries_;  // insertion order
+};
+
+}  // namespace epi::dtn

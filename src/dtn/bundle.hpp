@@ -1,0 +1,70 @@
+// Bundles and per-node stored copies.
+//
+// A Bundle is the immutable, network-wide identity of a message (DTN
+// terminology for "message"; bundles are large — the paper budgets 100 s of
+// contact time per transfer). A StoredBundle is one node's copy of it,
+// carrying the mutable per-copy state the protocols manage: the encounter
+// count (EC) and the TTL deadline.
+#pragma once
+
+#include "core/event_queue.hpp"
+#include "core/types.hpp"
+
+namespace epi::dtn {
+
+/// Network-wide identity of a bundle. Ids of one flow are sequential from 1
+/// (injection order), which is what lets a cumulative immunity table say
+/// "everything up to H has arrived".
+struct Bundle {
+  BundleId id = kInvalidBundle;
+  NodeId source = kInvalidNode;
+  NodeId destination = kInvalidNode;
+  SimTime created = 0.0;
+  std::uint32_t flow = 0;  ///< index into the run's flow list
+
+  friend bool operator==(const Bundle&, const Bundle&) = default;
+};
+
+/// One node's copy of a bundle.
+struct StoredBundle {
+  BundleId id = kInvalidBundle;
+
+  /// Encounter count: number of times *this lineage* of the copy has been
+  /// transmitted. Synchronised between sender and receiver on each transfer
+  /// (paper SII-B: after node A sends bundle 4 to B, both see EC 4).
+  std::uint32_t ec = 0;
+
+  SimTime stored_at = 0.0;
+
+  /// When this copy was last transmitted by its holder; unset until the
+  /// first transmission. The engine offers least-recently-transmitted
+  /// bundles first so no bundle starves behind lower ids.
+  SimTime last_tx = -1.0;
+
+  [[nodiscard]] bool ever_transmitted() const noexcept {
+    return last_tx >= 0.0;
+  }
+
+  /// Replication budget for quota-based protocols (spray-and-wait): how
+  /// many further copies this copy may still spawn. 0 = unused by the
+  /// active protocol.
+  std::uint32_t tokens = 0;
+
+  /// Absolute expiry deadline; kNoExpiry means the copy never times out.
+  SimTime expiry = kNoExpiry;
+
+  /// Pending expiry event, so a TTL renewal can cancel and reschedule it.
+  core::EventHandle expiry_event{};
+
+  [[nodiscard]] bool expires() const noexcept { return expiry != kNoExpiry; }
+};
+
+/// Why a copy left a buffer — recorded for diagnostics and metrics.
+enum class RemoveReason {
+  kExpired,    ///< TTL ran out
+  kEvicted,    ///< displaced by an incoming bundle (EC policy)
+  kImmunized,  ///< purged by an anti-packet / immunity table
+  kConsumed,   ///< arrived at its destination
+};
+
+}  // namespace epi::dtn

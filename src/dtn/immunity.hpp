@@ -1,0 +1,83 @@
+// Immunity state: per-bundle i-lists and the cumulative immunity table.
+//
+// Per-bundle immunity (Mundur et al.): the destination emits one immunity
+// record per received bundle; nodes merge i-lists on contact and purge
+// matching bundles. Overhead is one record per bundle per (missing) exchange.
+//
+// Cumulative immunity (paper SIII, enhancement 3): the destination instead
+// advertises the highest H such that bundles 1..H have all arrived; a single
+// record purges any number of bundles, and a node keeps only the largest
+// table it has seen (redundant tables are deleted).
+#pragma once
+
+#include "core/types.hpp"
+#include "dtn/summary_vector.hpp"
+
+namespace epi::dtn {
+
+/// Per-bundle immunity list (also used for P-Q anti-packets).
+class ImmunityList {
+ public:
+  /// Marks one bundle immune; returns true if newly recorded.
+  bool add(BundleId id) { return ids_.insert(id); }
+
+  [[nodiscard]] bool immune(BundleId id) const { return ids_.contains(id); }
+  [[nodiscard]] std::size_t size() const noexcept { return ids_.size(); }
+
+  /// Merges `other` into this list. Returns the number of *new* records,
+  /// which is exactly the signaling cost of the exchange (records that both
+  /// sides already share are not re-sent in an anti-entropy session).
+  std::size_t merge(const ImmunityList& other) {
+    return ids_.merge(other.ids_);
+  }
+
+  /// Bounded merge: immunity tables are unit-sized messages, so a contact
+  /// can only carry so many. Transfers at most `max_records` missing records
+  /// (lowest ids first, the order the destination generated them); returns
+  /// how many moved.
+  std::size_t merge_limited(const ImmunityList& other,
+                            std::size_t max_records);
+
+  [[nodiscard]] const SummaryVector& ids() const noexcept { return ids_; }
+
+ private:
+  SummaryVector ids_;
+};
+
+/// Cumulative immunity table: "bundles 1..H arrived". Value-semantic int
+/// wrapper with the merge rule (keep the max) made explicit.
+class CumulativeImmunity {
+ public:
+  [[nodiscard]] BundleId horizon() const noexcept { return h_; }
+
+  [[nodiscard]] bool immune(BundleId id) const noexcept {
+    return id != kInvalidBundle && id <= h_;
+  }
+
+  /// Adopts a received table if it supersedes ours. Returns true when our
+  /// table advanced (i.e. one record of signaling did useful work).
+  bool adopt(BundleId h) noexcept {
+    if (h <= h_) return false;
+    h_ = h;
+    return true;
+  }
+
+ private:
+  BundleId h_ = 0;
+};
+
+/// Destination-side tracker computing the cumulative horizon from the set of
+/// delivered bundle ids (which may arrive out of order).
+class DeliveredPrefixTracker {
+ public:
+  /// Records delivery of `id`; returns the (possibly advanced) horizon.
+  BundleId record(BundleId id);
+
+  [[nodiscard]] BundleId horizon() const noexcept { return h_; }
+
+ private:
+  SummaryVector delivered_;
+  BundleId h_ = 0;
+};
+
+}  // namespace epi::dtn

@@ -1,0 +1,150 @@
+// DtnNode: the per-node substrate every protocol operates on.
+//
+// A node owns its bundle buffer, its encounter history (needed by the
+// dynamic-TTL enhancement), its destination-side delivery record, and the
+// anti-packet / immunity state. Protocols read and mutate exactly the fields
+// their paper description mentions; the rest stays inert.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "dtn/buffer.hpp"
+#include "dtn/immunity.hpp"
+#include "dtn/summary_vector.hpp"
+
+namespace epi::dtn {
+
+class DtnNode {
+ public:
+  DtnNode(NodeId id, std::uint32_t buffer_capacity)
+      : id_(id), buffer_(buffer_capacity) {}
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] BundleBuffer& buffer() noexcept { return buffer_; }
+  [[nodiscard]] const BundleBuffer& buffer() const noexcept { return buffer_; }
+
+  // --- encounter history (dynamic TTL, Algo 1) ------------------------------
+
+  /// Called at each contact start this node participates in. Contacts that
+  /// begin within `session_gap` of the node's previous contact belong to the
+  /// same *encounter session* (human traces are bursty: one gathering
+  /// produces several contact starts within minutes; Algo 1's "interval
+  /// between the last two encounters" is only meaningful between sessions).
+  void note_contact_start(SimTime t, SimTime session_gap = 1'800.0) {
+    if (!last_contact_ || t - *last_contact_ > session_gap) {
+      prev_session_ = session_start_;
+      session_start_ = t;
+    }
+    prev_contact_ = last_contact_;
+    last_contact_ = t;
+  }
+
+  /// The raw interval between the last two contact starts witnessed by this
+  /// node; nullopt until the node has seen two contacts.
+  [[nodiscard]] std::optional<SimTime> last_interval() const {
+    if (!prev_contact_ || !last_contact_) return std::nullopt;
+    return *last_contact_ - *prev_contact_;
+  }
+
+  /// The interval between the starts of the node's last two encounter
+  /// sessions — the quantity Algo 1 doubles into a TTL. nullopt until the
+  /// node has witnessed two sessions.
+  [[nodiscard]] std::optional<SimTime> last_session_interval() const {
+    if (!prev_session_ || !session_start_) return std::nullopt;
+    return *session_start_ - *prev_session_;
+  }
+
+  [[nodiscard]] std::optional<SimTime> last_contact_start() const {
+    return last_contact_;
+  }
+
+  /// Total number of contacts this node has participated in.
+  [[nodiscard]] std::uint64_t contact_count() const noexcept {
+    return contact_count_;
+  }
+  void bump_contact_count() noexcept { ++contact_count_; }
+
+  /// Per-peer encounter history: called at each contact start with `peer`.
+  /// Human traces are bursty (one gathering = several contact starts within
+  /// minutes), so the node-level interval collapses during bursts; the
+  /// per-peer interval is what the iMote devices actually log ("each device
+  /// records ... for every node it encounters: begin times, duration").
+  void note_peer_contact(NodeId peer, SimTime t) {
+    auto& h = peer_history_[peer];
+    h.prev = h.last;
+    h.last = t;
+  }
+
+  /// Interval between the last two encounter starts with `peer`; nullopt
+  /// until two encounters with that peer have been seen.
+  [[nodiscard]] std::optional<SimTime> last_interval_with(NodeId peer) const {
+    const auto it = peer_history_.find(peer);
+    if (it == peer_history_.end() || !it->second.prev || !it->second.last) {
+      return std::nullopt;
+    }
+    return *it->second.last - *it->second.prev;
+  }
+
+  // --- destination-side state -----------------------------------------------
+
+  /// Records that this node, as a flow destination, consumed `id`.
+  void mark_delivered(BundleId id) {
+    delivered_.insert(id);
+    prefix_.record(id);
+  }
+
+  [[nodiscard]] bool has_delivered(BundleId id) const {
+    return delivered_.contains(id);
+  }
+  [[nodiscard]] const SummaryVector& delivered() const noexcept {
+    return delivered_;
+  }
+
+  /// Highest H with bundles 1..H all delivered to this node (cumulative
+  /// immunity table the node would emit as a destination).
+  [[nodiscard]] BundleId delivered_prefix() const noexcept {
+    return prefix_.horizon();
+  }
+
+  // --- immunity / anti-packet state -----------------------------------------
+
+  [[nodiscard]] ImmunityList& ilist() noexcept { return ilist_; }
+  [[nodiscard]] const ImmunityList& ilist() const noexcept { return ilist_; }
+
+  [[nodiscard]] CumulativeImmunity& cumulative() noexcept {
+    return cumulative_;
+  }
+  [[nodiscard]] const CumulativeImmunity& cumulative() const noexcept {
+    return cumulative_;
+  }
+
+  /// True when either immunity mechanism marks `id` as already delivered.
+  [[nodiscard]] bool knows_immune(BundleId id) const {
+    return ilist_.immune(id) || cumulative_.immune(id);
+  }
+
+ private:
+  NodeId id_;
+  BundleBuffer buffer_;
+
+  std::optional<SimTime> last_contact_;
+  std::optional<SimTime> prev_contact_;
+  std::optional<SimTime> session_start_;
+  std::optional<SimTime> prev_session_;
+  std::uint64_t contact_count_ = 0;
+
+  struct PeerHistory {
+    std::optional<SimTime> last;
+    std::optional<SimTime> prev;
+  };
+  std::unordered_map<NodeId, PeerHistory> peer_history_;
+
+  SummaryVector delivered_;
+  DeliveredPrefixTracker prefix_;
+
+  ImmunityList ilist_;
+  CumulativeImmunity cumulative_;
+};
+
+}  // namespace epi::dtn

@@ -1,0 +1,31 @@
+#include "dtn/summary_vector.hpp"
+
+#include <algorithm>
+
+namespace epi::dtn {
+
+std::vector<BundleId> SummaryVector::difference(
+    const SummaryVector& other) const {
+  std::vector<BundleId> out;
+  for (const BundleId id : ids_) {
+    if (!other.contains(id)) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t SummaryVector::merge(const SummaryVector& other) {
+  std::size_t added = 0;
+  for (const BundleId id : other.ids_) {
+    if (ids_.insert(id).second) ++added;
+  }
+  return added;
+}
+
+std::vector<BundleId> SummaryVector::sorted() const {
+  std::vector<BundleId> out(ids_.begin(), ids_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace epi::dtn

@@ -1,0 +1,49 @@
+// Summary vector: the set digest exchanged in an anti-entropy session.
+//
+// Pure epidemic (Vahdat & Becker) has each node advertise the ids it holds so
+// an encounter only transfers the set difference. We reuse the same structure
+// for i-lists and anti-packet sets.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace epi::dtn {
+
+class SummaryVector {
+ public:
+  SummaryVector() = default;
+
+  /// Returns true when the id was newly inserted.
+  bool insert(BundleId id) { return ids_.insert(id).second; }
+
+  /// Returns true when the id was present and removed.
+  bool erase(BundleId id) { return ids_.erase(id) > 0; }
+
+  [[nodiscard]] bool contains(BundleId id) const {
+    return ids_.contains(id);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return ids_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ids_.empty(); }
+
+  /// Ids present in *this* but not in `other`, in ascending id order (the
+  /// deterministic offer order of the engine).
+  [[nodiscard]] std::vector<BundleId> difference(
+      const SummaryVector& other) const;
+
+  /// Union-merge of `other` into this; returns the number of ids that were
+  /// new (== records that had to be transferred, for overhead accounting).
+  std::size_t merge(const SummaryVector& other);
+
+  /// Ascending snapshot, mostly for tests and reports.
+  [[nodiscard]] std::vector<BundleId> sorted() const;
+
+  void clear() { ids_.clear(); }
+
+ private:
+  std::unordered_set<BundleId> ids_;
+};
+
+}  // namespace epi::dtn

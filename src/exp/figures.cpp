@@ -1,0 +1,336 @@
+#include "exp/figures.hpp"
+
+#include <iomanip>
+#include <map>
+#include <ostream>
+
+#include "exp/runner.hpp"
+#include "exp/sweep.hpp"
+#include "exp/thread_pool.hpp"
+
+namespace epi::exp {
+
+// --- protocol shorthands ------------------------------------------------------
+
+ProtocolParams pq_params(double p, double q) {
+  ProtocolParams params;
+  params.kind = ProtocolKind::kPqEpidemic;
+  params.p = p;
+  params.q = q;
+  return params;
+}
+
+ProtocolParams fixed_ttl_params(SimTime ttl) {
+  ProtocolParams params;
+  params.kind = ProtocolKind::kFixedTtl;
+  params.fixed_ttl = ttl;
+  return params;
+}
+
+ProtocolParams dynamic_ttl_params() {
+  ProtocolParams params;
+  params.kind = ProtocolKind::kDynamicTtl;
+  return params;  // Algo 1 defaults: TTL = 2 x last interval
+}
+
+ProtocolParams ec_params() {
+  ProtocolParams params;
+  params.kind = ProtocolKind::kEncounterCount;
+  return params;
+}
+
+ProtocolParams ec_ttl_params() {
+  ProtocolParams params;
+  params.kind = ProtocolKind::kEcTtl;
+  return params;  // Algo 2 defaults: threshold 8, TTL 300 - n*100
+}
+
+ProtocolParams immunity_params() {
+  ProtocolParams params;
+  params.kind = ProtocolKind::kImmunity;
+  return params;
+}
+
+ProtocolParams cumulative_immunity_params() {
+  ProtocolParams params;
+  params.kind = ProtocolKind::kCumulativeImmunity;
+  return params;
+}
+
+// --- generic driver -----------------------------------------------------------
+
+Figure run_figure(std::string id, std::string title, Metric metric,
+                  std::vector<SeriesDef> series,
+                  const FigureOptions& options) {
+  Figure figure;
+  figure.id = std::move(id);
+  figure.title = std::move(title);
+  figure.metric = metric;
+
+  // Build each distinct mobility input once; all series over the same
+  // scenario share the trace (paper SIV: one trace, many runs).
+  std::map<std::string, mobility::ContactTrace> traces;
+  for (const auto& def : series) {
+    if (!traces.contains(def.scenario.name)) {
+      traces.emplace(def.scenario.name,
+                     build_contact_trace(def.scenario, options.master_seed));
+    }
+  }
+
+  for (auto& def : series) {
+    SweepSpec spec;
+    spec.scenario = def.scenario;
+    spec.protocol = def.protocol;
+    spec.replications = options.replications;
+    spec.master_seed = options.master_seed;
+    spec.threads = options.threads;
+
+    figure.labels.push_back(def.label);
+    figure.results.push_back(
+        run_sweep_on(spec, traces.at(def.scenario.name)));
+  }
+  return figure;
+}
+
+// --- figure definitions ---------------------------------------------------------
+
+namespace {
+
+/// SV-A comparison set: the four existing protocols at their best-delay
+/// parameters (P = Q = 1, TTL = 300 s).
+std::vector<SeriesDef> existing_protocols(const ScenarioSpec& scenario,
+                                          bool with_immunity) {
+  std::vector<SeriesDef> series{
+      {"P-Q epidemic", scenario, pq_params(1.0, 1.0)},
+      {"TTL=300", scenario, fixed_ttl_params()},
+  };
+  if (with_immunity) {
+    series.push_back({"Immunity", scenario, immunity_params()});
+  }
+  series.push_back({"EC", scenario, ec_params()});
+  return series;
+}
+
+/// SV-B trace comparison set: enhancements vs originals (Figs. 16, 18, 20).
+std::vector<SeriesDef> enhanced_trace() {
+  const ScenarioSpec trace = trace_scenario();
+  return {
+      {"dynamic TTL", trace, dynamic_ttl_params()},
+      {"TTL=300", trace, fixed_ttl_params()},
+      {"EC", trace, ec_params()},
+      {"EC+TTL", trace, ec_ttl_params()},
+      {"Immunity", trace, immunity_params()},
+      {"CumImmunity", trace, cumulative_immunity_params()},
+  };
+}
+
+/// SV-B RWP comparison set (Figs. 15, 17, 19): the TTL variants run on the
+/// controlled-interval scenarios (the figures' legends pair each TTL series
+/// with an interval time), the rest on the RWP model.
+std::vector<SeriesDef> enhanced_rwp() {
+  const ScenarioSpec rwp = rwp_scenario();
+  const ScenarioSpec i400 = interval_scenario(400.0);
+  const ScenarioSpec i2000 = interval_scenario(2000.0);
+  return {
+      {"dynTTL@2000", i2000, dynamic_ttl_params()},
+      {"dynTTL@400", i400, dynamic_ttl_params()},
+      {"TTL300@2000", i2000, fixed_ttl_params()},
+      {"TTL300@400", i400, fixed_ttl_params()},
+      {"EC", rwp, ec_params()},
+      {"EC+TTL", rwp, ec_ttl_params()},
+      {"Immunity", rwp, immunity_params()},
+      {"CumImmunity", rwp, cumulative_immunity_params()},
+  };
+}
+
+}  // namespace
+
+Figure run_fig07(const FigureOptions& o) {
+  return run_figure(
+      "fig07", "Delay comparison of epidemic-based protocols (trace file)",
+      Metric::kDelay, existing_protocols(trace_scenario(), false), o);
+}
+
+Figure run_fig08(const FigureOptions& o) {
+  return run_figure("fig08",
+                    "Delay comparison of epidemic-based protocols (RWP)",
+                    Metric::kDelay, existing_protocols(rwp_scenario(), true),
+                    o);
+}
+
+Figure run_fig09(const FigureOptions& o) {
+  return run_figure("fig09",
+                    "Average bundle duplication rate (trace file)",
+                    Metric::kDuplicationRate,
+                    existing_protocols(trace_scenario(), true), o);
+}
+
+Figure run_fig10(const FigureOptions& o) {
+  return run_figure("fig10", "Average bundle duplication rate (RWP)",
+                    Metric::kDuplicationRate,
+                    existing_protocols(rwp_scenario(), true), o);
+}
+
+Figure run_fig11(const FigureOptions& o) {
+  return run_figure("fig11", "Buffer occupancy level comparison (trace file)",
+                    Metric::kBufferOccupancy,
+                    existing_protocols(trace_scenario(), true), o);
+}
+
+Figure run_fig12(const FigureOptions& o) {
+  return run_figure("fig12", "Average buffer occupancy level (RWP)",
+                    Metric::kBufferOccupancy,
+                    existing_protocols(rwp_scenario(), true), o);
+}
+
+Figure run_fig13(const FigureOptions& o) {
+  const ScenarioSpec trace = trace_scenario();
+  return run_figure("fig13",
+                    "Delivery ratio comparison of epidemic with TTL and EC "
+                    "(trace file)",
+                    Metric::kDeliveryRatio,
+                    {{"EC", trace, ec_params()},
+                     {"TTL=300", trace, fixed_ttl_params()}},
+                    o);
+}
+
+Figure run_fig14(const FigureOptions& o) {
+  return run_figure(
+      "fig14",
+      "Delivery ratio of epidemic with TTL=300 under two encounter intervals",
+      Metric::kDeliveryRatio,
+      {{"interval=400", interval_scenario(400.0), fixed_ttl_params()},
+       {"interval=2000", interval_scenario(2000.0), fixed_ttl_params()}},
+      o);
+}
+
+Figure run_fig15(const FigureOptions& o) {
+  return run_figure("fig15",
+                    "Delivery ratio of modified and un-modified protocols "
+                    "(RWP + interval scenarios)",
+                    Metric::kDeliveryRatio, enhanced_rwp(), o);
+}
+
+Figure run_fig16(const FigureOptions& o) {
+  return run_figure("fig16",
+                    "Delivery ratio of modified and un-modified protocols "
+                    "(trace file)",
+                    Metric::kDeliveryRatio, enhanced_trace(), o);
+}
+
+Figure run_fig17(const FigureOptions& o) {
+  return run_figure("fig17",
+                    "Buffer occupancy level of modified and un-modified "
+                    "protocols (RWP + interval scenarios)",
+                    Metric::kBufferOccupancy, enhanced_rwp(), o);
+}
+
+Figure run_fig18(const FigureOptions& o) {
+  return run_figure("fig18",
+                    "Buffer occupancy level of modified and un-modified "
+                    "protocols (trace file)",
+                    Metric::kBufferOccupancy, enhanced_trace(), o);
+}
+
+Figure run_fig19(const FigureOptions& o) {
+  return run_figure("fig19",
+                    "Bundle duplication rate of modified and un-modified "
+                    "protocols (RWP + interval scenarios)",
+                    Metric::kDuplicationRate, enhanced_rwp(), o);
+}
+
+Figure run_fig20(const FigureOptions& o) {
+  return run_figure("fig20",
+                    "Bundle duplication rate of modified and un-modified "
+                    "protocols (trace file)",
+                    Metric::kDuplicationRate, enhanced_trace(), o);
+}
+
+Figure run_overhead(const FigureOptions& o, bool rwp) {
+  const ScenarioSpec scenario = rwp ? rwp_scenario() : trace_scenario();
+  return run_figure(
+      std::string("overhead_") + scenario.name,
+      "Signaling overhead: per-bundle vs cumulative immunity tables (" +
+          scenario.name + ")",
+      Metric::kControlRecords,
+      {{"Immunity", scenario, immunity_params()},
+       {"CumImmunity", scenario, cumulative_immunity_params()}},
+      o);
+}
+
+std::vector<Table2Row> run_table2(const FigureOptions& o) {
+  struct Def {
+    std::string name;
+    ProtocolParams params;
+  };
+  const std::vector<Def> defs{
+      {"Epidemic with TTL", fixed_ttl_params()},
+      {"Epidemic with Dynamic TTL", dynamic_ttl_params()},
+      {"Epidemic with EC", ec_params()},
+      {"Epidemic with EC+TTL", ec_ttl_params()},
+      {"Epidemic with Immunity table", immunity_params()},
+      {"Epidemic with Cumulative Immunity table",
+       cumulative_immunity_params()},
+  };
+
+  std::vector<Table2Row> rows;
+  rows.reserve(defs.size());
+  for (const auto& scenario_is_rwp : {false, true}) {
+    std::vector<SeriesDef> series;
+    const ScenarioSpec scenario =
+        scenario_is_rwp ? rwp_scenario() : trace_scenario();
+    series.reserve(defs.size());
+    for (const auto& def : defs) {
+      series.push_back({def.name, scenario, def.params});
+    }
+    const Figure delivery = run_figure("table2", "tmp",
+                                       Metric::kDeliveryRatio, series, o);
+    for (std::size_t i = 0; i < defs.size(); ++i) {
+      if (!scenario_is_rwp && rows.size() <= i) {
+        rows.push_back(Table2Row{defs[i].name});
+      }
+      Table2Row& row = rows[i];
+      // Recompute the three metrics from the same sweep results.
+      const SweepResult& result = delivery.results[i];
+      double d = 0.0;
+      double b = 0.0;
+      double dup = 0.0;
+      for (const auto& point : result.points) {
+        d += point.delivery_ratio.mean;
+        b += point.buffer_occupancy.mean;
+        dup += point.duplication_rate.mean;
+      }
+      const auto n = static_cast<double>(result.points.size());
+      if (scenario_is_rwp) {
+        row.delivery_rwp = 100.0 * d / n;
+        row.buffer_rwp = 100.0 * b / n;
+        row.duplication_rwp = 100.0 * dup / n;
+      } else {
+        row.delivery_trace = 100.0 * d / n;
+        row.buffer_trace = 100.0 * b / n;
+        row.duplication_trace = 100.0 * dup / n;
+      }
+    }
+  }
+  return rows;
+}
+
+void print_table2(std::ostream& out, const std::vector<Table2Row>& rows) {
+  out << "== Table II: comparison of original and enhanced protocols ==\n";
+  out << "(sweep-average values in percent)\n";
+  out << std::left << std::setw(42) << "protocol" << std::right
+      << std::setw(10) << "dlv RWP" << std::setw(10) << "dlv trc"
+      << std::setw(10) << "buf RWP" << std::setw(10) << "buf trc"
+      << std::setw(10) << "dup RWP" << std::setw(10) << "dup trc" << "\n";
+  for (const auto& row : rows) {
+    out << std::left << std::setw(42) << row.protocol << std::right
+        << std::fixed << std::setprecision(1) << std::setw(10)
+        << row.delivery_rwp << std::setw(10) << row.delivery_trace
+        << std::setw(10) << row.buffer_rwp << std::setw(10)
+        << row.buffer_trace << std::setw(10) << row.duplication_rwp
+        << std::setw(10) << row.duplication_trace << "\n";
+  }
+  out.unsetf(std::ios::floatfield);
+}
+
+}  // namespace epi::exp

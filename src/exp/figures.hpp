@@ -1,0 +1,87 @@
+// Figures: canned experiment definitions for every figure and table of the
+// paper's evaluation section (SV). Each run_figXX() executes the exact
+// series the paper plots and returns a printable Figure.
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "exp/report.hpp"
+#include "exp/scenario.hpp"
+
+namespace epi::exp {
+
+/// Knobs shared by all figure reproductions.
+struct FigureOptions {
+  std::uint64_t master_seed = 42;
+  std::uint32_t replications = 10;  // paper SIV
+  unsigned threads = 0;             // 0 = hardware concurrency
+};
+
+// --- protocol parameter shorthands (the paper's configurations) -------------
+
+[[nodiscard]] ProtocolParams pq_params(double p, double q);
+[[nodiscard]] ProtocolParams fixed_ttl_params(SimTime ttl = defaults::kFixedTtl);
+[[nodiscard]] ProtocolParams dynamic_ttl_params();
+[[nodiscard]] ProtocolParams ec_params();
+[[nodiscard]] ProtocolParams ec_ttl_params();
+[[nodiscard]] ProtocolParams immunity_params();
+[[nodiscard]] ProtocolParams cumulative_immunity_params();
+
+// --- generic driver -----------------------------------------------------------
+
+/// One series of a figure: a label, a mobility scenario and a protocol.
+struct SeriesDef {
+  std::string label;
+  ScenarioSpec scenario;
+  ProtocolParams protocol;
+};
+
+/// Runs all series (mobility traces are built once per distinct scenario)
+/// and assembles the Figure.
+[[nodiscard]] Figure run_figure(std::string id, std::string title,
+                                Metric metric, std::vector<SeriesDef> series,
+                                const FigureOptions& options);
+
+// --- the paper's figures -------------------------------------------------------
+
+// SV-A: existing protocols.
+[[nodiscard]] Figure run_fig07(const FigureOptions& o);  // delay, trace
+[[nodiscard]] Figure run_fig08(const FigureOptions& o);  // delay, RWP
+[[nodiscard]] Figure run_fig09(const FigureOptions& o);  // duplication, trace
+[[nodiscard]] Figure run_fig10(const FigureOptions& o);  // duplication, RWP
+[[nodiscard]] Figure run_fig11(const FigureOptions& o);  // buffer, trace
+[[nodiscard]] Figure run_fig12(const FigureOptions& o);  // buffer, RWP
+[[nodiscard]] Figure run_fig13(const FigureOptions& o);  // delivery, trace
+
+// SV-B: enhancements.
+[[nodiscard]] Figure run_fig14(const FigureOptions& o);  // TTL vs interval
+[[nodiscard]] Figure run_fig15(const FigureOptions& o);  // delivery, RWP
+[[nodiscard]] Figure run_fig16(const FigureOptions& o);  // delivery, trace
+[[nodiscard]] Figure run_fig17(const FigureOptions& o);  // buffer, RWP
+[[nodiscard]] Figure run_fig18(const FigureOptions& o);  // buffer, trace
+[[nodiscard]] Figure run_fig19(const FigureOptions& o);  // duplication, RWP
+[[nodiscard]] Figure run_fig20(const FigureOptions& o);  // duplication, trace
+
+// Abstract claim: cumulative immunity needs an order of magnitude fewer
+// signaling messages than per-bundle immunity.
+[[nodiscard]] Figure run_overhead(const FigureOptions& o, bool rwp);
+
+// --- Table II -------------------------------------------------------------------
+
+/// One protocol row of Table II: per-metric averages over the whole load
+/// sweep, in percent, for one mobility input.
+struct Table2Row {
+  std::string protocol;
+  double delivery_rwp = 0.0;
+  double delivery_trace = 0.0;
+  double buffer_rwp = 0.0;
+  double buffer_trace = 0.0;
+  double duplication_rwp = 0.0;
+  double duplication_trace = 0.0;
+};
+
+[[nodiscard]] std::vector<Table2Row> run_table2(const FigureOptions& o);
+void print_table2(std::ostream& out, const std::vector<Table2Row>& rows);
+
+}  // namespace epi::exp

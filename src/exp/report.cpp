@@ -1,0 +1,120 @@
+#include "exp/report.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <ostream>
+#include <stdexcept>
+
+namespace epi::exp {
+
+std::string_view metric_name(Metric metric) noexcept {
+  switch (metric) {
+    case Metric::kDelay:
+      return "avg delay (s)";
+    case Metric::kMeanBundleDelay:
+      return "mean bundle delay (s)";
+    case Metric::kDeliveryRatio:
+      return "avg delivery ratio";
+    case Metric::kBufferOccupancy:
+      return "avg buffer occupancy level";
+    case Metric::kDuplicationRate:
+      return "avg bundle duplication rate";
+    case Metric::kControlRecords:
+      return "signaling records";
+    case Metric::kTransmissions:
+      return "bundle transmissions";
+  }
+  return "?";
+}
+
+const metrics::Aggregate& metric_of(const metrics::LoadPoint& point,
+                                    Metric metric) noexcept {
+  switch (metric) {
+    case Metric::kDelay:
+      return point.delay;
+    case Metric::kMeanBundleDelay:
+      return point.mean_bundle_delay;
+    case Metric::kDeliveryRatio:
+      return point.delivery_ratio;
+    case Metric::kBufferOccupancy:
+      return point.buffer_occupancy;
+    case Metric::kDuplicationRate:
+      return point.duplication_rate;
+    case Metric::kControlRecords:
+      return point.control_records;
+    case Metric::kTransmissions:
+      return point.bundle_transmissions;
+  }
+  return point.delivery_ratio;
+}
+
+double Figure::value(std::size_t s, std::size_t li) const {
+  return metric_of(results.at(s).points.at(li), metric).mean;
+}
+
+double Figure::series_mean(std::size_t s) const {
+  const auto& points = results.at(s).points;
+  if (points.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t li = 0; li < points.size(); ++li) sum += value(s, li);
+  return sum / static_cast<double>(points.size());
+}
+
+std::size_t Figure::series(std::string_view label) const {
+  for (std::size_t s = 0; s < labels.size(); ++s) {
+    if (labels[s] == label) return s;
+  }
+  throw std::out_of_range("no series labelled '" + std::string(label) + "'");
+}
+
+namespace {
+
+constexpr int kLoadWidth = 6;
+constexpr int kColWidth = 14;
+
+}  // namespace
+
+void print_figure(std::ostream& out, const Figure& figure) {
+  assert(figure.labels.size() == figure.results.size());
+  out << "== " << figure.id << ": " << figure.title << " ==\n";
+  out << "metric: " << metric_name(figure.metric) << "\n";
+
+  out << std::left << std::setw(kLoadWidth) << "load";
+  for (const auto& label : figure.labels) {
+    out << std::right << std::setw(kColWidth)
+        << (label.size() > kColWidth - 1
+                ? label.substr(0, kColWidth - 1)
+                : label);
+  }
+  out << "\n";
+
+  if (figure.results.empty()) return;
+  const auto& loads = figure.results.front().loads;
+  for (std::size_t li = 0; li < loads.size(); ++li) {
+    out << std::left << std::setw(kLoadWidth) << loads[li];
+    for (std::size_t s = 0; s < figure.results.size(); ++s) {
+      out << std::right << std::setw(kColWidth) << std::fixed
+          << std::setprecision(4) << figure.value(s, li);
+    }
+    out << "\n";
+  }
+  out.unsetf(std::ios::floatfield);
+}
+
+void print_figure_csv(std::ostream& out, const Figure& figure) {
+  out << "load";
+  for (const auto& label : figure.labels) out << ',' << label;
+  out << '\n';
+  if (figure.results.empty()) return;
+  const auto& loads = figure.results.front().loads;
+  for (std::size_t li = 0; li < loads.size(); ++li) {
+    out << loads[li];
+    for (std::size_t s = 0; s < figure.results.size(); ++s) {
+      out << ',' << figure.value(s, li);
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace epi::exp

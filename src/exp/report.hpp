@@ -1,0 +1,56 @@
+// Report: aligned-column and CSV printers for figure/table reproduction.
+//
+// Every bench binary prints one figure as a table: one row per load point,
+// one column per protocol series — the same rows/series the paper plots.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exp/sweep.hpp"
+#include "metrics/summary.hpp"
+
+namespace epi::exp {
+
+/// Which scalar of a LoadPoint a figure plots.
+enum class Metric {
+  kDelay,            ///< run completion time (horizon-charged when failed)
+  kMeanBundleDelay,  ///< mean per-bundle delay over delivered bundles
+  kDeliveryRatio,
+  kBufferOccupancy,
+  kDuplicationRate,
+  kControlRecords,   ///< signaling overhead (records on the air)
+  kTransmissions,    ///< bundle transmissions
+};
+
+[[nodiscard]] std::string_view metric_name(Metric metric) noexcept;
+[[nodiscard]] const metrics::Aggregate& metric_of(
+    const metrics::LoadPoint& point, Metric metric) noexcept;
+
+/// One reproduced figure: parallel vectors of series labels and results.
+struct Figure {
+  std::string id;      ///< "fig07"
+  std::string title;
+  Metric metric = Metric::kDeliveryRatio;
+  std::vector<std::string> labels;
+  std::vector<SweepResult> results;
+
+  /// Mean metric value of series `s` at load index `li`.
+  [[nodiscard]] double value(std::size_t s, std::size_t li) const;
+
+  /// Mean of the metric across all load points of series `s`.
+  [[nodiscard]] double series_mean(std::size_t s) const;
+
+  /// Index of the series with the given label (throws if absent).
+  [[nodiscard]] std::size_t series(std::string_view label) const;
+};
+
+/// Human-readable aligned table (what the bench binaries print).
+void print_figure(std::ostream& out, const Figure& figure);
+
+/// Machine-readable CSV (load, <label columns>...) with mean values.
+void print_figure_csv(std::ostream& out, const Figure& figure);
+
+}  // namespace epi::exp

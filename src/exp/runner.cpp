@@ -1,0 +1,49 @@
+#include "exp/runner.hpp"
+
+#include <algorithm>
+
+#include "core/rng.hpp"
+#include "routing/engine.hpp"
+#include "routing/factory.hpp"
+
+namespace epi::exp {
+
+FlowEndpoints pick_endpoints(std::uint64_t master_seed, std::uint32_t load,
+                             std::uint32_t replication,
+                             std::uint32_t node_count) {
+  Rng rng = Rng::derive(master_seed, 0x464c4f57ULL /*'FLOW'*/, load,
+                        replication);
+  FlowEndpoints flow;
+  flow.source = static_cast<NodeId>(rng.below(node_count));
+  flow.destination = static_cast<NodeId>(rng.below(node_count - 1));
+  if (flow.destination >= flow.source) ++flow.destination;
+  return flow;
+}
+
+metrics::RunSummary run_single(const RunSpec& spec,
+                               const mobility::ContactTrace& trace) {
+  SimulationConfig config;
+  config.node_count = std::max(trace.node_count(), 2u);
+  config.buffer_capacity = spec.buffer_capacity;
+  config.slot_seconds = spec.slot_seconds;
+  config.horizon = spec.horizon;
+  config.load = spec.load;
+  const FlowEndpoints flow = pick_endpoints(
+      spec.master_seed, spec.load, spec.replication, config.node_count);
+  config.source = flow.source;
+  config.destination = flow.destination;
+  config.encounter_session_gap = spec.session_gap;
+  config.protocol = spec.protocol;
+
+  // The engine seed mixes in the protocol kind so probabilistic protocols
+  // do not share decision streams with the flow-endpoint derivation.
+  const std::uint64_t run_seed = SplitMix64(spec.master_seed ^
+                                            (std::uint64_t{spec.load} << 32) ^
+                                            spec.replication)
+                                     .next();
+  routing::Engine engine(config, trace, routing::make_protocol(spec.protocol),
+                         run_seed);
+  return engine.run();
+}
+
+}  // namespace epi::exp

@@ -1,0 +1,45 @@
+// Runner: executes one (scenario, protocol, load, replication) simulation.
+//
+// Per the paper's methodology (SIV): "a source node is chosen randomly, and
+// transmits k bundles to a destination node ... we change the source and
+// destination node after each run". The (source, destination) pair of a
+// replication is derived from (master_seed, load, replication) only — NOT
+// from the protocol — so different protocols face identical flows and the
+// comparison is paired.
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "metrics/summary.hpp"
+#include "mobility/contact_trace.hpp"
+
+namespace epi::exp {
+
+struct RunSpec {
+  ProtocolParams protocol;
+  std::uint32_t load = 10;
+  std::uint32_t replication = 0;
+  std::uint64_t master_seed = 42;
+  std::uint32_t buffer_capacity = defaults::kBufferCapacity;
+  SimTime slot_seconds = defaults::kSlotSeconds;
+  SimTime horizon = defaults::kTraceHorizon;
+  SimTime session_gap = 1'800.0;  ///< see SimulationConfig
+};
+
+/// Derives the flow endpoints of a replication (deterministic, protocol
+/// independent). `node_count` >= 2.
+struct FlowEndpoints {
+  NodeId source = 0;
+  NodeId destination = 1;
+};
+[[nodiscard]] FlowEndpoints pick_endpoints(std::uint64_t master_seed,
+                                           std::uint32_t load,
+                                           std::uint32_t replication,
+                                           std::uint32_t node_count);
+
+/// Runs one simulation on the shared `trace` and returns its summary.
+[[nodiscard]] metrics::RunSummary run_single(
+    const RunSpec& spec, const mobility::ContactTrace& trace);
+
+}  // namespace epi::exp

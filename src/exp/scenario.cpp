@@ -1,0 +1,73 @@
+#include "exp/scenario.hpp"
+
+#include "core/error.hpp"
+
+namespace epi::exp {
+
+std::uint32_t ScenarioSpec::node_count() const noexcept {
+  switch (kind) {
+    case MobilityKind::kHaggleTrace:
+      return haggle.node_count;
+    case MobilityKind::kRwp:
+      return rwp.node_count;
+    case MobilityKind::kInterval:
+      return interval.node_count;
+  }
+  return 0;
+}
+
+SimTime ScenarioSpec::horizon() const noexcept {
+  switch (kind) {
+    case MobilityKind::kHaggleTrace:
+      return haggle.horizon;
+    case MobilityKind::kRwp:
+      return rwp.horizon;
+    case MobilityKind::kInterval: {
+      // Upper bound on the last contact end: every encounter advances a
+      // node's clock by at most (max gap + max duration), and each node has
+      // a bounded encounter budget.
+      const auto& p = interval;
+      return static_cast<double>(p.encounters_per_node + 1) *
+             (p.max_interval + p.max_duration) * 2.0;
+    }
+  }
+  return 0.0;
+}
+
+ScenarioSpec trace_scenario() {
+  ScenarioSpec spec;
+  spec.name = "trace";
+  spec.kind = MobilityKind::kHaggleTrace;
+  return spec;  // defaults mirror the paper's iMote setup
+}
+
+ScenarioSpec rwp_scenario() {
+  ScenarioSpec spec;
+  spec.name = "rwp";
+  spec.kind = MobilityKind::kRwp;
+  return spec;  // defaults mirror the paper's subscriber-point setup
+}
+
+ScenarioSpec interval_scenario(SimTime max_interval) {
+  ScenarioSpec spec;
+  spec.name = "interval" + std::to_string(static_cast<long>(max_interval));
+  spec.kind = MobilityKind::kInterval;
+  spec.interval.max_interval = max_interval;
+  spec.session_gap = 25.0;  // isolated contacts: each is its own encounter
+  return spec;
+}
+
+mobility::ContactTrace build_contact_trace(const ScenarioSpec& spec,
+                                           std::uint64_t seed) {
+  switch (spec.kind) {
+    case MobilityKind::kHaggleTrace:
+      return mobility::generate_synthetic_haggle(spec.haggle, seed);
+    case MobilityKind::kRwp:
+      return mobility::generate_rwp(spec.rwp, seed);
+    case MobilityKind::kInterval:
+      return mobility::generate_interval_scenario(spec.interval, seed);
+  }
+  throw ConfigError("unknown mobility kind");
+}
+
+}  // namespace epi::exp

@@ -1,0 +1,73 @@
+#include "exp/sweep.hpp"
+
+#include "exp/runner.hpp"
+#include "exp/thread_pool.hpp"
+
+namespace epi::exp {
+
+std::vector<std::uint32_t> paper_loads() {
+  std::vector<std::uint32_t> loads;
+  for (std::uint32_t k = 5; k <= 50; k += 5) loads.push_back(k);
+  return loads;
+}
+
+SweepResult run_sweep_on(const SweepSpec& spec,
+                         const mobility::ContactTrace& trace) {
+  SweepResult result;
+  result.scenario_name = spec.scenario.name;
+  result.protocol = spec.protocol;
+  result.loads = spec.loads.empty() ? paper_loads() : spec.loads;
+  result.runs.assign(result.loads.size(), {});
+  for (auto& batch : result.runs) {
+    batch.resize(spec.replications);
+  }
+
+  const std::size_t total = result.loads.size() * spec.replications;
+  parallel_for(total, spec.threads, [&](std::size_t job) {
+    const std::size_t load_idx = job / spec.replications;
+    const auto replication = static_cast<std::uint32_t>(job % spec.replications);
+    RunSpec run;
+    run.protocol = spec.protocol;
+    run.load = result.loads[load_idx];
+    run.replication = replication;
+    run.master_seed = spec.master_seed;
+    run.buffer_capacity = spec.buffer_capacity;
+    // The paper's failure horizon is the trace's own maximum recorded time.
+    run.horizon = trace.end_time();
+    run.session_gap = spec.scenario.session_gap;
+    result.runs[load_idx][replication] = run_single(run, trace);
+  });
+
+  result.points.reserve(result.loads.size());
+  for (const auto& batch : result.runs) {
+    result.points.push_back(metrics::aggregate_runs(batch));
+  }
+  return result;
+}
+
+SweepResult run_sweep(const SweepSpec& spec) {
+  const mobility::ContactTrace trace =
+      build_contact_trace(spec.scenario, spec.master_seed);
+  return run_sweep_on(spec, trace);
+}
+
+std::vector<SweepResult> run_sweeps(
+    const ScenarioSpec& scenario, const std::vector<ProtocolParams>& protocols,
+    std::uint64_t master_seed, std::uint32_t replications, unsigned threads) {
+  const mobility::ContactTrace trace =
+      build_contact_trace(scenario, master_seed);
+  std::vector<SweepResult> results;
+  results.reserve(protocols.size());
+  for (const auto& protocol : protocols) {
+    SweepSpec spec;
+    spec.scenario = scenario;
+    spec.protocol = protocol;
+    spec.replications = replications;
+    spec.master_seed = master_seed;
+    spec.threads = threads;
+    results.push_back(run_sweep_on(spec, trace));
+  }
+  return results;
+}
+
+}  // namespace epi::exp

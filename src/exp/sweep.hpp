@@ -1,0 +1,56 @@
+// Sweep: the paper's experiment loop — load k from 5 to 50 in steps of 5,
+// ten replications per point, averaged — parallelised over a thread pool.
+// Determinism: every replication's RNG stream derives from (master_seed,
+// load, replication), so results are identical for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "exp/scenario.hpp"
+#include "metrics/summary.hpp"
+
+namespace epi::exp {
+
+/// Load axis used by every figure: k in {5, 10, ..., 50}.
+[[nodiscard]] std::vector<std::uint32_t> paper_loads();
+
+struct SweepSpec {
+  ScenarioSpec scenario;
+  ProtocolParams protocol;
+  std::vector<std::uint32_t> loads;  // empty -> paper_loads()
+  std::uint32_t replications = 10;   // paper SIV
+  std::uint64_t master_seed = 42;
+  std::uint32_t buffer_capacity = defaults::kBufferCapacity;
+  unsigned threads = 0;  ///< 0 = hardware concurrency
+};
+
+struct SweepResult {
+  std::string scenario_name;
+  ProtocolParams protocol;
+  std::vector<std::uint32_t> loads;
+  /// points[i] aggregates the replications of loads[i].
+  std::vector<metrics::LoadPoint> points;
+  /// runs[i] holds the raw replications of loads[i].
+  std::vector<std::vector<metrics::RunSummary>> runs;
+};
+
+/// Runs the full sweep (trace generated once, replications in parallel).
+[[nodiscard]] SweepResult run_sweep(const SweepSpec& spec);
+
+/// Same, over an already-built contact trace (callers that share one trace
+/// across protocols — every figure — use this to avoid regenerating it).
+[[nodiscard]] SweepResult run_sweep_on(const SweepSpec& spec,
+                                       const mobility::ContactTrace& trace);
+
+/// Convenience: run the same scenario/loads for several protocols (the shape
+/// of every multi-series figure in the paper). The mobility trace is built
+/// once and shared.
+[[nodiscard]] std::vector<SweepResult> run_sweeps(
+    const ScenarioSpec& scenario, const std::vector<ProtocolParams>& protocols,
+    std::uint64_t master_seed = 42, std::uint32_t replications = 10,
+    unsigned threads = 0);
+
+}  // namespace epi::exp

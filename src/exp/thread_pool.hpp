@@ -1,0 +1,61 @@
+// A small fixed-size thread pool plus a deterministic parallel_for.
+//
+// Replications are independent simulations; parallel_for hands out indices
+// through an atomic counter, and every job writes only its own slot of a
+// pre-sized result vector, so results are bit-identical for any thread count
+// (per-run RNG streams are derived from the run index, never from thread
+// identity).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace epi::exp {
+
+class ThreadPool {
+ public:
+  /// `threads` == 0 selects the hardware concurrency (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned thread_count() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues a job. Jobs must not throw past their boundary; wait()
+  /// rethrows the first captured exception.
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished. Rethrows the first
+  /// exception any job raised.
+  void wait();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> jobs_;
+  std::mutex mutex_;
+  std::condition_variable job_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Runs fn(i) for i in [0, count) across `threads` threads (0 = hardware).
+/// fn must be safe to call concurrently for distinct i. Rethrows the first
+/// exception.
+void parallel_for(std::size_t count, unsigned threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace epi::exp

@@ -1,0 +1,157 @@
+#include "metrics/recorder.hpp"
+
+#include <cassert>
+
+namespace epi::metrics {
+
+Recorder::Recorder(std::uint32_t node_count, std::uint32_t buffer_capacity)
+    : node_count_(node_count),
+      buffer_capacity_(buffer_capacity),
+      nodes_(node_count) {
+  assert(node_count_ > 0 && buffer_capacity_ > 0);
+}
+
+Recorder::BundleTally& Recorder::tally(BundleId id) {
+  assert(id != kInvalidBundle);
+  if (bundles_.size() <= id) bundles_.resize(id + 1);
+  return bundles_[id];
+}
+
+void Recorder::advance_bundle(BundleTally& b, SimTime t) {
+  if (!b.frozen) {
+    b.copy_integral += static_cast<double>(b.copies) * (t - b.last_change);
+  }
+  b.last_change = t;
+}
+
+void Recorder::advance_node(NodeTally& n, SimTime t) {
+  n.size_integral += static_cast<double>(n.size) * (t - n.last_change);
+  n.last_change = t;
+}
+
+void Recorder::on_created(BundleId id, SimTime t) {
+  BundleTally& b = tally(id);
+  b.created = t;
+  b.last_change = t;
+  created_order_.push_back(id);
+}
+
+void Recorder::on_stored(NodeId node, BundleId id, SimTime t) {
+  assert(node < node_count_);
+  BundleTally& b = tally(id);
+  advance_bundle(b, t);
+  ++b.copies;
+  if (b.copies > b.peak_copies) b.peak_copies = b.copies;
+  NodeTally& n = nodes_[node];
+  advance_node(n, t);
+  ++n.size;
+}
+
+void Recorder::on_removed(NodeId node, BundleId id, SimTime t,
+                          dtn::RemoveReason why) {
+  assert(node < node_count_);
+  BundleTally& b = tally(id);
+  advance_bundle(b, t);
+  assert(b.copies > 0);
+  --b.copies;
+  NodeTally& n = nodes_[node];
+  advance_node(n, t);
+  assert(n.size > 0);
+  --n.size;
+  ++removed_[static_cast<std::size_t>(why)];
+}
+
+void Recorder::on_transfer(BundleId, SimTime) { ++transmissions_; }
+
+void Recorder::on_delivered(BundleId id, SimTime t) {
+  BundleTally& b = tally(id);
+  advance_bundle(b, t);
+  b.delivered = t;
+  b.frozen = true;
+  ++delivered_count_;
+  last_delivery_ = t;
+  delay_sum_ += t - b.created;
+}
+
+void Recorder::sample(SimTime t, std::uint32_t intended_load) {
+  TimelinePoint point;
+  point.t = t;
+  std::uint64_t copies = 0;
+  for (const auto& n : nodes_) copies += n.size;
+  point.live_copies = copies;
+  point.buffer_occupancy =
+      static_cast<double>(copies) /
+      (static_cast<double>(node_count_) * static_cast<double>(buffer_capacity_));
+  point.delivered_fraction =
+      intended_load == 0 ? 0.0
+                         : static_cast<double>(delivered_count_) /
+                               static_cast<double>(intended_load);
+  point.transmissions = transmissions_;
+  timeline_.push_back(point);
+}
+
+void Recorder::finalize(SimTime t) {
+  assert(!end_ && "finalize called twice");
+  for (auto& n : nodes_) advance_node(n, t);
+  for (const BundleId id : created_order_) advance_bundle(bundles_[id], t);
+  end_ = t;
+}
+
+double Recorder::delivery_ratio() const {
+  if (created_order_.empty()) return 0.0;
+  return static_cast<double>(delivered_count_) /
+         static_cast<double>(created_order_.size());
+}
+
+std::optional<SimTime> Recorder::completion_time() const {
+  if (created_order_.empty() || delivered_count_ < created_order_.size()) {
+    return std::nullopt;
+  }
+  return last_delivery_;
+}
+
+double Recorder::mean_bundle_delay() const {
+  if (delivered_count_ == 0) return 0.0;
+  return delay_sum_ / static_cast<double>(delivered_count_);
+}
+
+double Recorder::avg_buffer_occupancy() const {
+  assert(end_ && "finalize() must run first");
+  if (*end_ <= 0.0) return 0.0;
+  double total = 0.0;
+  for (const auto& n : nodes_) total += n.size_integral;
+  return total / (static_cast<double>(node_count_) *
+                  static_cast<double>(buffer_capacity_) * *end_);
+}
+
+double Recorder::avg_duplication_rate() const {
+  if (created_order_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const BundleId id : created_order_) {
+    sum += static_cast<double>(bundles_[id].peak_copies) /
+           static_cast<double>(node_count_);
+  }
+  return sum / static_cast<double>(created_order_.size());
+}
+
+double Recorder::avg_time_duplication_rate() const {
+  assert(end_ && "finalize() must run first");
+  if (created_order_.empty()) return 0.0;
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (const BundleId id : created_order_) {
+    const BundleTally& b = bundles_[id];
+    const SimTime cutoff = b.delivered.value_or(*end_);
+    const double span = cutoff - b.created;
+    if (span <= 0.0) continue;  // delivered instantly: no routed lifetime
+    sum += b.copy_integral / (span * static_cast<double>(node_count_));
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+std::uint64_t Recorder::removed(dtn::RemoveReason why) const {
+  return removed_[static_cast<std::size_t>(why)];
+}
+
+}  // namespace epi::metrics

@@ -1,0 +1,97 @@
+#include "metrics/summary.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "metrics/recorder.hpp"
+
+namespace epi::metrics {
+
+RunSummary summarize(const Recorder& recorder, std::uint32_t load,
+                     std::uint64_t seed, SimTime horizon) {
+  RunSummary s;
+  s.load = load;
+  s.seed = seed;
+  // Ratios are against the intended load: bundles the source never managed
+  // to inject (buffer squeezed shut) count as undelivered, exactly like
+  // bundles lost en route.
+  s.delivery_ratio = load == 0 ? 0.0
+                               : static_cast<double>(recorder.delivered_count()) /
+                                     static_cast<double>(load);
+  s.complete = recorder.delivered_count() >= load;
+  s.completion_time = s.complete ? recorder.last_delivery_time() : horizon;
+  s.mean_bundle_delay = recorder.mean_bundle_delay();
+  s.buffer_occupancy = recorder.avg_buffer_occupancy();
+  s.duplication_rate = recorder.avg_duplication_rate();
+  s.bundle_transmissions = recorder.bundle_transmissions();
+  s.control_records = recorder.control_records();
+  s.contacts = recorder.contacts();
+  s.drops_expired = recorder.removed(dtn::RemoveReason::kExpired);
+  s.drops_evicted = recorder.removed(dtn::RemoveReason::kEvicted);
+  s.drops_immunized = recorder.removed(dtn::RemoveReason::kImmunized);
+  return s;
+}
+
+double Aggregate::ci95_half_width() const {
+  if (count < 2) return 0.0;
+  // Two-sided 97.5% Student-t quantiles for small samples; the tail decays
+  // toward the normal 1.96.
+  static constexpr double kT[] = {0.0,   0.0,   12.706, 4.303, 3.182, 2.776,
+                                  2.571, 2.447, 2.365,  2.306, 2.262, 2.228,
+                                  2.201, 2.179, 2.160,  2.145, 2.131, 2.120,
+                                  2.110, 2.101, 2.093,  2.086};
+  const double t = count < std::size(kT) ? kT[count] : 1.96;
+  return t * stddev / std::sqrt(static_cast<double>(count));
+}
+
+Aggregate aggregate(std::span<const double> values) {
+  Aggregate a;
+  a.count = values.size();
+  if (values.empty()) return a;
+  a.min = values.front();
+  a.max = values.front();
+  double sum = 0.0;
+  for (const double v : values) {
+    sum += v;
+    if (v < a.min) a.min = v;
+    if (v > a.max) a.max = v;
+  }
+  a.mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (const double v : values) sq += (v - a.mean) * (v - a.mean);
+  // Sample standard deviation (n-1); zero for a single observation.
+  a.stddev = values.size() > 1
+                 ? std::sqrt(sq / static_cast<double>(values.size() - 1))
+                 : 0.0;
+  return a;
+}
+
+LoadPoint aggregate_runs(std::span<const RunSummary> runs) {
+  LoadPoint p;
+  if (runs.empty()) return p;
+  p.load = runs.front().load;
+
+  std::vector<double> v;
+  v.reserve(runs.size());
+  const auto collect = [&](auto field) {
+    v.clear();
+    for (const auto& r : runs) v.push_back(static_cast<double>(field(r)));
+    return aggregate(v);
+  };
+
+  p.delivery_ratio = collect([](const RunSummary& r) { return r.delivery_ratio; });
+  p.delay = collect([](const RunSummary& r) { return r.completion_time; });
+  p.mean_bundle_delay =
+      collect([](const RunSummary& r) { return r.mean_bundle_delay; });
+  p.buffer_occupancy =
+      collect([](const RunSummary& r) { return r.buffer_occupancy; });
+  p.duplication_rate =
+      collect([](const RunSummary& r) { return r.duplication_rate; });
+  p.control_records =
+      collect([](const RunSummary& r) { return r.control_records; });
+  p.bundle_transmissions =
+      collect([](const RunSummary& r) { return r.bundle_transmissions; });
+  return p;
+}
+
+}  // namespace epi::metrics

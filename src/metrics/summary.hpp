@@ -1,0 +1,79 @@
+// RunSummary: the scalar outcome of one simulation run, plus aggregation
+// helpers for the paper's "10 replications averaged" methodology.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace epi::metrics {
+
+class Recorder;
+
+/// Everything a figure or table needs from one run.
+struct RunSummary {
+  // configuration echo
+  std::uint32_t load = 0;
+  std::uint64_t seed = 0;
+
+  // outcomes
+  double delivery_ratio = 0.0;
+  bool complete = false;           ///< all bundles delivered before horizon
+  SimTime completion_time = 0.0;   ///< last delivery if complete, else horizon
+                                   ///< (paper: failed runs record no delay; we
+                                   ///< conservatively charge the horizon)
+  double mean_bundle_delay = 0.0;  ///< over delivered bundles
+  double buffer_occupancy = 0.0;
+  double duplication_rate = 0.0;
+  std::uint64_t bundle_transmissions = 0;
+  std::uint64_t control_records = 0;
+  std::uint64_t contacts = 0;
+  std::uint64_t drops_expired = 0;
+  std::uint64_t drops_evicted = 0;
+  std::uint64_t drops_immunized = 0;
+  SimTime end_time = 0.0;
+
+  /// Per-flow delivery ratios (one entry per flow, in flow order). A single
+  /// flow — the paper's setup — yields one entry equal to delivery_ratio.
+  std::vector<double> flow_delivery;
+};
+
+/// Builds a RunSummary from a finalized Recorder.
+[[nodiscard]] RunSummary summarize(const Recorder& recorder,
+                                   std::uint32_t load, std::uint64_t seed,
+                                   SimTime horizon);
+
+/// Mean / spread of one scalar across replications.
+struct Aggregate {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+
+  /// Half-width of the two-sided 95% confidence interval of the mean
+  /// (Student's t; 0 for fewer than two observations). The paper reports
+  /// plain 10-replication averages; the interval quantifies how much the
+  /// endpoint lottery moves them.
+  [[nodiscard]] double ci95_half_width() const;
+};
+
+[[nodiscard]] Aggregate aggregate(std::span<const double> values);
+
+/// Per-metric aggregates over a batch of replications of one configuration.
+struct LoadPoint {
+  std::uint32_t load = 0;
+  Aggregate delivery_ratio;
+  Aggregate delay;  ///< completion_time (horizon-charged when incomplete)
+  Aggregate mean_bundle_delay;
+  Aggregate buffer_occupancy;
+  Aggregate duplication_rate;
+  Aggregate control_records;
+  Aggregate bundle_transmissions;
+};
+
+[[nodiscard]] LoadPoint aggregate_runs(std::span<const RunSummary> runs);
+
+}  // namespace epi::metrics

@@ -1,0 +1,56 @@
+// A contact: an interval during which two nodes can exchange bundles.
+#pragma once
+
+#include <algorithm>
+
+#include "core/types.hpp"
+
+namespace epi::mobility {
+
+/// One pairwise encounter. Invariants: a != b, 0 <= start < end. The node
+/// pair is stored in normalized order (a < b) so traces compare cleanly.
+struct Contact {
+  NodeId a = 0;
+  NodeId b = 1;
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+
+  [[nodiscard]] SimTime duration() const noexcept { return end - start; }
+
+  /// Number of bundle-transfer slots this contact affords given the paper's
+  /// fixed per-bundle transmission time (100 s): floor(duration / slot).
+  [[nodiscard]] std::uint32_t slots(SimTime slot_seconds) const noexcept {
+    if (slot_seconds <= 0.0 || duration() < slot_seconds) return 0;
+    return static_cast<std::uint32_t>(duration() / slot_seconds);
+  }
+
+  [[nodiscard]] bool involves(NodeId n) const noexcept {
+    return a == n || b == n;
+  }
+
+  [[nodiscard]] NodeId peer_of(NodeId n) const noexcept {
+    return n == a ? b : a;
+  }
+
+  /// Returns a copy with (a, b) swapped into ascending order.
+  [[nodiscard]] Contact normalized() const noexcept {
+    Contact c = *this;
+    if (c.a > c.b) std::swap(c.a, c.b);
+    return c;
+  }
+
+  friend bool operator==(const Contact&, const Contact&) = default;
+};
+
+/// Strict weak order by (start, end, a, b); the processing order of the
+/// simulator.
+struct ContactBefore {
+  bool operator()(const Contact& x, const Contact& y) const noexcept {
+    if (x.start != y.start) return x.start < y.start;
+    if (x.end != y.end) return x.end < y.end;
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  }
+};
+
+}  // namespace epi::mobility

@@ -1,0 +1,119 @@
+#include "mobility/contact_trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "core/error.hpp"
+
+namespace epi::mobility {
+
+ContactTrace::ContactTrace(std::vector<Contact> contacts)
+    : contacts_(std::move(contacts)) {
+  for (auto& c : contacts_) {
+    if (c.a == c.b) {
+      throw TraceError("contact joins a node to itself (node " +
+                       std::to_string(c.a) + ")");
+    }
+    if (c.start < 0.0 || c.end <= c.start) {
+      throw TraceError("contact has a non-positive duration or negative time");
+    }
+    c = c.normalized();
+    node_count_ = std::max(node_count_, std::max(c.a, c.b) + 1);
+  }
+  std::sort(contacts_.begin(), contacts_.end(), ContactBefore{});
+}
+
+SimTime ContactTrace::end_time() const noexcept {
+  SimTime end = 0.0;
+  for (const auto& c : contacts_) end = std::max(end, c.end);
+  return end;
+}
+
+namespace {
+
+/// q-quantile of a scratch vector (nearest-rank; mutates its argument).
+double quantile(std::vector<double>& values, double q) {
+  if (values.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(values.size() - 1) + 0.5);
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(rank),
+                   values.end());
+  return values[rank];
+}
+
+}  // namespace
+
+TraceStats ContactTrace::stats() const {
+  TraceStats s;
+  s.contact_count = contacts_.size();
+  s.node_count = node_count_;
+  if (contacts_.empty()) return s;
+
+  s.first_start = contacts_.front().start;
+  double duration_sum = 0.0;
+  std::vector<double> durations;
+  durations.reserve(contacts_.size());
+  for (const auto& c : contacts_) {
+    duration_sum += c.duration();
+    durations.push_back(c.duration());
+    s.last_end = std::max(s.last_end, c.end);
+    s.total_slots += c.slots(defaults::kSlotSeconds);
+  }
+  s.mean_duration = duration_sum / static_cast<double>(contacts_.size());
+  s.median_duration = quantile(durations, 0.5);
+  s.p90_duration = quantile(durations, 0.9);
+
+  // Per-node inter-contact gaps (between successive contact starts).
+  std::map<NodeId, SimTime> last_start;
+  double gap_sum = 0.0;
+  std::vector<double> gaps;
+  std::size_t gap_count = 0;
+  std::map<NodeId, std::size_t> per_node_contacts;
+  for (const auto& c : contacts_) {
+    for (NodeId n : {c.a, c.b}) {
+      ++per_node_contacts[n];
+      if (auto it = last_start.find(n); it != last_start.end()) {
+        const double gap = c.start - it->second;
+        gap_sum += gap;
+        gaps.push_back(gap);
+        s.max_inter_contact = std::max(s.max_inter_contact, gap);
+        ++gap_count;
+      }
+      last_start[n] = c.start;
+    }
+  }
+  if (gap_count > 0) {
+    s.mean_inter_contact = gap_sum / static_cast<double>(gap_count);
+    s.median_inter_contact = quantile(gaps, 0.5);
+    s.p90_inter_contact = quantile(gaps, 0.9);
+  }
+  if (!per_node_contacts.empty()) {
+    double total = 0.0;
+    for (const auto& [node, count] : per_node_contacts) {
+      total += static_cast<double>(count);
+    }
+    s.mean_contacts_per_node =
+        total / static_cast<double>(per_node_contacts.size());
+  }
+  return s;
+}
+
+std::vector<Contact> ContactTrace::contacts_of(NodeId n) const {
+  std::vector<Contact> out;
+  for (const auto& c : contacts_) {
+    if (c.involves(n)) out.push_back(c);
+  }
+  return out;
+}
+
+ContactTrace ContactTrace::truncated(SimTime cutoff) const {
+  std::vector<Contact> kept;
+  for (const auto& c : contacts_) {
+    if (c.start < cutoff) kept.push_back(c);
+  }
+  return ContactTrace(std::move(kept));
+}
+
+}  // namespace epi::mobility

@@ -1,0 +1,77 @@
+// ContactTrace: an ordered collection of contacts plus summary statistics.
+//
+// This is the single input the routing layer sees; whether the contacts came
+// from a CRAWDAD trace file, the synthetic Haggle twin, the subscriber-point
+// RWP model or a hand-written test fixture is invisible to the protocols —
+// which is exactly the "unified framework" the paper argues for.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mobility/contact.hpp"
+
+namespace epi::mobility {
+
+/// Aggregate statistics of a trace, used by tests, reports and the dynamic
+/// TTL analysis (paper SV-B1 relates delivery ratio to encounter intervals).
+struct TraceStats {
+  std::size_t contact_count = 0;
+  std::uint32_t node_count = 0;     ///< max node id + 1
+  SimTime first_start = 0.0;
+  SimTime last_end = 0.0;
+  double mean_duration = 0.0;
+  double median_duration = 0.0;
+  double p90_duration = 0.0;
+  double mean_inter_contact = 0.0;  ///< mean gap between a node's successive
+                                    ///< contact starts, averaged over nodes
+  double median_inter_contact = 0.0;
+  double p90_inter_contact = 0.0;
+  double max_inter_contact = 0.0;
+  double mean_contacts_per_node = 0.0;
+  /// Total 100 s bundle slots the trace affords (sum of floor(duration/100)).
+  std::uint64_t total_slots = 0;
+};
+
+class ContactTrace {
+ public:
+  ContactTrace() = default;
+
+  /// Takes ownership of `contacts`; normalizes pairs, sorts by start time and
+  /// validates invariants (throws TraceError on a != b or start >= end
+  /// violations, or negative times).
+  explicit ContactTrace(std::vector<Contact> contacts);
+
+  [[nodiscard]] std::span<const Contact> contacts() const noexcept {
+    return contacts_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return contacts_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return contacts_.empty(); }
+  [[nodiscard]] const Contact& operator[](std::size_t i) const {
+    return contacts_[i];
+  }
+
+  /// Largest node id appearing in the trace plus one (0 for empty traces).
+  [[nodiscard]] std::uint32_t node_count() const noexcept {
+    return node_count_;
+  }
+
+  /// End time of the last contact (0 for empty traces).
+  [[nodiscard]] SimTime end_time() const noexcept;
+
+  /// Computes summary statistics in one pass.
+  [[nodiscard]] TraceStats stats() const;
+
+  /// All contacts involving node `n`, in time order.
+  [[nodiscard]] std::vector<Contact> contacts_of(NodeId n) const;
+
+  /// Restriction of the trace to contacts that *start* before `cutoff`.
+  [[nodiscard]] ContactTrace truncated(SimTime cutoff) const;
+
+ private:
+  std::vector<Contact> contacts_;
+  std::uint32_t node_count_ = 0;
+};
+
+}  // namespace epi::mobility

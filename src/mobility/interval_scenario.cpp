@@ -1,0 +1,70 @@
+#include "mobility/interval_scenario.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace epi::mobility {
+
+void IntervalScenarioParams::validate() const {
+  if (node_count < 2) throw ConfigError("interval: need at least two nodes");
+  if (encounters_per_node == 0)
+    throw ConfigError("interval: encounters_per_node must be >= 1");
+  if (min_interval <= 0.0 || max_interval < min_interval)
+    throw ConfigError("interval: need 0 < min_interval <= max_interval");
+  if (min_duration <= 0.0 || max_duration < min_duration)
+    throw ConfigError("interval: need 0 < min_duration <= max_duration");
+}
+
+ContactTrace generate_interval_scenario(const IntervalScenarioParams& params,
+                                        std::uint64_t seed) {
+  params.validate();
+  Rng rng = Rng::derive(seed, 0x496e7456ULL /*'IntV'*/, params.node_count,
+                        static_cast<std::uint64_t>(params.max_interval));
+
+  const std::uint32_t n = params.node_count;
+  std::vector<SimTime> last_start(n, 0.0);  // node's previous encounter start
+  std::vector<SimTime> busy_until(n, 0.0);  // node's previous encounter end
+  std::vector<std::uint32_t> budget(n, params.encounters_per_node);
+
+  std::vector<Contact> contacts;
+  // Repeatedly schedule an encounter for the node whose previous encounter
+  // started earliest (and that still has budget), pairing it with a random
+  // eligible peer. The controlled quantity is the gap between a node's
+  // successive encounter *starts*, drawn uniformly from
+  // [min_interval, max_interval]; the start is pushed later only if a
+  // participant is still mid-encounter.
+  for (;;) {
+    NodeId best = kInvalidNode;
+    for (NodeId i = 0; i < n; ++i) {
+      if (budget[i] == 0) continue;
+      if (best == kInvalidNode || last_start[i] < last_start[best]) best = i;
+    }
+    if (best == kInvalidNode) break;
+
+    std::vector<NodeId> peers;
+    peers.reserve(n);
+    for (NodeId i = 0; i < n; ++i) {
+      if (i != best && budget[i] > 0) peers.push_back(i);
+    }
+    if (peers.empty()) break;  // only one node has budget left
+    const NodeId peer = peers[rng.below(peers.size())];
+
+    const SimTime gap = rng.uniform(params.min_interval, params.max_interval);
+    const SimTime start =
+        std::max({last_start[best] + gap, busy_until[best], busy_until[peer]});
+    const SimTime duration =
+        rng.uniform(params.min_duration, params.max_duration);
+    contacts.push_back(Contact{best, peer, start, start + duration});
+
+    last_start[best] = last_start[peer] = start;
+    busy_until[best] = busy_until[peer] = start + duration;
+    --budget[best];
+    --budget[peer];
+  }
+  return ContactTrace(std::move(contacts));
+}
+
+}  // namespace epi::mobility

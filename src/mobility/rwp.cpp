@@ -1,0 +1,112 @@
+#include "mobility/rwp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace epi::mobility {
+namespace {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double distance(Point p, Point q) noexcept {
+  const double dx = p.x - q.x;
+  const double dy = p.y - q.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// One stay of one node at one subscriber point.
+struct Visit {
+  NodeId node;
+  std::uint32_t point;
+  SimTime arrive;
+  SimTime depart;
+};
+
+}  // namespace
+
+void RwpParams::validate() const {
+  if (node_count < 2) throw ConfigError("rwp: need at least two nodes");
+  if (horizon <= 0.0) throw ConfigError("rwp: horizon must be positive");
+  if (subscriber_points < 2 || subscriber_points >= 100)
+    throw ConfigError("rwp: subscriber_points must lie in [2, 99]");
+  if (area_side_m <= 0.0) throw ConfigError("rwp: area must be positive");
+  if (max_pause_s <= 0.0) throw ConfigError("rwp: max_pause must be positive");
+  if (min_speed_mps <= 0.0 || max_speed_mps <= min_speed_mps)
+    throw ConfigError("rwp: need 0 < min_speed < max_speed");
+  if (max_contact_s <= 0.0 || min_contact_s < 0.0 ||
+      min_contact_s > max_contact_s)
+    throw ConfigError("rwp: invalid contact duration bounds");
+}
+
+ContactTrace generate_rwp(const RwpParams& params, std::uint64_t seed) {
+  params.validate();
+
+  // Subscriber points placed uniformly in the area; shared by all nodes.
+  Rng layout_rng = Rng::derive(seed, 0x527770ULL /*'Rwp'*/, 0xA11);
+  std::vector<Point> points(params.subscriber_points);
+  for (auto& p : points) {
+    p.x = layout_rng.uniform(0.0, params.area_side_m);
+    p.y = layout_rng.uniform(0.0, params.area_side_m);
+  }
+
+  // Each node's itinerary: pause at a point, travel to another, repeat.
+  std::vector<Visit> visits;
+  for (NodeId n = 0; n < params.node_count; ++n) {
+    Rng rng = Rng::derive(seed, 0x527770ULL, 0xB0D1E5, n);
+    auto current =
+        static_cast<std::uint32_t>(rng.below(params.subscriber_points));
+    SimTime t = rng.uniform(0.0, params.max_pause_s);  // staggered start
+    while (t < params.horizon) {
+      const SimTime pause = rng.uniform(1.0, params.max_pause_s);
+      const SimTime depart = std::min(t + pause, params.horizon);
+      visits.push_back(Visit{n, current, t, depart});
+      if (depart >= params.horizon) break;
+
+      // Travel to a different random point; speed drawn per leg so derived
+      // speeds stay inside (min_speed, max_speed].
+      std::uint32_t next = current;
+      while (next == current) {
+        next = static_cast<std::uint32_t>(rng.below(params.subscriber_points));
+      }
+      const double dist = distance(points[current], points[next]);
+      const double speed =
+          rng.uniform(params.min_speed_mps, params.max_speed_mps);
+      t = depart + dist / speed;
+      current = next;
+    }
+  }
+
+  // Contacts = pairwise co-presence intervals at the same point.
+  // Sort visits by (point, arrive) and sweep within each point group.
+  std::sort(visits.begin(), visits.end(), [](const Visit& u, const Visit& v) {
+    if (u.point != v.point) return u.point < v.point;
+    if (u.arrive != v.arrive) return u.arrive < v.arrive;
+    return u.node < v.node;
+  });
+
+  std::vector<Contact> contacts;
+  for (std::size_t i = 0; i < visits.size(); ++i) {
+    for (std::size_t j = i + 1; j < visits.size(); ++j) {
+      const Visit& u = visits[i];
+      const Visit& v = visits[j];
+      if (v.point != u.point || v.arrive >= u.depart) break;
+      if (v.node == u.node) continue;
+      const SimTime start = std::max(u.arrive, v.arrive);
+      const SimTime end =
+          std::min({u.depart, v.depart, start + params.max_contact_s});
+      if (end - start >= params.min_contact_s) {
+        contacts.push_back(Contact{u.node, v.node, start, end});
+      }
+    }
+  }
+  return ContactTrace(std::move(contacts));
+}
+
+}  // namespace epi::mobility

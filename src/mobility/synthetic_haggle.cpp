@@ -1,0 +1,113 @@
+#include "mobility/synthetic_haggle.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace epi::mobility {
+
+void SyntheticHaggleParams::validate() const {
+  if (node_count < 2) throw ConfigError("haggle: need at least two nodes");
+  if (horizon <= 0.0) throw ConfigError("haggle: horizon must be positive");
+  if (median_gathering_gap <= 0.0 || median_pair_gap <= 0.0)
+    throw ConfigError("haggle: gap medians must be positive");
+  if (gathering_gap_sigma < 0.0 || pair_gap_sigma < 0.0 ||
+      dwell_sigma < 0.0 || duration_sigma < 0.0)
+    throw ConfigError("haggle: sigmas must be non-negative");
+  if (min_attendees < 2 || max_attendees < min_attendees ||
+      max_attendees > node_count)
+    throw ConfigError("haggle: need 2 <= min_attendees <= max_attendees <= "
+                      "node_count");
+  if (arrival_jitter < 0.0) throw ConfigError("haggle: negative jitter");
+  if (median_dwell <= 0.0 || median_duration <= 0.0 || min_contact <= 0.0)
+    throw ConfigError("haggle: durations must be positive");
+}
+
+ContactTrace generate_synthetic_haggle(const SyntheticHaggleParams& params,
+                                       std::uint64_t seed) {
+  params.validate();
+  std::vector<Contact> contacts;
+
+  // --- gatherings: several students co-located for a while -------------------
+  {
+    Rng rng = Rng::derive(seed, 0x4861676cULL /*'Hagl'*/, 0x6A7468 /*'gth'*/);
+    SimTime t = rng.lognormal_median(params.median_gathering_gap,
+                                     params.gathering_gap_sigma);
+    std::vector<NodeId> ids(params.node_count);
+    for (NodeId n = 0; n < params.node_count; ++n) ids[n] = n;
+
+    while (t < params.horizon) {
+      const auto span =
+          static_cast<std::uint64_t>(params.max_attendees -
+                                     params.min_attendees + 1);
+      const auto attendees = params.min_attendees +
+                             static_cast<std::uint32_t>(rng.below(span));
+      // Partial Fisher-Yates: the first `attendees` entries become a
+      // uniform random subset.
+      for (std::uint32_t i = 0; i < attendees; ++i) {
+        const auto j =
+            i + static_cast<std::uint32_t>(
+                    rng.below(params.node_count - i));
+        std::swap(ids[i], ids[j]);
+      }
+
+      struct Stay {
+        NodeId node;
+        SimTime arrive;
+        SimTime depart;
+      };
+      std::vector<Stay> stays;
+      stays.reserve(attendees);
+      for (std::uint32_t i = 0; i < attendees; ++i) {
+        const SimTime arrive = t + rng.uniform(0.0, params.arrival_jitter);
+        const SimTime depart =
+            arrive +
+            rng.lognormal_median(params.median_dwell, params.dwell_sigma);
+        stays.push_back(Stay{ids[i], arrive, depart});
+      }
+
+      // Contacts = pairwise co-presence at the gathering.
+      for (std::size_t i = 0; i < stays.size(); ++i) {
+        for (std::size_t j = i + 1; j < stays.size(); ++j) {
+          const SimTime start = std::max(stays[i].arrive, stays[j].arrive);
+          const SimTime end = std::min(
+              {stays[i].depart, stays[j].depart, params.horizon});
+          if (end - start >= params.min_contact) {
+            contacts.push_back(
+                Contact{stays[i].node, stays[j].node, start, end});
+          }
+        }
+      }
+
+      t += rng.lognormal_median(params.median_gathering_gap,
+                                params.gathering_gap_sigma);
+    }
+  }
+
+  // --- background: sparse isolated pair encounters ---------------------------
+  for (NodeId a = 0; a < params.node_count; ++a) {
+    for (NodeId b = a + 1; b < params.node_count; ++b) {
+      // Independent stream per pair: adding a node never perturbs the
+      // contacts of existing pairs.
+      Rng rng = Rng::derive(seed, 0x4861676cULL, a, b);
+      SimTime t =
+          rng.lognormal_median(params.median_pair_gap, params.pair_gap_sigma);
+      while (t < params.horizon) {
+        const double duration = rng.lognormal_median(params.median_duration,
+                                                     params.duration_sigma);
+        const SimTime end = std::min(t + duration, params.horizon);
+        if (end - t >= params.min_contact) {
+          contacts.push_back(Contact{a, b, t, end});
+        }
+        t = end + rng.lognormal_median(params.median_pair_gap,
+                                       params.pair_gap_sigma);
+      }
+    }
+  }
+
+  return ContactTrace(std::move(contacts));
+}
+
+}  // namespace epi::mobility

@@ -1,0 +1,78 @@
+#include "mobility/trace_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace epi::mobility {
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& why) {
+  throw TraceError("trace line " + std::to_string(line_no) + ": " + why);
+}
+
+}  // namespace
+
+ContactTrace read_trace(std::istream& in) {
+  std::vector<Contact> contacts;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip trailing comment, then skip blank lines.
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream fields(line);
+    long long a = 0;
+    long long b = 0;
+    double start = 0.0;
+    double end = 0.0;
+    if (!(fields >> a)) continue;  // blank or comment-only line
+    if (!(fields >> b >> start >> end)) {
+      fail(line_no, "expected '<a> <b> <start> <end>'");
+    }
+    std::string extra;
+    if (fields >> extra) fail(line_no, "unexpected trailing field: " + extra);
+    if (a < 0 || b < 0) fail(line_no, "negative node id");
+    if (a == b) fail(line_no, "contact joins a node to itself");
+    if (start < 0.0) fail(line_no, "negative start time");
+    if (end <= start) fail(line_no, "end must be after start");
+    contacts.push_back(Contact{static_cast<NodeId>(a), static_cast<NodeId>(b),
+                               start, end});
+  }
+  return ContactTrace(std::move(contacts));
+}
+
+ContactTrace read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw TraceError("cannot open trace file: " + path);
+  return read_trace(in);
+}
+
+void write_trace(std::ostream& out, const ContactTrace& trace,
+                 std::string_view comment) {
+  out << "# contact trace: <node_a> <node_b> <start_s> <end_s>\n";
+  if (!comment.empty()) out << "# " << comment << "\n";
+  out << "# contacts=" << trace.size() << " nodes=" << trace.node_count()
+      << "\n";
+  // Round-trip exactness: shortest representation that restores the double.
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (const auto& c : trace.contacts()) {
+    out << c.a << ' ' << c.b << ' ' << c.start << ' ' << c.end << '\n';
+  }
+}
+
+void write_trace_file(const std::string& path, const ContactTrace& trace,
+                      std::string_view comment) {
+  std::ofstream out(path);
+  if (!out) throw TraceError("cannot open trace file for writing: " + path);
+  write_trace(out, trace, comment);
+}
+
+}  // namespace epi::mobility

@@ -1,0 +1,36 @@
+// Reading and writing contact traces in a CRAWDAD-iMote-style text format.
+//
+// Format (one contact per line, '#' comments and blank lines ignored):
+//
+//     <node_a> <node_b> <start_seconds> <end_seconds>
+//
+// This matches the information content of the Cambridge Haggle iMote
+// encounter logs the paper uses (device id, peer id, begin time, duration):
+// if the real CRAWDAD trace is available it can be converted to this format
+// with a one-line awk script and dropped in unchanged.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mobility/contact_trace.hpp"
+
+namespace epi::mobility {
+
+/// Parses a trace from a stream. Throws TraceError with a line number on any
+/// malformed line.
+[[nodiscard]] ContactTrace read_trace(std::istream& in);
+
+/// Parses a trace from a file. Throws TraceError if the file cannot be
+/// opened.
+[[nodiscard]] ContactTrace read_trace_file(const std::string& path);
+
+/// Writes a trace (with a descriptive header comment) to a stream.
+void write_trace(std::ostream& out, const ContactTrace& trace,
+                 std::string_view comment = {});
+
+/// Writes a trace to a file. Throws TraceError if the file cannot be opened.
+void write_trace_file(const std::string& path, const ContactTrace& trace,
+                      std::string_view comment = {});
+
+}  // namespace epi::mobility

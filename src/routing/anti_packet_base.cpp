@@ -1,0 +1,76 @@
+#include "routing/anti_packet_base.hpp"
+
+#include <vector>
+
+#include "routing/engine.hpp"
+
+namespace epi::routing {
+
+AntiPacketBase::AntiPacketBase(PurgePolicy policy,
+                               std::uint32_t records_per_contact)
+    : policy_(policy), records_per_contact_(records_per_contact) {}
+
+void AntiPacketBase::on_contact_start(Engine& engine, SessionId,
+                                      dtn::DtnNode& a, dtn::DtnNode& b,
+                                      SimTime now) {
+  // Immunity tables are unit messages pushed wholesale at each encounter
+  // ("the destination transmits an immunity table for each node that it
+  //  meets"; relays do the same): the signaling cost of the contact is the
+  // size of both i-lists. The peer absorbs at most records_per_contact_ new
+  // records per direction — N tables must be received to delete N bundles,
+  // which is the slow, load-proportional dissemination the cumulative
+  // enhancement eliminates.
+  engine.count_control_records(a.ilist().size() + b.ilist().size());
+  const std::size_t to_a =
+      a.ilist().merge_limited(b.ilist(), records_per_contact_);
+  const std::size_t to_b =
+      b.ilist().merge_limited(a.ilist(), records_per_contact_);
+
+  if (to_a > 0) apply_records(engine, a, now);
+  if (to_b > 0) apply_records(engine, b, now);
+}
+
+void AntiPacketBase::on_delivered(Engine& engine, dtn::DtnNode& sender,
+                                  dtn::DtnNode& destination, BundleId id,
+                                  SimTime now) {
+  destination.ilist().add(id);
+  // The deliverer learns immediately (it is mid-contact with the
+  // destination): one anti-packet crosses back.
+  if (sender.ilist().add(id)) {
+    engine.count_control_records(1);
+    apply_records(engine, sender, now);
+  }
+}
+
+bool AntiPacketBase::make_room(Engine& engine, dtn::DtnNode& receiver,
+                               BundleId, SimTime now) {
+  if (!receiver.buffer().full()) return true;
+  if (policy_ == PurgePolicy::kEager) return false;  // nothing lazy to reuse
+
+  // Lazy overwrite: sacrifice the oldest vaccinated copy.
+  const dtn::StoredBundle* victim = nullptr;
+  for (const auto& entry : receiver.buffer().entries()) {
+    if (receiver.ilist().immune(entry.id)) {
+      victim = &entry;
+      break;  // entries are in FIFO order
+    }
+  }
+  if (victim == nullptr) return false;
+  engine.purge(receiver, victim->id, dtn::RemoveReason::kImmunized, now);
+  // A purge at the source refills the buffer; report honestly.
+  return !receiver.buffer().full();
+}
+
+void AntiPacketBase::apply_records(Engine& engine, dtn::DtnNode& node,
+                                   SimTime now) {
+  if (policy_ != PurgePolicy::kEager) return;
+  std::vector<BundleId> doomed;
+  for (const auto& entry : node.buffer().entries()) {
+    if (node.ilist().immune(entry.id)) doomed.push_back(entry.id);
+  }
+  for (const BundleId id : doomed) {
+    engine.purge(node, id, dtn::RemoveReason::kImmunized, now);
+  }
+}
+
+}  // namespace epi::routing

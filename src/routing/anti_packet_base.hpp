@@ -1,0 +1,61 @@
+// Shared anti-packet / immunity-table machinery (paper SII-B, Fig. 3).
+//
+// Both P-Q epidemic and epidemic-with-immunity pair every bundle with an
+// "anti-packet" ("infection and vaccination"): the destination records each
+// received bundle; the records spread between nodes at contact start; a node
+// holding a record never transmits or re-accepts the matching bundle.
+//
+// Immunity tables are unit-sized messages, so their dissemination is slow
+// and proportional to the load ("nodes need to receive N immunity tables in
+// order to delete N bundles ... the number of immunity tables transmitted is
+// proportional to the load"): per contact each direction carries at most
+// `records_per_contact` records.
+//
+// The two protocols differ in what a record does to the buffer:
+//   * eager (immunity): the copy is purged the moment the record arrives —
+//     buffers drain, occupancy is ~10% below P-Q (paper Figs. 11/12);
+//   * lazy (P-Q): the copy stays ("the protocol does not have any mechanism
+//     to purge these bundles") but is dead weight: it is never transmitted
+//     again and is the first thing overwritten when the buffer is full and a
+//     new bundle (including a fresh injection at the source) needs a slot.
+#pragma once
+
+#include <cstdint>
+
+#include "routing/protocol.hpp"
+
+namespace epi::routing {
+
+class AntiPacketBase : public Protocol {
+ public:
+  enum class PurgePolicy { kEager, kLazy };
+
+  AntiPacketBase(PurgePolicy policy, std::uint32_t records_per_contact);
+
+  /// Exchanges up to `records_per_contact` i-list records per direction
+  /// (lowest ids first); under the eager policy newly learned records purge
+  /// the matching copies.
+  void on_contact_start(Engine& engine, SessionId session, dtn::DtnNode& a,
+                        dtn::DtnNode& b, SimTime now) override;
+
+  /// The destination appends the bundle to its i-list and hands the fresh
+  /// anti-packet straight back to the deliverer (they are mid-contact).
+  void on_delivered(Engine& engine, dtn::DtnNode& sender,
+                    dtn::DtnNode& destination, BundleId id,
+                    SimTime now) override;
+
+  /// Lazy policy only: a full buffer overwrites a vaccinated copy (lowest
+  /// id first) to admit the incoming bundle.
+  bool make_room(Engine& engine, dtn::DtnNode& receiver, BundleId incoming,
+                 SimTime now) override;
+
+ protected:
+  /// Applies this protocol's purge policy after `node` learned new records.
+  void apply_records(Engine& engine, dtn::DtnNode& node, SimTime now);
+
+ private:
+  PurgePolicy policy_;
+  std::uint32_t records_per_contact_;
+};
+
+}  // namespace epi::routing

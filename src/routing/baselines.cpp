@@ -1,0 +1,78 @@
+#include "routing/baselines.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "routing/engine.hpp"
+
+namespace epi::routing {
+namespace {
+
+/// Purges every copy of `holder` that `peer` has already consumed as a
+/// destination (learned from the peer's summary vector at contact start).
+void drop_copies_consumed_by_peer(Engine& engine, dtn::DtnNode& holder,
+                                  const dtn::DtnNode& peer, SimTime now) {
+  std::vector<BundleId> doomed;
+  for (const auto& entry : holder.buffer().entries()) {
+    if (peer.has_delivered(entry.id)) doomed.push_back(entry.id);
+  }
+  for (const BundleId id : doomed) {
+    engine.purge(holder, id, dtn::RemoveReason::kConsumed, now);
+  }
+}
+
+}  // namespace
+
+bool DirectDelivery::may_offer(Engine& engine, SessionId,
+                               const dtn::DtnNode&,
+                               const dtn::DtnNode& receiver,
+                               const dtn::StoredBundle& copy, bool) {
+  return receiver.id() == engine.bundle(copy.id).destination;
+}
+
+void DirectDelivery::on_delivered(Engine& engine, dtn::DtnNode& sender,
+                                  dtn::DtnNode&, BundleId id, SimTime now) {
+  engine.purge(sender, id, dtn::RemoveReason::kConsumed, now);
+}
+
+SprayAndWait::SprayAndWait(std::uint32_t copy_quota)
+    : copy_quota_(copy_quota) {
+  assert(copy_quota_ >= 1);
+}
+
+void SprayAndWait::on_injected(Engine&, dtn::DtnNode&,
+                               dtn::StoredBundle& copy, SimTime) {
+  copy.tokens = copy_quota_;
+}
+
+void SprayAndWait::on_contact_start(Engine& engine, SessionId,
+                                    dtn::DtnNode& a, dtn::DtnNode& b,
+                                    SimTime now) {
+  drop_copies_consumed_by_peer(engine, a, b, now);
+  drop_copies_consumed_by_peer(engine, b, a, now);
+}
+
+bool SprayAndWait::may_offer(Engine& engine, SessionId, const dtn::DtnNode&,
+                             const dtn::DtnNode& receiver,
+                             const dtn::StoredBundle& copy, bool) {
+  if (receiver.id() == engine.bundle(copy.id).destination) return true;
+  return copy.tokens > 1;  // spray phase only
+}
+
+void SprayAndWait::after_transfer(Engine&, dtn::DtnNode&, dtn::DtnNode&,
+                                  dtn::StoredBundle& sender_copy,
+                                  dtn::StoredBundle& receiver_copy,
+                                  SimTime) {
+  // Binary spray: hand over half the remaining quota.
+  assert(sender_copy.tokens > 1 && "wait-phase copy was sprayed");
+  const std::uint32_t given = sender_copy.tokens / 2;
+  receiver_copy.tokens = given;
+  sender_copy.tokens -= given;
+}
+
+void SprayAndWait::on_delivered(Engine& engine, dtn::DtnNode& sender,
+                                dtn::DtnNode&, BundleId id, SimTime now) {
+  engine.purge(sender, id, dtn::RemoveReason::kConsumed, now);
+}
+
+}  // namespace epi::routing

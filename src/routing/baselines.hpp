@@ -1,0 +1,83 @@
+// Non-epidemic baselines used to situate the epidemic family's trade-offs
+// (the paper's SI taxonomy: epidemic vs data-ferry vs statistical routing).
+//
+// Direct delivery — the zero-overhead extreme: the source keeps its bundles
+// until it meets the destination itself. One transmission per bundle, no
+// relay storage, but delay equals the source-destination meeting time and
+// delivery fails whenever they never meet.
+//
+// Spray and wait (Spyropoulos et al., binary variant) — the classic bounded
+// -replication compromise: each bundle starts with a copy quota L; at every
+// hand-over the sender gives half of its remaining quota to the receiver;
+// a copy whose quota has shrunk to 1 is in the "wait" phase and is only
+// handed to the destination itself.
+#pragma once
+
+#include <cstdint>
+
+#include "routing/protocol.hpp"
+
+namespace epi::routing {
+
+class DirectDelivery final : public Protocol {
+ public:
+  [[nodiscard]] ProtocolKind kind() const noexcept override {
+    return ProtocolKind::kDirectDelivery;
+  }
+
+  [[nodiscard]] bool may_offer(Engine& engine, SessionId session,
+                               const dtn::DtnNode& sender,
+                               const dtn::DtnNode& receiver,
+                               const dtn::StoredBundle& copy,
+                               bool sender_is_source) override;
+
+  /// Handing the bundle to its destination is an implicit ACK: the sender
+  /// drops its copy (unlike the TTL/EC epidemic variants, which per the
+  /// paper keep duplicates until their own policy removes them).
+  void on_delivered(Engine& engine, dtn::DtnNode& sender,
+                    dtn::DtnNode& destination, BundleId id,
+                    SimTime now) override;
+};
+
+class SprayAndWait final : public Protocol {
+ public:
+  explicit SprayAndWait(std::uint32_t copy_quota);
+
+  [[nodiscard]] ProtocolKind kind() const noexcept override {
+    return ProtocolKind::kSprayAndWait;
+  }
+
+  /// Fresh source copies carry the full quota.
+  void on_injected(Engine& engine, dtn::DtnNode& source,
+                   dtn::StoredBundle& copy, SimTime now) override;
+
+  /// Anti-entropy learning: meeting the destination reveals (via its
+  /// summary vector) which bundles it already consumed; carriers drop those
+  /// copies. Without this, a wait-phase copy of a bundle some other relay
+  /// delivered would squat in its holder's buffer forever.
+  void on_contact_start(Engine& engine, SessionId session, dtn::DtnNode& a,
+                        dtn::DtnNode& b, SimTime now) override;
+
+  /// Spray phase requires quota > 1; the wait phase only delivers directly.
+  [[nodiscard]] bool may_offer(Engine& engine, SessionId session,
+                               const dtn::DtnNode& sender,
+                               const dtn::DtnNode& receiver,
+                               const dtn::StoredBundle& copy,
+                               bool sender_is_source) override;
+
+  /// Binary split: the receiver takes floor(quota / 2).
+  void after_transfer(Engine& engine, dtn::DtnNode& sender,
+                      dtn::DtnNode& receiver, dtn::StoredBundle& sender_copy,
+                      dtn::StoredBundle& receiver_copy,
+                      SimTime now) override;
+
+  /// Implicit ACK on delivery, as in DirectDelivery.
+  void on_delivered(Engine& engine, dtn::DtnNode& sender,
+                    dtn::DtnNode& destination, BundleId id,
+                    SimTime now) override;
+
+ private:
+  std::uint32_t copy_quota_;
+};
+
+}  // namespace epi::routing

@@ -1,0 +1,51 @@
+#include "routing/cumulative_immunity.hpp"
+
+#include <vector>
+
+#include "routing/engine.hpp"
+
+namespace epi::routing {
+
+void CumulativeImmunityEpidemic::on_contact_start(Engine& engine, SessionId,
+                                                  dtn::DtnNode& a,
+                                                  dtn::DtnNode& b,
+                                                  SimTime now) {
+  // Each side pushes its (single) cumulative table — one unit message per
+  // direction, independent of the load; compare with the i-list-sized push
+  // of per-bundle immunity.
+  const BundleId ha = a.cumulative().horizon();
+  const BundleId hb = b.cumulative().horizon();
+  engine.count_control_records((ha > 0 ? 1u : 0u) + (hb > 0 ? 1u : 0u));
+  if (ha > hb) {
+    offer_table(engine, b, ha, now);
+  } else if (hb > ha) {
+    offer_table(engine, a, hb, now);
+  }
+}
+
+void CumulativeImmunityEpidemic::on_delivered(Engine& engine,
+                                              dtn::DtnNode& sender,
+                                              dtn::DtnNode& destination,
+                                              BundleId, SimTime now) {
+  // mark_delivered (already done by the engine) advanced the destination's
+  // delivered prefix; fold it into the table it advertises.
+  destination.cumulative().adopt(destination.delivered_prefix());
+  engine.count_control_records(1);  // the table pushed back to the deliverer
+  offer_table(engine, sender, destination.cumulative().horizon(), now);
+}
+
+void CumulativeImmunityEpidemic::offer_table(Engine& engine,
+                                             dtn::DtnNode& node,
+                                             BundleId table, SimTime now) {
+  if (!node.cumulative().adopt(table)) return;
+
+  std::vector<BundleId> doomed;
+  for (const auto& entry : node.buffer().entries()) {
+    if (node.cumulative().immune(entry.id)) doomed.push_back(entry.id);
+  }
+  for (const BundleId id : doomed) {
+    engine.purge(node, id, dtn::RemoveReason::kImmunized, now);
+  }
+}
+
+}  // namespace epi::routing

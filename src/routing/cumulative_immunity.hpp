@@ -1,0 +1,41 @@
+// Epidemic with a cumulative immunity table (paper SIII, enhancement 3).
+//
+// Instead of one immunity record per bundle, the destination advertises a
+// single cumulative table <H> meaning "bundles 1..H have all arrived" (ids
+// are injection-sequential). Any node holding a larger table supersedes a
+// smaller one ("the node will delete the immunity table that covers the
+// first 30 bundles"), so exactly one record crosses the air per contact in
+// which the tables differ — an order of magnitude less signaling than
+// per-bundle immunity, while one received table can purge many bundles at
+// once.
+#pragma once
+
+#include "routing/protocol.hpp"
+
+namespace epi::routing {
+
+class CumulativeImmunityEpidemic final : public Protocol {
+ public:
+  [[nodiscard]] ProtocolKind kind() const noexcept override {
+    return ProtocolKind::kCumulativeImmunity;
+  }
+
+  /// The node with the larger table transmits it (one control record); the
+  /// adopter purges every buffered bundle with id <= H.
+  void on_contact_start(Engine& engine, SessionId session, dtn::DtnNode& a,
+                        dtn::DtnNode& b, SimTime now) override;
+
+  /// The destination refreshes its own table from its delivered prefix and
+  /// immediately shares it with the deliverer.
+  void on_delivered(Engine& engine, dtn::DtnNode& sender,
+                    dtn::DtnNode& destination, BundleId id,
+                    SimTime now) override;
+
+ private:
+  /// Hands `table` to `node`; if it supersedes the node's table, counts one
+  /// control record and purges all now-immune bundles.
+  static void offer_table(Engine& engine, dtn::DtnNode& node, BundleId table,
+                          SimTime now);
+};
+
+}  // namespace epi::routing

@@ -1,0 +1,83 @@
+#include "routing/ec_epidemic.hpp"
+
+#include <cassert>
+
+#include "routing/engine.hpp"
+
+namespace epi::routing {
+
+bool EcEpidemic::make_room(Engine& engine, dtn::DtnNode& receiver, BundleId,
+                           SimTime now) {
+  if (!receiver.buffer().full()) return true;
+
+  // Highest EC among evictable copies; FIFO order makes the first maximum
+  // the oldest-stored one.
+  const dtn::StoredBundle* victim = nullptr;
+  for (const auto& entry : receiver.buffer().entries()) {
+    if (!evictable(entry)) continue;
+    if (victim == nullptr || entry.ec > victim->ec) victim = &entry;
+  }
+  if (victim == nullptr) return false;
+
+  engine.purge(receiver, victim->id, dtn::RemoveReason::kEvicted, now);
+  // Purging at the source refills the buffer immediately; only report room
+  // if the eviction actually freed a slot.
+  return !receiver.buffer().full();
+}
+
+void EcEpidemic::after_transfer(Engine& engine, dtn::DtnNode& sender,
+                                dtn::DtnNode& receiver,
+                                dtn::StoredBundle& sender_copy,
+                                dtn::StoredBundle& receiver_copy,
+                                SimTime now) {
+  const BundleId id = sender_copy.id;
+  const std::uint32_t ec = sender_copy.ec;
+  assert(receiver_copy.ec == ec && "engine synchronises EC on transfer");
+  (void)receiver_copy;
+  // The hooks may purge either copy (EC+TTL with a non-positive TTL); the
+  // references must not be touched afterwards, so pass ids.
+  on_ec_changed(engine, sender, id, ec, now);
+  on_ec_changed(engine, receiver, id, ec, now);
+}
+
+void EcEpidemic::on_delivered(Engine& engine, dtn::DtnNode& sender,
+                              dtn::DtnNode&, BundleId id, SimTime now) {
+  const dtn::StoredBundle* copy = sender.buffer().find(id);
+  assert(copy != nullptr);
+  on_ec_changed(engine, sender, id, copy->ec, now);
+}
+
+bool EcEpidemic::evictable(const dtn::StoredBundle& copy) const {
+  // "A high EC means there are many duplicates in the network, and thus can
+  //  be safely overwritten": a never-transmitted copy (EC 0) has NO
+  //  duplicates — overwriting it destroys the bundle outright, so it is
+  //  protected. Only the source ever holds EC-0 copies.
+  return copy.ec > 0;
+}
+
+void EcEpidemic::on_ec_changed(Engine&, dtn::DtnNode&, BundleId,
+                               std::uint32_t, SimTime) {}
+
+EcTtlEpidemic::EcTtlEpidemic(std::uint32_t ec_threshold, SimTime ttl_base,
+                             SimTime ttl_step, std::uint32_t min_evict_ec)
+    : ec_threshold_(ec_threshold),
+      ttl_base_(ttl_base),
+      ttl_step_(ttl_step),
+      min_evict_ec_(min_evict_ec) {
+  assert(ttl_base_ >= 0.0 && ttl_step_ > 0.0);
+}
+
+bool EcTtlEpidemic::evictable(const dtn::StoredBundle& copy) const {
+  return copy.ec >= min_evict_ec_;
+}
+
+void EcTtlEpidemic::on_ec_changed(Engine& engine, dtn::DtnNode& holder,
+                                  BundleId id, std::uint32_t ec, SimTime now) {
+  if (ec <= ec_threshold_) return;
+  const SimTime ttl =
+      ttl_base_ - static_cast<double>(ec - ec_threshold_ - 1) * ttl_step_;
+  // set_expiry purges immediately when the deadline is not in the future.
+  engine.set_expiry(holder, id, now + ttl, now);
+}
+
+}  // namespace epi::routing

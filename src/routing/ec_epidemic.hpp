@@ -1,0 +1,88 @@
+// Epidemic with Encounter Count — plain (Davis et al. 2001) and the EC+TTL
+// enhancement (paper SIII, enhancement 2, Algo 2).
+//
+// Plain EC: every copy carries an encounter count, incremented on each
+// transmission and synchronised between sender and receiver (paper Fig.
+// "EC": after A sends bundle 4 to B, both see EC 4). Nothing is dropped
+// early; when a buffer is full the copy with the highest EC is evicted to
+// admit the incoming bundle ("undelivered bundles have higher priority even
+// though they have a higher EC value" — a bundle new to the node is always
+// admitted). The result the paper criticises: buffers stay near-full and
+// delivery drags.
+//
+// EC+TTL (Algo 2): copies are immortal until their EC exceeds a threshold
+// (8 in the paper); past it they receive TTL = base - (EC - threshold) *
+// step (300 - ... * 100 s), so heavily duplicated bundles age out instead of
+// squatting in buffers.
+#pragma once
+
+#include <cstdint>
+
+#include "routing/protocol.hpp"
+
+namespace epi::routing {
+
+class EcEpidemic : public Protocol {
+ public:
+  EcEpidemic() = default;
+
+  [[nodiscard]] ProtocolKind kind() const noexcept override {
+    return ProtocolKind::kEncounterCount;
+  }
+
+  /// Evicts the evictable copy with the highest EC (oldest first among
+  /// ties) to admit the incoming bundle — a bundle new to the node is
+  /// always admitted, "even though it has a higher EC value".
+  bool make_room(Engine& engine, dtn::DtnNode& receiver, BundleId incoming,
+                 SimTime now) override;
+
+  /// The engine already synchronised EC on both copies; this forwards the
+  /// new value to the EC-threshold hook.
+  void after_transfer(Engine& engine, dtn::DtnNode& sender,
+                      dtn::DtnNode& receiver, dtn::StoredBundle& sender_copy,
+                      dtn::StoredBundle& receiver_copy,
+                      SimTime now) override;
+
+  /// Delivery is a transmission too (engine bumped the sender's EC).
+  void on_delivered(Engine& engine, dtn::DtnNode& sender,
+                    dtn::DtnNode& destination, BundleId id,
+                    SimTime now) override;
+
+ protected:
+  /// Whether the eviction policy may sacrifice this copy. Plain EC: always.
+  [[nodiscard]] virtual bool evictable(const dtn::StoredBundle& copy) const;
+
+  /// Post-EC-change hook for the EC+TTL subclass; plain EC does nothing.
+  virtual void on_ec_changed(Engine& engine, dtn::DtnNode& holder,
+                             BundleId id, std::uint32_t ec, SimTime now);
+};
+
+class EcTtlEpidemic final : public EcEpidemic {
+ public:
+  EcTtlEpidemic(std::uint32_t ec_threshold, SimTime ttl_base, SimTime ttl_step,
+                std::uint32_t min_evict_ec);
+
+  [[nodiscard]] ProtocolKind kind() const noexcept override {
+    return ProtocolKind::kEcTtl;
+  }
+
+ protected:
+  /// "A minimum EC value before nodes are allowed to delete a bundle":
+  /// under-duplicated copies are protected from eviction.
+  [[nodiscard]] bool evictable(const dtn::StoredBundle& copy) const override;
+
+  /// Algo 2: while EC <= threshold, store unconditionally; past it the copy
+  /// gets TTL = ttl_base - (EC - threshold - 1) * ttl_step ("bundles
+  /// transmitted over eight times get a TTL of 300; each additional
+  /// transmission reduces it by 100"); a non-positive TTL purges at once.
+  void on_ec_changed(Engine& engine, dtn::DtnNode& holder, BundleId id,
+                     std::uint32_t ec, SimTime now) override;
+
+ private:
+  std::uint32_t ec_threshold_;
+  SimTime ttl_base_;
+  SimTime ttl_step_;
+  std::uint32_t min_evict_ec_;
+};
+
+}  // namespace epi::routing

@@ -1,0 +1,319 @@
+#include "routing/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+#include "core/error.hpp"
+
+namespace epi::routing {
+
+Engine::Engine(SimulationConfig config, const mobility::ContactTrace& trace,
+               std::unique_ptr<Protocol> protocol, std::uint64_t seed)
+    : config_(std::move(config)),
+      protocol_(std::move(protocol)),
+      seed_(seed),
+      rng_(Rng::derive(seed, 0x454e47ULL /*'ENG'*/)),
+      recorder_(config_.node_count, config_.buffer_capacity) {
+  config_.validate();
+  if (!protocol_) throw ConfigError("engine needs a protocol");
+  if (trace.node_count() > config_.node_count) {
+    throw TraceError("trace uses node ids beyond config.node_count (" +
+                     std::to_string(trace.node_count()) + " > " +
+                     std::to_string(config_.node_count) + ")");
+  }
+
+  nodes_.reserve(config_.node_count);
+  for (NodeId id = 0; id < config_.node_count; ++id) {
+    nodes_.push_back(
+        std::make_unique<dtn::DtnNode>(id, config_.buffer_capacity));
+  }
+
+  flows_ = config_.resolved_flows();
+  injected_.assign(flows_.size(), 0);
+  flow_delivered_.assign(flows_.size(), 0);
+  for (const auto& flow : flows_) {
+    flow_sources_.insert(flow.source);
+    total_load_ += flow.load;
+  }
+  bundles_.resize(static_cast<std::size_t>(total_load_) + 1);
+
+  // Schedule every contact start inside the horizon. Contact-end and slot
+  // events are scheduled lazily when the contact begins.
+  for (const auto& contact : trace.contacts()) {
+    if (contact.start > config_.horizon) continue;
+    sim_.at(contact.start, [this, contact] { start_contact(contact); });
+  }
+
+  if (config_.record_timeline) {
+    for (SimTime t = 0.0; t <= config_.horizon;
+         t += config_.sample_interval) {
+      sim_.at(t, [this] { recorder_.sample(sim_.now(), total_load_); });
+    }
+  }
+}
+
+metrics::RunSummary Engine::run() {
+  assert(!ran_ && "Engine::run() is single-shot");
+  ran_ = true;
+  try_inject(0.0);
+  const SimTime end = sim_.run(config_.horizon);
+  recorder_.finalize(end);
+  metrics::RunSummary summary =
+      metrics::summarize(recorder_, total_load_, seed_, config_.horizon);
+  summary.end_time = end;
+  summary.flow_delivery.reserve(flows_.size());
+  for (std::size_t f = 0; f < flows_.size(); ++f) {
+    summary.flow_delivery.push_back(
+        static_cast<double>(flow_delivered_[f]) /
+        static_cast<double>(flows_[f].load));
+  }
+  return summary;
+}
+
+void Engine::start_contact(const mobility::Contact& contact) {
+  const SessionId id = next_session_++;
+  sessions_.emplace(id, Session{id, contact});
+  recorder_.on_contact();
+
+  dtn::DtnNode& a = node(contact.a);
+  dtn::DtnNode& b = node(contact.b);
+  const SimTime now = sim_.now();
+  a.note_contact_start(now, config_.encounter_session_gap);
+  b.note_contact_start(now, config_.encounter_session_gap);
+  a.note_peer_contact(b.id(), now);
+  b.note_peer_contact(a.id(), now);
+  a.bump_contact_count();
+  b.bump_contact_count();
+
+  protocol_->on_contact_start(*this, id, a, b, now);
+
+  // The control exchange may have unblocked injection at the source (e.g.
+  // P-Q learned an anti-packet and can now overwrite a vaccinated copy, EC
+  // gained an evictable transmitted copy).
+  try_inject(now);
+
+  const std::uint32_t slots = contact.slots(config_.slot_seconds);
+  for (std::uint32_t i = 0; i < slots; ++i) {
+    const SimTime done = contact.start +
+                         static_cast<double>(i + 1) * config_.slot_seconds;
+    sim_.at(done, [this, id, i] { run_slot(id, i); });
+  }
+  sim_.at(contact.end, [this, id] { end_contact(id); });
+}
+
+void Engine::run_slot(SessionId session, std::uint32_t slot_index) {
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) return;  // contact already torn down
+  const mobility::Contact& contact = it->second.contact;
+  const SimTime now = sim_.now();
+
+  // "The node with the lower ID will send first"; directions alternate so
+  // both sides get slots. If the designated sender has nothing to offer the
+  // slot is not wasted: the other side may use it.
+  const bool low_first = (slot_index % 2 == 0);
+  dtn::DtnNode& low = node(contact.a);   // contacts are normalized: a < b
+  dtn::DtnNode& high = node(contact.b);
+  dtn::DtnNode& first = low_first ? low : high;
+  dtn::DtnNode& second = low_first ? high : low;
+
+  if (!try_transfer(session, first, second, now)) {
+    try_transfer(session, second, first, now);
+  }
+  // A transfer may have made the source's buffer admissible again (a fresh
+  // EC-evictable copy, a vaccinated copy, a purge).
+  try_inject(now);
+}
+
+void Engine::end_contact(SessionId session) {
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) return;
+  protocol_->on_contact_end(*this, session, sim_.now());
+  sessions_.erase(it);
+}
+
+bool Engine::try_transfer(SessionId session, dtn::DtnNode& sender,
+                          dtn::DtnNode& receiver, SimTime now) {
+  // Deterministic fair offer order: never-transmitted copies first (by id),
+  // then least-recently-transmitted. A slot budget of 1-2 bundles per
+  // contact would otherwise starve high ids behind low ones forever.
+  struct Candidate {
+    BundleId id;
+    bool transmitted;
+    SimTime last_tx;
+  };
+  std::vector<Candidate> order;
+  order.reserve(sender.buffer().size());
+  for (const auto& entry : sender.buffer().entries()) {
+    order.push_back(Candidate{entry.id, entry.ever_transmitted(),
+                              entry.last_tx});
+  }
+  std::sort(order.begin(), order.end(),
+            [](const Candidate& x, const Candidate& y) {
+              if (x.transmitted != y.transmitted) return !x.transmitted;
+              if (x.last_tx != y.last_tx) return x.last_tx < y.last_tx;
+              return x.id < y.id;
+            });
+  std::vector<BundleId> candidates;
+  candidates.reserve(order.size());
+  for (const auto& c : order) candidates.push_back(c.id);
+
+  bool receiver_rejected_for_space = false;
+  for (const BundleId id : candidates) {
+    // Anti-entropy: never transmit a bundle either side knows is
+    // delivered/immune, nor one the peer already has.
+    if (sender.knows_immune(id)) continue;
+    if (receiver.buffer().contains(id)) continue;
+    if (receiver.has_delivered(id)) continue;
+    if (receiver.knows_immune(id)) continue;
+
+    dtn::StoredBundle* sender_copy = sender.buffer().find(id);
+    assert(sender_copy != nullptr);
+    const dtn::Bundle& meta = bundle(id);
+    const bool sender_is_source = (sender.id() == meta.source);
+    if (!protocol_->may_offer(*this, session, sender, receiver, *sender_copy,
+                              sender_is_source)) {
+      continue;
+    }
+
+    if (receiver.id() == meta.destination) {
+      deliver(sender, receiver, *sender_copy, now);
+      return true;
+    }
+
+    if (receiver_rejected_for_space) continue;
+    if (receiver.buffer().full() &&
+        !protocol_->make_room(*this, receiver, id, now)) {
+      // Without an eviction policy, a full buffer refuses every relay
+      // bundle; keep scanning only for potential deliveries.
+      receiver_rejected_for_space = true;
+      continue;
+    }
+
+    // The transmission itself is the engine's bookkeeping: the encounter
+    // count of the copy grows by one, and sender and receiver see the same
+    // new value (paper SII-B, Fig. "EC").
+    dtn::StoredBundle incoming;
+    incoming.id = id;
+    incoming.ec = sender_copy->ec + 1;
+    incoming.stored_at = now;
+    store_copy(receiver, incoming, &sender, now);
+
+    // store_copy can trigger purges (via the source refill path), which
+    // shuffle buffer storage; re-find the sender copy before mutating.
+    dtn::StoredBundle* fresh_sender = sender.buffer().find(id);
+    assert(fresh_sender != nullptr);
+    fresh_sender->ec += 1;
+    fresh_sender->last_tx = now;
+
+    recorder_.on_transfer(id, now);
+    dtn::StoredBundle* fresh_receiver = receiver.buffer().find(id);
+    if (fresh_receiver != nullptr) {
+      protocol_->after_transfer(*this, sender, receiver, *fresh_sender,
+                                *fresh_receiver, now);
+    }
+    return true;
+  }
+  return false;
+}
+
+void Engine::deliver(dtn::DtnNode& sender, dtn::DtnNode& destination,
+                     dtn::StoredBundle& sender_copy, SimTime now) {
+  const BundleId id = sender_copy.id;
+  sender_copy.ec += 1;  // a delivery is a transmission too
+  sender_copy.last_tx = now;
+  recorder_.on_transfer(id, now);
+  destination.mark_delivered(id);
+  recorder_.on_delivered(id, now);
+  ++delivered_;
+  ++flow_delivered_[bundle(id).flow];
+
+  protocol_->on_delivered(*this, sender, destination, id, now);
+
+  if (delivered_ >= total_load_) {
+    sim_.stop();  // "once the destination received all bundles, the
+                  //  simulation ends" — metrics integrate to this instant
+  }
+}
+
+void Engine::try_inject(SimTime now) {
+  if (injecting_) return;  // a purge inside this loop re-enters; let the
+                           // outer loop pick up the freed slot
+  injecting_ = true;
+  for (std::size_t f = 0; f < flows_.size(); ++f) {
+    const FlowSpec& flow = flows_[f];
+    dtn::DtnNode& source = node(flow.source);
+    while (injected_[f] < flow.load) {
+      // Injection is an admission like any other arrival: protocols with an
+      // eviction policy (EC family: overwrite the most-duplicated copy;
+      // P-Q: overwrite a vaccinated copy) make room for the fresh bundle,
+      // the rest wait until the source buffer drains.
+      if (source.buffer().full() &&
+          !protocol_->make_room(*this, source, next_id_, now)) {
+        break;
+      }
+      const BundleId id = next_id_++;
+      ++injected_[f];
+      bundles_[id] = dtn::Bundle{id, flow.source, flow.destination, now,
+                                 static_cast<std::uint32_t>(f)};
+      recorder_.on_created(id, now);
+      dtn::StoredBundle copy;
+      copy.id = id;
+      copy.stored_at = now;
+      store_copy(source, copy, nullptr, now);
+    }
+  }
+  injecting_ = false;
+}
+
+dtn::StoredBundle& Engine::store_copy(dtn::DtnNode& holder,
+                                      dtn::StoredBundle copy,
+                                      const dtn::DtnNode* from, SimTime now) {
+  dtn::StoredBundle& stored = holder.buffer().insert(copy);
+  recorder_.on_stored(holder.id(), stored.id, now);
+  if (from == nullptr) {
+    protocol_->on_injected(*this, holder, stored, now);
+  }
+  const SimTime expiry = protocol_->expiry_on_store(holder, stored, from, now);
+  if (expiry != kNoExpiry) {
+    set_expiry(holder, stored.id, expiry, now);
+  }
+  return stored;
+}
+
+void Engine::purge(dtn::DtnNode& holder, BundleId id, dtn::RemoveReason why,
+                   SimTime now) {
+  dtn::StoredBundle* copy = holder.buffer().find(id);
+  if (copy == nullptr) return;
+  sim_.cancel(copy->expiry_event);
+  holder.buffer().remove(id);
+  recorder_.on_removed(holder.id(), id, now, why);
+  if (flow_sources_.contains(holder.id())) try_inject(now);
+}
+
+void Engine::set_expiry(dtn::DtnNode& holder, BundleId id, SimTime expiry,
+                        SimTime now) {
+  dtn::StoredBundle* copy = holder.buffer().find(id);
+  if (copy == nullptr) return;
+  sim_.cancel(copy->expiry_event);
+  copy->expiry = expiry;
+  copy->expiry_event = {};
+  if (expiry == kNoExpiry) return;
+  if (expiry <= now) {
+    purge(holder, id, dtn::RemoveReason::kExpired, now);
+    return;
+  }
+  const NodeId holder_id = holder.id();
+  copy->expiry_event = sim_.at(expiry, [this, holder_id, id] {
+    dtn::DtnNode& n = node(holder_id);
+    // The event is cancelled on renewal/removal, so firing means the copy is
+    // still present with this deadline; the guard protects against future
+    // refactors breaking that invariant.
+    const dtn::StoredBundle* c = n.buffer().find(id);
+    if (c != nullptr && c->expiry <= sim_.now()) {
+      purge(n, id, dtn::RemoveReason::kExpired, sim_.now());
+    }
+  });
+}
+
+}  // namespace epi::routing

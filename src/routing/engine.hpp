@@ -1,0 +1,128 @@
+// Engine: the unified simulation harness (paper SIV).
+//
+// One Engine executes one run: one protocol, one contact trace, one flow of
+// `load` bundles from a source to a destination. The mechanics fixed across
+// all protocols live here:
+//
+//   * the trace is processed event by event; transmission begins/ends with
+//     each encounter;
+//   * a contact of duration d carries floor(d / 100 s) bundle slots; slot i
+//     completes at start + (i+1) * 100 s; the lower-id node sends in the
+//     first slot and directions alternate ("the node with the lower ID will
+//     send first");
+//   * anti-entropy: a node never offers a bundle its peer buffers, has
+//     consumed as destination, or knows to be immune;
+//   * the source injects bundle ids 1..load in order, whenever its buffer
+//     has room (bundles are never regenerated: a bundle whose last copy
+//     disappears before delivery is lost);
+//   * the run stops when the destination has consumed all `load` bundles or
+//     the horizon is reached ("failed" in the paper's terms).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/rng.hpp"
+#include "core/simulator.hpp"
+#include "dtn/node.hpp"
+#include "metrics/recorder.hpp"
+#include "metrics/summary.hpp"
+#include "mobility/contact_trace.hpp"
+#include "routing/protocol.hpp"
+
+namespace epi::routing {
+
+class Engine {
+ public:
+  /// The trace must fit the config (node ids < node_count). Throws
+  /// ConfigError / TraceError on inconsistencies.
+  Engine(SimulationConfig config, const mobility::ContactTrace& trace,
+         std::unique_ptr<Protocol> protocol, std::uint64_t seed);
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Executes the run to completion and returns its summary. Callable once.
+  metrics::RunSummary run();
+
+  // --- services used by Protocol implementations ----------------------------
+
+  [[nodiscard]] core::Simulator& sim() noexcept { return sim_; }
+  [[nodiscard]] metrics::Recorder& recorder() noexcept { return recorder_; }
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] const SimulationConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] dtn::DtnNode& node(NodeId id) { return *nodes_.at(id); }
+  [[nodiscard]] const dtn::Bundle& bundle(BundleId id) const {
+    return bundles_.at(id);
+  }
+
+  /// Removes a copy from `holder`, cancelling its expiry event, feeding the
+  /// recorder, and letting the source refill its buffer. No-op if absent.
+  void purge(dtn::DtnNode& holder, BundleId id, dtn::RemoveReason why,
+             SimTime now);
+
+  /// Sets/renews the expiry deadline of a stored copy, (re)scheduling the
+  /// expiry event. An expiry <= now purges the copy immediately.
+  void set_expiry(dtn::DtnNode& holder, BundleId id, SimTime expiry,
+                  SimTime now);
+
+  /// Overhead accounting: control-plane records (anti-packets, i-list
+  /// entries, cumulative tables) moved across the air.
+  void count_control_records(std::uint64_t records) {
+    recorder_.on_control_records(records);
+  }
+
+ private:
+  struct Session {
+    SessionId id = 0;
+    mobility::Contact contact;
+  };
+
+  void start_contact(const mobility::Contact& contact);
+  void run_slot(SessionId session, std::uint32_t slot_index);
+  void end_contact(SessionId session);
+
+  /// Tries to move one bundle from `sender` to `receiver`; true on transfer.
+  bool try_transfer(SessionId session, dtn::DtnNode& sender,
+                    dtn::DtnNode& receiver, SimTime now);
+
+  void deliver(dtn::DtnNode& sender, dtn::DtnNode& destination,
+               dtn::StoredBundle& sender_copy, SimTime now);
+
+  /// Injects pending bundles of every flow while their sources have room.
+  void try_inject(SimTime now);
+
+  /// Stores a copy at `holder` (insert + recorder + initial TTL). `from` is
+  /// the transmitting peer, nullptr for fresh injections at the source.
+  dtn::StoredBundle& store_copy(dtn::DtnNode& holder, dtn::StoredBundle copy,
+                                const dtn::DtnNode* from, SimTime now);
+
+  SimulationConfig config_;
+  std::unique_ptr<Protocol> protocol_;
+  std::uint64_t seed_;
+  Rng rng_;
+
+  core::Simulator sim_;
+  metrics::Recorder recorder_;
+  std::vector<std::unique_ptr<dtn::DtnNode>> nodes_;
+  std::vector<dtn::Bundle> bundles_;  // index 0 unused; ids are 1-based
+
+  std::unordered_map<SessionId, Session> sessions_;
+  SessionId next_session_ = 1;
+
+  std::vector<FlowSpec> flows_;
+  std::vector<std::uint32_t> injected_;        // per flow
+  std::vector<std::uint32_t> flow_delivered_;  // per flow
+  std::unordered_set<NodeId> flow_sources_;
+  std::uint32_t total_load_ = 0;
+  BundleId next_id_ = 1;
+  std::uint32_t delivered_ = 0;
+  bool injecting_ = false;  // re-entrancy guard: purge() calls try_inject()
+  bool ran_ = false;
+};
+
+}  // namespace epi::routing

@@ -1,0 +1,46 @@
+#include "routing/factory.hpp"
+
+#include "core/error.hpp"
+#include "routing/baselines.hpp"
+#include "routing/cumulative_immunity.hpp"
+#include "routing/ec_epidemic.hpp"
+#include "routing/immunity_epidemic.hpp"
+#include "routing/pq_epidemic.hpp"
+#include "routing/pure_epidemic.hpp"
+#include "routing/ttl_epidemic.hpp"
+
+namespace epi::routing {
+
+std::unique_ptr<Protocol> make_protocol(const ProtocolParams& params) {
+  params.validate();
+  switch (params.kind) {
+    case ProtocolKind::kPureEpidemic:
+      return std::make_unique<PureEpidemic>();
+    case ProtocolKind::kPqEpidemic:
+      return std::make_unique<PqEpidemic>(params.p, params.q,
+                                          params.immunity_records_per_contact);
+    case ProtocolKind::kFixedTtl:
+      return std::make_unique<FixedTtlEpidemic>(params.fixed_ttl);
+    case ProtocolKind::kDynamicTtl:
+      return std::make_unique<DynamicTtlEpidemic>(
+          params.ttl_multiplier, params.dynamic_ttl_fallback);
+    case ProtocolKind::kEncounterCount:
+      return std::make_unique<EcEpidemic>();
+    case ProtocolKind::kEcTtl:
+      return std::make_unique<EcTtlEpidemic>(
+          params.ec_threshold, params.ec_ttl_base, params.ec_ttl_step,
+          params.ec_min_evict);
+    case ProtocolKind::kImmunity:
+      return std::make_unique<ImmunityEpidemic>(
+          params.immunity_records_per_contact);
+    case ProtocolKind::kCumulativeImmunity:
+      return std::make_unique<CumulativeImmunityEpidemic>();
+    case ProtocolKind::kDirectDelivery:
+      return std::make_unique<DirectDelivery>();
+    case ProtocolKind::kSprayAndWait:
+      return std::make_unique<SprayAndWait>(params.spray_copies);
+  }
+  throw ConfigError("unhandled protocol kind");
+}
+
+}  // namespace epi::routing

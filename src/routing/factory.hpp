@@ -1,0 +1,16 @@
+// Protocol factory: ProtocolParams -> concrete Protocol instance.
+#pragma once
+
+#include <memory>
+
+#include "core/config.hpp"
+#include "routing/protocol.hpp"
+
+namespace epi::routing {
+
+/// Builds the protocol described by `params` (validated first; throws
+/// ConfigError on invalid parameters).
+[[nodiscard]] std::unique_ptr<Protocol> make_protocol(
+    const ProtocolParams& params);
+
+}  // namespace epi::routing

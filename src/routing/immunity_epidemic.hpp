@@ -1,0 +1,23 @@
+// Epidemic with (per-bundle) immunity tables (Mundur et al. 2008; paper
+// SII-B). Forwarding is unrestricted (pure-epidemic style); the i-list is
+// the m-list/i-list mechanism: one immunity record per delivered bundle,
+// merged on every contact, purging redundant copies. Its weakness — the
+// number of immunity tables is proportional to the load — is what the
+// cumulative-immunity enhancement fixes.
+#pragma once
+
+#include "routing/anti_packet_base.hpp"
+
+namespace epi::routing {
+
+class ImmunityEpidemic final : public AntiPacketBase {
+ public:
+  explicit ImmunityEpidemic(std::uint32_t records_per_contact)
+      : AntiPacketBase(PurgePolicy::kEager, records_per_contact) {}
+
+  [[nodiscard]] ProtocolKind kind() const noexcept override {
+    return ProtocolKind::kImmunity;
+  }
+};
+
+}  // namespace epi::routing

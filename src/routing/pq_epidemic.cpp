@@ -1,0 +1,39 @@
+#include "routing/pq_epidemic.hpp"
+
+#include <cassert>
+
+#include "routing/engine.hpp"
+
+namespace epi::routing {
+
+PqEpidemic::PqEpidemic(double p, double q,
+                       std::uint32_t records_per_contact)
+    : AntiPacketBase(PurgePolicy::kLazy, records_per_contact),
+      p_(p),
+      q_(q) {
+  assert(p_ >= 0.0 && p_ <= 1.0 && q_ >= 0.0 && q_ <= 1.0);
+}
+
+bool PqEpidemic::may_offer(Engine& engine, SessionId session,
+                           const dtn::DtnNode& sender, const dtn::DtnNode&,
+                           const dtn::StoredBundle& copy,
+                           bool sender_is_source) {
+  const double prob = sender_is_source ? p_ : q_;
+  if (prob >= 1.0) return true;
+
+  const CoinKey key =
+      (static_cast<std::uint64_t>(sender.id()) << 32) | copy.id;
+  auto& session_coins = coins_[session];
+  if (const auto it = session_coins.find(key); it != session_coins.end()) {
+    return it->second;
+  }
+  const bool allowed = engine.rng().chance(prob);
+  session_coins.emplace(key, allowed);
+  return allowed;
+}
+
+void PqEpidemic::on_contact_end(Engine&, SessionId session, SimTime) {
+  coins_.erase(session);
+}
+
+}  // namespace epi::routing

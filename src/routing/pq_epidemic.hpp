@@ -1,0 +1,48 @@
+// (P,Q)-epidemic routing (Matsuda & Takine 2008; paper SII-B, Fig. 4).
+//
+// Anti-packet machinery as in AntiPacketBase, plus a probabilistic
+// forwarding gate: in each encounter a *source* node offers each of its own
+// bundles with probability P, while a relay offers carried bundles with
+// probability Q. The coin is flipped once per (encounter, bundle, sender) —
+// an encounter either includes the bundle in its offer set or it does not —
+// and memoized for the encounter's remaining slots.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "routing/anti_packet_base.hpp"
+
+namespace epi::routing {
+
+class PqEpidemic final : public AntiPacketBase {
+ public:
+  /// `p`, `q` in [0, 1]. With P = Q = 1 forwarding degenerates to epidemic
+  /// with immunity (the paper exploits this: both have the same trace
+  /// delay); the protocols still differ in buffer policy — P-Q keeps
+  /// vaccinated copies until the space is needed (lazy overwrite), which is
+  /// why its buffer occupancy is the highest of all protocols (Figs. 11/12).
+  PqEpidemic(double p, double q, std::uint32_t records_per_contact);
+
+  [[nodiscard]] ProtocolKind kind() const noexcept override {
+    return ProtocolKind::kPqEpidemic;
+  }
+
+  [[nodiscard]] bool may_offer(Engine& engine, SessionId session,
+                               const dtn::DtnNode& sender,
+                               const dtn::DtnNode& receiver,
+                               const dtn::StoredBundle& copy,
+                               bool sender_is_source) override;
+
+  void on_contact_end(Engine& engine, SessionId session, SimTime now) override;
+
+ private:
+  double p_;
+  double q_;
+
+  // Memoized per-encounter coins: session -> (sender, bundle) -> allowed.
+  using CoinKey = std::uint64_t;  // (sender << 32) | bundle
+  std::unordered_map<SessionId, std::unordered_map<CoinKey, bool>> coins_;
+};
+
+}  // namespace epi::routing

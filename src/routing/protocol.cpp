@@ -1,0 +1,37 @@
+#include "routing/protocol.hpp"
+
+namespace epi::routing {
+
+void Protocol::on_injected(Engine&, dtn::DtnNode&, dtn::StoredBundle&,
+                           SimTime) {}
+
+SimTime Protocol::expiry_on_store(const dtn::DtnNode&,
+                                  const dtn::StoredBundle&,
+                                  const dtn::DtnNode*, SimTime) const {
+  return kNoExpiry;
+}
+
+void Protocol::on_contact_start(Engine&, SessionId, dtn::DtnNode&,
+                                dtn::DtnNode&, SimTime) {}
+
+void Protocol::on_contact_end(Engine&, SessionId, SimTime) {}
+
+bool Protocol::may_offer(Engine&, SessionId, const dtn::DtnNode&,
+                         const dtn::DtnNode&, const dtn::StoredBundle&, bool) {
+  return true;
+}
+
+bool Protocol::make_room(Engine&, dtn::DtnNode& receiver, BundleId, SimTime) {
+  // Default admission policy: refuse when full (pure epidemic, TTL and
+  // immunity variants never evict; their buffers drain via TTL / purges).
+  return !receiver.buffer().full();
+}
+
+void Protocol::after_transfer(Engine&, dtn::DtnNode&, dtn::DtnNode&,
+                              dtn::StoredBundle&, dtn::StoredBundle&,
+                              SimTime) {}
+
+void Protocol::on_delivered(Engine&, dtn::DtnNode&, dtn::DtnNode&, BundleId,
+                            SimTime) {}
+
+}  // namespace epi::routing

@@ -1,0 +1,96 @@
+// Protocol: the strategy interface all eight epidemic variants implement.
+//
+// The Engine owns the generic mechanics the paper fixes for *all* protocols
+// (SIV): contacts from a trace, one bundle per 100 s slot, lower-id node
+// sends first, anti-entropy candidate filtering (never offer what the peer
+// already holds, has consumed, or knows to be immune). A Protocol customises
+// only the four decision points in which the variants differ:
+//
+//   * expiry_on_store  — which TTL (if any) a freshly stored copy gets;
+//   * on_contact_start — control-plane exchange (anti-packets, i-lists,
+//                        cumulative tables) and the purges they trigger;
+//   * may_offer        — per-bundle forwarding gate (P-Q probabilities);
+//   * make_room        — receiver-side admission when the buffer is full
+//                        (the EC eviction policy);
+//   * after_transfer / on_delivered — post-transfer bookkeeping: EC
+//                        synchronisation, TTL renewal, immunity generation.
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "core/rng.hpp"
+#include "core/types.hpp"
+#include "dtn/bundle.hpp"
+#include "dtn/node.hpp"
+
+namespace epi::routing {
+
+class Engine;
+
+/// Identifies one contact session, so protocols can keep per-encounter state
+/// (e.g. the memoized P-Q coin flips) across that contact's slots.
+using SessionId = std::uint64_t;
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  [[nodiscard]] virtual ProtocolKind kind() const noexcept = 0;
+
+  /// Initialises protocol state on a freshly injected copy at the source
+  /// (e.g. the spray-and-wait replication quota). Runs before
+  /// expiry_on_store.
+  virtual void on_injected(Engine& engine, dtn::DtnNode& source,
+                           dtn::StoredBundle& copy, SimTime now);
+
+  /// Absolute expiry deadline for a copy stored at `node` at time `now`.
+  /// `from` is the transmitting peer, or nullptr when the copy is a fresh
+  /// injection at the source. kNoExpiry means the copy never times out.
+  [[nodiscard]] virtual SimTime expiry_on_store(const dtn::DtnNode& node,
+                                                const dtn::StoredBundle& copy,
+                                                const dtn::DtnNode* from,
+                                                SimTime now) const;
+
+  /// Control-plane exchange at contact start (both directions). Runs after
+  /// the engine updated both nodes' encounter histories. Implementations
+  /// must report transferred control records through
+  /// Engine::count_control_records().
+  virtual void on_contact_start(Engine& engine, SessionId session,
+                                dtn::DtnNode& a, dtn::DtnNode& b, SimTime now);
+
+  /// Clean-up hook for per-session protocol state.
+  virtual void on_contact_end(Engine& engine, SessionId session, SimTime now);
+
+  /// Whether `sender` may offer this copy to `receiver` in this session.
+  /// The engine has already excluded bundles the receiver holds, has
+  /// consumed, or knows to be immune. `sender_is_source` distinguishes the
+  /// P-Q protocol's P (source) from Q (relay).
+  [[nodiscard]] virtual bool may_offer(Engine& engine, SessionId session,
+                                       const dtn::DtnNode& sender,
+                                       const dtn::DtnNode& receiver,
+                                       const dtn::StoredBundle& copy,
+                                       bool sender_is_source);
+
+  /// Makes room at `receiver` for one incoming bundle. Returns true when a
+  /// slot is (now) free. The default refuses when full; the EC family evicts
+  /// the highest-EC copy.
+  virtual bool make_room(Engine& engine, dtn::DtnNode& receiver,
+                         BundleId incoming, SimTime now);
+
+  /// After a relay-to-relay transfer. `sender_copy` and `receiver_copy` are
+  /// both stored; implementations synchronise EC and renew TTLs here.
+  virtual void after_transfer(Engine& engine, dtn::DtnNode& sender,
+                              dtn::DtnNode& receiver,
+                              dtn::StoredBundle& sender_copy,
+                              dtn::StoredBundle& receiver_copy, SimTime now);
+
+  /// After a delivery (the destination consumed the bundle; it holds no
+  /// relay copy). `sender_copy` is still stored at the sender unless the
+  /// implementation purges it (immunity protocols do).
+  virtual void on_delivered(Engine& engine, dtn::DtnNode& sender,
+                            dtn::DtnNode& destination, BundleId id,
+                            SimTime now);
+};
+
+}  // namespace epi::routing

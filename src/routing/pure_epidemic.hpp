@@ -1,0 +1,20 @@
+// Pure epidemic routing (Vahdat & Becker 2002), the base of the taxonomy.
+//
+// Nodes flood every bundle the peer lacks (anti-entropy over summary
+// vectors) and never delete anything; a full buffer simply refuses further
+// relay bundles. All behaviour is the engine's shared skeleton, so this
+// class is the Protocol default behaviour with a name.
+#pragma once
+
+#include "routing/protocol.hpp"
+
+namespace epi::routing {
+
+class PureEpidemic final : public Protocol {
+ public:
+  [[nodiscard]] ProtocolKind kind() const noexcept override {
+    return ProtocolKind::kPureEpidemic;
+  }
+};
+
+}  // namespace epi::routing

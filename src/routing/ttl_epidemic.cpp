@@ -1,0 +1,85 @@
+#include "routing/ttl_epidemic.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "routing/engine.hpp"
+
+namespace epi::routing {
+
+// --- fixed TTL ---------------------------------------------------------------
+
+FixedTtlEpidemic::FixedTtlEpidemic(SimTime ttl) : ttl_(ttl) {
+  assert(ttl_ > 0.0);
+}
+
+SimTime FixedTtlEpidemic::expiry_on_store(const dtn::DtnNode&,
+                                          const dtn::StoredBundle& copy,
+                                          const dtn::DtnNode*,
+                                          SimTime now) const {
+  // "Once they are transmitted and stored in a buffer, their TTL begins to
+  //  reduce": the countdown starts with the first transmission, so the
+  //  source's pristine copy (EC 0) does not age while it waits for a
+  //  contact.
+  if (copy.ec == 0) return kNoExpiry;
+  return now + ttl_;
+}
+
+void FixedTtlEpidemic::after_transfer(Engine& engine, dtn::DtnNode& sender,
+                                      dtn::DtnNode&,
+                                      dtn::StoredBundle& sender_copy,
+                                      dtn::StoredBundle&, SimTime now) {
+  // "If a bundle is transmitted to other nodes before its TTL expires, the
+  //  bundle's TTL value is renewed." The receiver's copy is already fresh.
+  engine.set_expiry(sender, sender_copy.id, now + ttl_, now);
+}
+
+void FixedTtlEpidemic::on_delivered(Engine& engine, dtn::DtnNode& sender,
+                                    dtn::DtnNode&, BundleId id, SimTime now) {
+  engine.set_expiry(sender, id, now + ttl_, now);
+}
+
+// --- dynamic TTL (Algo 1) ----------------------------------------------------
+
+DynamicTtlEpidemic::DynamicTtlEpidemic(double multiplier, SimTime fallback_ttl)
+    : multiplier_(multiplier), fallback_ttl_(fallback_ttl) {
+  assert(multiplier_ > 0.0 && fallback_ttl_ > 0.0);
+}
+
+SimTime DynamicTtlEpidemic::deadline_for(const dtn::DtnNode& node,
+                                         const dtn::DtnNode*,
+                                         SimTime now) const {
+  // Algo 1 on the session level: a sparse network (long gaps between a
+  // node's encounter sessions) buffers longer, a dense one shorter.
+  if (const auto interval = node.last_session_interval()) {
+    return now + multiplier_ * *interval;
+  }
+  if (std::isinf(fallback_ttl_)) return kNoExpiry;
+  return now + fallback_ttl_;
+}
+
+SimTime DynamicTtlEpidemic::expiry_on_store(const dtn::DtnNode& node,
+                                            const dtn::StoredBundle& copy,
+                                            const dtn::DtnNode* from,
+                                            SimTime now) const {
+  // As with the fixed variant, the countdown starts with the first
+  // transmission (see FixedTtlEpidemic::expiry_on_store).
+  if (copy.ec == 0) return kNoExpiry;
+  return deadline_for(node, from, now);
+}
+
+void DynamicTtlEpidemic::after_transfer(Engine& engine, dtn::DtnNode& sender,
+                                        dtn::DtnNode& receiver,
+                                        dtn::StoredBundle& sender_copy,
+                                        dtn::StoredBundle&, SimTime now) {
+  engine.set_expiry(sender, sender_copy.id,
+                    deadline_for(sender, &receiver, now), now);
+}
+
+void DynamicTtlEpidemic::on_delivered(Engine& engine, dtn::DtnNode& sender,
+                                      dtn::DtnNode& destination, BundleId id,
+                                      SimTime now) {
+  engine.set_expiry(sender, id, deadline_for(sender, &destination, now), now);
+}
+
+}  // namespace epi::routing

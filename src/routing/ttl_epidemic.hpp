@@ -1,0 +1,84 @@
+// Epidemic with TTL — fixed (Harras et al. 2005) and dynamic (paper SIII,
+// enhancement 1, Algo 1).
+//
+// Fixed: every stored copy gets the same TTL; a successful transmission
+// renews the sender's copy (and the receiver's copy starts fresh); expired
+// copies are purged. The paper shows a constant TTL is a poor fit for DTNs:
+// whenever the encounter interval exceeds the TTL, bundles die in the buffer
+// before they can be forwarded (Fig. 14).
+//
+// Dynamic (Algo 1): TTL = ttl_multiplier x the interval between the storing
+// node's last two encounters — sparse networks buffer longer, dense ones
+// shorter. Until a node has witnessed two encounters it has no interval; the
+// copy then gets `dynamic_ttl_fallback` (default: no expiry, since guessing
+// a constant would reintroduce exactly the failure mode being fixed).
+#pragma once
+
+#include "routing/protocol.hpp"
+
+namespace epi::routing {
+
+class FixedTtlEpidemic final : public Protocol {
+ public:
+  explicit FixedTtlEpidemic(SimTime ttl);
+
+  [[nodiscard]] ProtocolKind kind() const noexcept override {
+    return ProtocolKind::kFixedTtl;
+  }
+
+  [[nodiscard]] SimTime expiry_on_store(const dtn::DtnNode& node,
+                                        const dtn::StoredBundle& copy,
+                                        const dtn::DtnNode* from,
+                                        SimTime now) const override;
+
+  void after_transfer(Engine& engine, dtn::DtnNode& sender,
+                      dtn::DtnNode& receiver, dtn::StoredBundle& sender_copy,
+                      dtn::StoredBundle& receiver_copy,
+                      SimTime now) override;
+
+  void on_delivered(Engine& engine, dtn::DtnNode& sender,
+                    dtn::DtnNode& destination, BundleId id,
+                    SimTime now) override;
+
+ private:
+  SimTime ttl_;
+};
+
+class DynamicTtlEpidemic final : public Protocol {
+ public:
+  DynamicTtlEpidemic(double multiplier, SimTime fallback_ttl);
+
+  [[nodiscard]] ProtocolKind kind() const noexcept override {
+    return ProtocolKind::kDynamicTtl;
+  }
+
+  [[nodiscard]] SimTime expiry_on_store(const dtn::DtnNode& node,
+                                        const dtn::StoredBundle& copy,
+                                        const dtn::DtnNode* from,
+                                        SimTime now) const override;
+
+  void after_transfer(Engine& engine, dtn::DtnNode& sender,
+                      dtn::DtnNode& receiver, dtn::StoredBundle& sender_copy,
+                      dtn::StoredBundle& receiver_copy,
+                      SimTime now) override;
+
+  void on_delivered(Engine& engine, dtn::DtnNode& sender,
+                    dtn::DtnNode& destination, BundleId id,
+                    SimTime now) override;
+
+ private:
+  /// Algo 1: deadline = now + multiplier * (inter-encounter interval). The
+  /// interval is taken between the node's last two *encounter sessions*
+  /// (contact starts within SimulationConfig::encounter_session_gap of each
+  /// other form one session): the raw contact-level interval collapses to
+  /// minutes inside a gathering, where several contacts begin back to back,
+  /// and would give pathologically short TTLs on bursty human traces.
+  [[nodiscard]] SimTime deadline_for(const dtn::DtnNode& node,
+                                     const dtn::DtnNode* peer,
+                                     SimTime now) const;
+
+  double multiplier_;
+  SimTime fallback_ttl_;
+};
+
+}  // namespace epi::routing

@@ -1,0 +1,167 @@
+// Baseline protocols: direct delivery and binary spray-and-wait.
+#include "routing/baselines.hpp"
+
+#include "core/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "routing/engine.hpp"
+#include "routing/factory.hpp"
+#include "test_util.hpp"
+
+namespace epi::routing {
+namespace {
+
+using test::make_trace;
+using test::small_config;
+
+std::unique_ptr<Engine> make_engine(const SimulationConfig& config,
+                                    const mobility::ContactTrace& trace,
+                                    std::uint64_t seed = 1) {
+  return std::make_unique<Engine>(config, trace,
+                                  make_protocol(config.protocol), seed);
+}
+
+// -------------------------------------------------------- direct delivery ----
+
+TEST(DirectDelivery, NeverUsesRelays) {
+  auto config = small_config(1);
+  config.protocol.kind = ProtocolKind::kDirectDelivery;
+  const auto trace =
+      make_trace({{0, 1, 0.0, 500.0}, {1, 2, 1'000.0, 1'500.0}});
+  auto engine = make_engine(config, trace);
+  const auto run = engine->run();
+  EXPECT_EQ(run.bundle_transmissions, 0u);
+  EXPECT_DOUBLE_EQ(run.delivery_ratio, 0.0);
+  EXPECT_TRUE(engine->node(1).buffer().empty());
+}
+
+TEST(DirectDelivery, DeliversOnDirectContact) {
+  auto config = small_config(2);
+  config.protocol.kind = ProtocolKind::kDirectDelivery;
+  const auto trace = make_trace({{0, 2, 0.0, 250.0}});
+  auto engine = make_engine(config, trace);
+  const auto run = engine->run();
+  EXPECT_DOUBLE_EQ(run.delivery_ratio, 1.0);
+  EXPECT_EQ(run.bundle_transmissions, 2u);  // exactly one per bundle
+}
+
+TEST(DirectDelivery, MinimalTransmissionCount) {
+  // The defining property: transmissions == deliveries, no replication.
+  auto config = small_config(5, /*nodes=*/4);
+  config.destination = 3;
+  const auto trace = make_trace({{0, 1, 0.0, 1'000.0},
+                                 {0, 3, 2'000.0, 2'600.0},
+                                 {1, 3, 3'000.0, 3'600.0}});
+  config.protocol.kind = ProtocolKind::kDirectDelivery;
+  auto engine = make_engine(config, trace);
+  const auto run = engine->run();
+  EXPECT_EQ(run.bundle_transmissions,
+            static_cast<std::uint64_t>(run.delivery_ratio * 5 + 0.5));
+}
+
+// --------------------------------------------------------- spray and wait ----
+
+TEST(SprayAndWait, QuotaAssignedAtInjection) {
+  auto config = small_config(1);
+  config.protocol.kind = ProtocolKind::kSprayAndWait;
+  config.protocol.spray_copies = 8;
+  const auto trace = make_trace({{1, 2, 0.0, 150.0}});  // no source contact
+  auto engine = make_engine(config, trace);
+  engine->run();
+  ASSERT_NE(engine->node(0).buffer().find(1), nullptr);
+  EXPECT_EQ(engine->node(0).buffer().find(1)->tokens, 8u);
+}
+
+TEST(SprayAndWait, BinarySplitOnHandover) {
+  auto config = small_config(1);
+  config.protocol.kind = ProtocolKind::kSprayAndWait;
+  config.protocol.spray_copies = 8;
+  const auto trace = make_trace({{0, 1, 0.0, 150.0}});
+  auto engine = make_engine(config, trace);
+  engine->run();
+  EXPECT_EQ(engine->node(0).buffer().find(1)->tokens, 4u);
+  EXPECT_EQ(engine->node(1).buffer().find(1)->tokens, 4u);
+}
+
+TEST(SprayAndWait, WaitPhaseOnlyDeliversDirect) {
+  auto config = small_config(1, /*nodes=*/4);
+  config.destination = 3;
+  config.protocol.kind = ProtocolKind::kSprayAndWait;
+  config.protocol.spray_copies = 2;
+  // After 0 -> 1 both copies have quota 1 (wait phase): 1 must NOT forward
+  // to relay 2, but does deliver directly to 3.
+  const auto trace = make_trace({{0, 1, 0.0, 150.0},
+                                 {1, 2, 500.0, 650.0},
+                                 {1, 3, 1'000.0, 1'150.0}});
+  auto engine = make_engine(config, trace);
+  const auto run = engine->run();
+  EXPECT_DOUBLE_EQ(run.delivery_ratio, 1.0);
+  EXPECT_TRUE(engine->node(2).buffer().empty());  // spray stopped at quota 1
+  EXPECT_EQ(run.bundle_transmissions, 2u);
+}
+
+TEST(SprayAndWait, TotalCopiesBoundedByQuota) {
+  auto config = small_config(1, /*nodes=*/8);
+  config.destination = 7;
+  config.protocol.kind = ProtocolKind::kSprayAndWait;
+  config.protocol.spray_copies = 4;
+  // A dense clique schedule that pure epidemic would fully infect.
+  std::vector<mobility::Contact> contacts;
+  double t = 0.0;
+  for (int round = 0; round < 3; ++round) {
+    for (NodeId a = 0; a < 7; ++a) {
+      for (NodeId b = a + 1; b < 7; ++b) {  // destination excluded
+        contacts.push_back({a, b, t, t + 150.0});
+        t += 200.0;
+      }
+    }
+  }
+  const mobility::ContactTrace trace{std::move(contacts)};
+  auto engine = make_engine(config, trace);
+  engine->run();
+  std::uint32_t copies = 0;
+  for (NodeId n = 0; n < 8; ++n) {
+    if (engine->node(n).buffer().contains(1)) ++copies;
+  }
+  EXPECT_LE(copies, 4u);
+  EXPECT_GE(copies, 2u);  // it did spray
+}
+
+TEST(SprayAndWait, QuotaOneDegeneratesToDirectDelivery) {
+  auto config = small_config(1);
+  config.protocol.kind = ProtocolKind::kSprayAndWait;
+  config.protocol.spray_copies = 1;
+  const auto trace =
+      make_trace({{0, 1, 0.0, 500.0}, {1, 2, 1'000.0, 1'500.0}});
+  auto engine = make_engine(config, trace);
+  const auto run = engine->run();
+  EXPECT_EQ(run.bundle_transmissions, 0u);
+  EXPECT_DOUBLE_EQ(run.delivery_ratio, 0.0);
+}
+
+TEST(SprayAndWait, FactoryRejectsZeroQuota) {
+  ProtocolParams params;
+  params.kind = ProtocolKind::kSprayAndWait;
+  params.spray_copies = 0;
+  EXPECT_THROW((void)make_protocol(params), epi::ConfigError);
+}
+
+TEST(Baselines, EpidemicDominatesDirectDeliveryDelay) {
+  // Epidemic's raison d'etre: relays cut delay whenever a relay path beats
+  // the direct meeting.
+  auto config = small_config(1);
+  const auto trace = make_trace(
+      {{0, 1, 0.0, 150.0}, {1, 2, 500.0, 650.0}, {0, 2, 5'000.0, 5'150.0}});
+  config.protocol.kind = ProtocolKind::kPureEpidemic;
+  const auto epidemic = make_engine(config, trace)->run();
+  config.protocol.kind = ProtocolKind::kDirectDelivery;
+  const auto direct = make_engine(config, trace)->run();
+  EXPECT_DOUBLE_EQ(epidemic.completion_time, 600.0);
+  EXPECT_DOUBLE_EQ(direct.completion_time, 5'100.0);
+}
+
+}  // namespace
+}  // namespace epi::routing

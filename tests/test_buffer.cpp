@@ -1,0 +1,126 @@
+#include "dtn/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epi::dtn {
+namespace {
+
+StoredBundle copy_of(BundleId id, std::uint32_t ec = 0,
+                     SimTime stored_at = 0.0) {
+  StoredBundle c;
+  c.id = id;
+  c.ec = ec;
+  c.stored_at = stored_at;
+  return c;
+}
+
+TEST(BundleBuffer, StartsEmpty) {
+  const BundleBuffer buffer(10);
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_FALSE(buffer.full());
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_EQ(buffer.capacity(), 10u);
+  EXPECT_DOUBLE_EQ(buffer.occupancy(), 0.0);
+}
+
+TEST(BundleBuffer, InsertAndFind) {
+  BundleBuffer buffer(10);
+  buffer.insert(copy_of(5, 3));
+  EXPECT_TRUE(buffer.contains(5));
+  ASSERT_NE(buffer.find(5), nullptr);
+  EXPECT_EQ(buffer.find(5)->ec, 3u);
+  EXPECT_EQ(buffer.find(6), nullptr);
+}
+
+TEST(BundleBuffer, ConstFind) {
+  BundleBuffer buffer(4);
+  buffer.insert(copy_of(1));
+  const BundleBuffer& cref = buffer;
+  EXPECT_NE(cref.find(1), nullptr);
+  EXPECT_EQ(cref.find(2), nullptr);
+}
+
+TEST(BundleBuffer, FullAtCapacity) {
+  BundleBuffer buffer(3);
+  for (BundleId id = 1; id <= 3; ++id) buffer.insert(copy_of(id));
+  EXPECT_TRUE(buffer.full());
+  EXPECT_DOUBLE_EQ(buffer.occupancy(), 1.0);
+}
+
+TEST(BundleBuffer, OccupancyIsFraction) {
+  BundleBuffer buffer(4);
+  buffer.insert(copy_of(1));
+  EXPECT_DOUBLE_EQ(buffer.occupancy(), 0.25);
+  buffer.insert(copy_of(2));
+  EXPECT_DOUBLE_EQ(buffer.occupancy(), 0.5);
+}
+
+TEST(BundleBuffer, RemoveReturnsCopy) {
+  BundleBuffer buffer(4);
+  buffer.insert(copy_of(7, 9));
+  const auto removed = buffer.remove(7);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(removed->ec, 9u);
+  EXPECT_FALSE(buffer.contains(7));
+}
+
+TEST(BundleBuffer, RemoveMissingIsNullopt) {
+  BundleBuffer buffer(4);
+  EXPECT_FALSE(buffer.remove(1).has_value());
+}
+
+TEST(BundleBuffer, EntriesKeepFifoOrder) {
+  BundleBuffer buffer(5);
+  buffer.insert(copy_of(3));
+  buffer.insert(copy_of(1));
+  buffer.insert(copy_of(2));
+  buffer.remove(1);
+  const auto entries = buffer.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].id, 3u);
+  EXPECT_EQ(entries[1].id, 2u);
+}
+
+TEST(BundleBuffer, HighestEcEmpty) {
+  const BundleBuffer buffer(4);
+  EXPECT_EQ(buffer.highest_ec_bundle(), kInvalidBundle);
+}
+
+TEST(BundleBuffer, HighestEcPicksMaximum) {
+  BundleBuffer buffer(5);
+  buffer.insert(copy_of(1, 2));
+  buffer.insert(copy_of(2, 7));
+  buffer.insert(copy_of(3, 4));
+  EXPECT_EQ(buffer.highest_ec_bundle(), 2u);
+}
+
+TEST(BundleBuffer, HighestEcTieBreaksToOldest) {
+  BundleBuffer buffer(5);
+  buffer.insert(copy_of(4, 7, 1.0));
+  buffer.insert(copy_of(9, 7, 2.0));
+  EXPECT_EQ(buffer.highest_ec_bundle(), 4u);
+}
+
+TEST(BundleBuffer, MutationThroughFindSticks) {
+  BundleBuffer buffer(4);
+  buffer.insert(copy_of(1));
+  buffer.find(1)->ec = 42;
+  EXPECT_EQ(buffer.find(1)->ec, 42u);
+}
+
+TEST(StoredBundle, TransmissionFlag) {
+  StoredBundle c = copy_of(1);
+  EXPECT_FALSE(c.ever_transmitted());
+  c.last_tx = 10.0;
+  EXPECT_TRUE(c.ever_transmitted());
+}
+
+TEST(StoredBundle, ExpiryFlag) {
+  StoredBundle c = copy_of(1);
+  EXPECT_FALSE(c.expires());
+  c.expiry = 100.0;
+  EXPECT_TRUE(c.expires());
+}
+
+}  // namespace
+}  // namespace epi::dtn

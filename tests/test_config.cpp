@@ -1,0 +1,158 @@
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace epi {
+namespace {
+
+TEST(ProtocolNames, RoundTripAllKinds) {
+  for (const auto kind :
+       {ProtocolKind::kPureEpidemic, ProtocolKind::kPqEpidemic,
+        ProtocolKind::kFixedTtl, ProtocolKind::kEncounterCount,
+        ProtocolKind::kImmunity, ProtocolKind::kDynamicTtl,
+        ProtocolKind::kEcTtl, ProtocolKind::kCumulativeImmunity,
+        ProtocolKind::kDirectDelivery, ProtocolKind::kSprayAndWait}) {
+    EXPECT_EQ(protocol_from_string(to_string(kind)), kind);
+  }
+}
+
+TEST(ProtocolNames, UnknownNameThrows) {
+  EXPECT_THROW((void)protocol_from_string("sprays_and_waits"), ConfigError);
+  EXPECT_THROW((void)protocol_from_string(""), ConfigError);
+}
+
+TEST(ProtocolParams, DefaultsAreValid) {
+  EXPECT_NO_THROW(ProtocolParams{}.validate());
+}
+
+TEST(ProtocolParams, RejectsBadP) {
+  ProtocolParams p;
+  p.p = -0.1;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p.p = 1.1;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(ProtocolParams, RejectsBadQ) {
+  ProtocolParams p;
+  p.q = 2.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(ProtocolParams, AcceptsBoundaryPq) {
+  ProtocolParams p;
+  p.p = 0.0;
+  p.q = 1.0;
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(ProtocolParams, RejectsNonPositiveTtl) {
+  ProtocolParams p;
+  p.fixed_ttl = 0.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(ProtocolParams, RejectsNonPositiveMultiplier) {
+  ProtocolParams p;
+  p.ttl_multiplier = 0.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(ProtocolParams, InfiniteDynamicFallbackIsValid) {
+  ProtocolParams p;
+  p.dynamic_ttl_fallback = kNoExpiry;
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(ProtocolParams, RejectsNegativeEcTtlBase) {
+  ProtocolParams p;
+  p.ec_ttl_base = -1.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(ProtocolParams, RejectsZeroEcTtlStep) {
+  ProtocolParams p;
+  p.ec_ttl_step = 0.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(ProtocolParams, RejectsZeroSprayCopies) {
+  ProtocolParams p;
+  p.spray_copies = 0;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(ProtocolParams, RejectsZeroImmunityRecords) {
+  ProtocolParams p;
+  p.immunity_records_per_contact = 0;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(SimulationConfig, DefaultsAreValid) {
+  EXPECT_NO_THROW(SimulationConfig{}.validate());
+}
+
+TEST(SimulationConfig, RejectsTooFewNodes) {
+  SimulationConfig c;
+  c.node_count = 1;
+  c.source = 0;
+  c.destination = 0;
+  EXPECT_THROW(c.validate(), ConfigError);
+}
+
+TEST(SimulationConfig, RejectsZeroBuffer) {
+  SimulationConfig c;
+  c.buffer_capacity = 0;
+  EXPECT_THROW(c.validate(), ConfigError);
+}
+
+TEST(SimulationConfig, RejectsNonPositiveSlot) {
+  SimulationConfig c;
+  c.slot_seconds = 0.0;
+  EXPECT_THROW(c.validate(), ConfigError);
+}
+
+TEST(SimulationConfig, RejectsNonPositiveHorizon) {
+  SimulationConfig c;
+  c.horizon = -5.0;
+  EXPECT_THROW(c.validate(), ConfigError);
+}
+
+TEST(SimulationConfig, RejectsZeroLoad) {
+  SimulationConfig c;
+  c.load = 0;
+  EXPECT_THROW(c.validate(), ConfigError);
+}
+
+TEST(SimulationConfig, RejectsOutOfRangeEndpoints) {
+  SimulationConfig c;
+  c.source = 12;
+  EXPECT_THROW(c.validate(), ConfigError);
+  c.source = 0;
+  c.destination = 99;
+  EXPECT_THROW(c.validate(), ConfigError);
+}
+
+TEST(SimulationConfig, RejectsEqualSourceAndDestination) {
+  SimulationConfig c;
+  c.source = 3;
+  c.destination = 3;
+  EXPECT_THROW(c.validate(), ConfigError);
+}
+
+TEST(SimulationConfig, RejectsNonPositiveSessionGap) {
+  SimulationConfig c;
+  c.encounter_session_gap = 0.0;
+  EXPECT_THROW(c.validate(), ConfigError);
+}
+
+TEST(SimulationConfig, ValidatesNestedProtocolParams) {
+  SimulationConfig c;
+  c.protocol.p = 5.0;
+  EXPECT_THROW(c.validate(), ConfigError);
+}
+
+}  // namespace
+}  // namespace epi

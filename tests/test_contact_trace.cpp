@@ -1,0 +1,164 @@
+#include "mobility/contact_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "mobility/contact.hpp"
+#include "test_util.hpp"
+
+namespace epi::mobility {
+namespace {
+
+using epi::test::make_trace;
+
+TEST(Contact, DurationAndSlots) {
+  const Contact c{3, 9, 3568.0, 3882.0};  // the paper's worked example
+  EXPECT_DOUBLE_EQ(c.duration(), 314.0);
+  EXPECT_EQ(c.slots(100.0), 3u);  // "Node 3 sends [314/100] = 3 bundles"
+}
+
+TEST(Contact, ShortContactHasZeroSlots) {
+  const Contact c{0, 1, 0.0, 99.9};
+  EXPECT_EQ(c.slots(100.0), 0u);
+}
+
+TEST(Contact, ExactSlotBoundary) {
+  const Contact c{0, 1, 0.0, 300.0};
+  EXPECT_EQ(c.slots(100.0), 3u);
+}
+
+TEST(Contact, InvolvesAndPeer) {
+  const Contact c{2, 5, 0.0, 10.0};
+  EXPECT_TRUE(c.involves(2));
+  EXPECT_TRUE(c.involves(5));
+  EXPECT_FALSE(c.involves(3));
+  EXPECT_EQ(c.peer_of(2), 5u);
+  EXPECT_EQ(c.peer_of(5), 2u);
+}
+
+TEST(Contact, NormalizedSwapsPair) {
+  const Contact c{7, 2, 0.0, 10.0};
+  const Contact n = c.normalized();
+  EXPECT_EQ(n.a, 2u);
+  EXPECT_EQ(n.b, 7u);
+  EXPECT_DOUBLE_EQ(n.start, 0.0);
+}
+
+TEST(ContactBefore, OrdersByStartThenEndThenIds) {
+  const Contact early{0, 1, 1.0, 5.0};
+  const Contact late{0, 1, 2.0, 5.0};
+  const Contact shorter{0, 1, 2.0, 4.0};
+  ContactBefore before;
+  EXPECT_TRUE(before(early, late));
+  EXPECT_TRUE(before(shorter, late));
+  EXPECT_FALSE(before(late, late));
+}
+
+TEST(ContactTrace, EmptyTrace) {
+  const ContactTrace trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.node_count(), 0u);
+  EXPECT_DOUBLE_EQ(trace.end_time(), 0.0);
+}
+
+TEST(ContactTrace, SortsByStart) {
+  const auto trace = make_trace({{0, 1, 50.0, 60.0}, {1, 2, 10.0, 20.0}});
+  EXPECT_DOUBLE_EQ(trace[0].start, 10.0);
+  EXPECT_DOUBLE_EQ(trace[1].start, 50.0);
+}
+
+TEST(ContactTrace, NormalizesPairs) {
+  const auto trace = make_trace({{5, 2, 0.0, 10.0}});
+  EXPECT_EQ(trace[0].a, 2u);
+  EXPECT_EQ(trace[0].b, 5u);
+}
+
+TEST(ContactTrace, NodeCountIsMaxIdPlusOne) {
+  const auto trace = make_trace({{0, 7, 0.0, 10.0}});
+  EXPECT_EQ(trace.node_count(), 8u);
+}
+
+TEST(ContactTrace, RejectsSelfContact) {
+  EXPECT_THROW(make_trace({{3, 3, 0.0, 10.0}}), TraceError);
+}
+
+TEST(ContactTrace, RejectsNonPositiveDuration) {
+  EXPECT_THROW(make_trace({{0, 1, 10.0, 10.0}}), TraceError);
+  EXPECT_THROW(make_trace({{0, 1, 10.0, 5.0}}), TraceError);
+}
+
+TEST(ContactTrace, RejectsNegativeStart) {
+  EXPECT_THROW(make_trace({{0, 1, -1.0, 10.0}}), TraceError);
+}
+
+TEST(ContactTrace, EndTimeIsMaxEnd) {
+  const auto trace =
+      make_trace({{0, 1, 0.0, 100.0}, {1, 2, 10.0, 30.0}});
+  EXPECT_DOUBLE_EQ(trace.end_time(), 100.0);
+}
+
+TEST(ContactTrace, ContactsOfFiltersAndPreservesOrder) {
+  const auto trace = make_trace(
+      {{0, 1, 0.0, 5.0}, {1, 2, 10.0, 15.0}, {0, 2, 20.0, 25.0}});
+  const auto of1 = trace.contacts_of(1);
+  ASSERT_EQ(of1.size(), 2u);
+  EXPECT_DOUBLE_EQ(of1[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(of1[1].start, 10.0);
+  EXPECT_TRUE(trace.contacts_of(9).empty());
+}
+
+TEST(ContactTrace, TruncatedKeepsEarlyStarts) {
+  const auto trace = make_trace(
+      {{0, 1, 0.0, 5.0}, {1, 2, 10.0, 15.0}, {0, 2, 20.0, 25.0}});
+  const auto cut = trace.truncated(15.0);
+  EXPECT_EQ(cut.size(), 2u);
+}
+
+TEST(TraceStats, BasicAggregates) {
+  const auto trace = make_trace(
+      {{0, 1, 0.0, 100.0}, {0, 1, 200.0, 260.0}, {1, 2, 300.0, 340.0}});
+  const TraceStats s = trace.stats();
+  EXPECT_EQ(s.contact_count, 3u);
+  EXPECT_EQ(s.node_count, 3u);
+  EXPECT_DOUBLE_EQ(s.first_start, 0.0);
+  EXPECT_DOUBLE_EQ(s.last_end, 340.0);
+  EXPECT_NEAR(s.mean_duration, (100.0 + 60.0 + 40.0) / 3.0, 1e-9);
+  // Gaps: node0: 200; node1: 200, 100; mean = 500/3.
+  EXPECT_NEAR(s.mean_inter_contact, 500.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.max_inter_contact, 200.0);
+  // Contacts per node: node0: 2, node1: 3, node2: 1.
+  EXPECT_NEAR(s.mean_contacts_per_node, 2.0, 1e-9);
+}
+
+TEST(TraceStats, QuantilesAndSlots) {
+  // Durations 100, 200, 300, 400, 500 -> median 300, p90 ~500; slots
+  // floor(d/100) sum = 1+2+3+4+5 = 15.
+  const auto trace = make_trace({{0, 1, 0.0, 100.0},
+                                 {0, 1, 1'000.0, 1'200.0},
+                                 {0, 1, 2'000.0, 2'300.0},
+                                 {0, 1, 3'000.0, 3'400.0},
+                                 {0, 1, 4'000.0, 4'500.0}});
+  const TraceStats s = trace.stats();
+  EXPECT_DOUBLE_EQ(s.median_duration, 300.0);
+  EXPECT_DOUBLE_EQ(s.p90_duration, 500.0);
+  EXPECT_EQ(s.total_slots, 15u);
+  // Inter-contact gaps (both nodes see the same): 1000 x4 per node.
+  EXPECT_DOUBLE_EQ(s.median_inter_contact, 1'000.0);
+}
+
+TEST(TraceStats, SingleContactHasNoGaps) {
+  const auto trace = make_trace({{0, 1, 0.0, 250.0}});
+  const TraceStats s = trace.stats();
+  EXPECT_DOUBLE_EQ(s.median_inter_contact, 0.0);
+  EXPECT_DOUBLE_EQ(s.p90_inter_contact, 0.0);
+  EXPECT_EQ(s.total_slots, 2u);
+}
+
+TEST(TraceStats, EmptyTraceIsAllZero) {
+  const TraceStats s = ContactTrace{}.stats();
+  EXPECT_EQ(s.contact_count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_duration, 0.0);
+}
+
+}  // namespace
+}  // namespace epi::mobility

@@ -1,0 +1,227 @@
+// Engine mechanics on hand-crafted contact schedules (pure epidemic, so no
+// protocol-specific behaviour interferes).
+#include "routing/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "routing/factory.hpp"
+#include "test_util.hpp"
+
+namespace epi::routing {
+namespace {
+
+using test::make_trace;
+using test::run_engine;
+using test::small_config;
+
+TEST(Engine, DirectContactDeliversWithinSlotBudget) {
+  // The paper's example: a 314 s contact carries floor(314/100) = 3 bundles.
+  auto config = small_config(/*load=*/3, /*nodes=*/3);
+  const auto trace = make_trace({{0, 2, 0.0, 314.0}});
+  const auto run = run_engine(config, trace);
+  EXPECT_DOUBLE_EQ(run.delivery_ratio, 1.0);
+  EXPECT_TRUE(run.complete);
+  EXPECT_EQ(run.bundle_transmissions, 3u);
+  // Slot completions at 100, 200, 300 -> mean per-bundle delay 200.
+  EXPECT_DOUBLE_EQ(run.mean_bundle_delay, 200.0);
+  EXPECT_DOUBLE_EQ(run.completion_time, 300.0);
+}
+
+TEST(Engine, ShortContactCarriesNothing) {
+  auto config = small_config(1);
+  const auto trace = make_trace({{0, 2, 0.0, 99.0}});
+  const auto run = run_engine(config, trace);
+  EXPECT_DOUBLE_EQ(run.delivery_ratio, 0.0);
+  EXPECT_EQ(run.bundle_transmissions, 0u);
+  EXPECT_FALSE(run.complete);
+}
+
+TEST(Engine, SlotBudgetCapsTransfer) {
+  // 5 bundles but only a 250 s contact: 2 slots -> 2 deliveries.
+  auto config = small_config(5);
+  const auto trace = make_trace({{0, 2, 0.0, 250.0}});
+  const auto run = run_engine(config, trace);
+  EXPECT_DOUBLE_EQ(run.delivery_ratio, 0.4);
+  EXPECT_EQ(run.bundle_transmissions, 2u);
+}
+
+TEST(Engine, RelayPathDelivers) {
+  // 0 meets 1, later 1 meets 2: two-hop delivery.
+  auto config = small_config(1);
+  const auto trace =
+      make_trace({{0, 1, 0.0, 150.0}, {1, 2, 1'000.0, 1'150.0}});
+  const auto run = run_engine(config, trace);
+  EXPECT_DOUBLE_EQ(run.delivery_ratio, 1.0);
+  EXPECT_EQ(run.bundle_transmissions, 2u);
+  EXPECT_DOUBLE_EQ(run.completion_time, 1'100.0);
+}
+
+TEST(Engine, AntiEntropyNeverRetransmits) {
+  // Two long contacts between the same pair: the second moves nothing
+  // because the peer already holds every bundle.
+  auto config = small_config(2);
+  config.destination = 2;
+  const auto trace =
+      make_trace({{0, 1, 0.0, 500.0}, {0, 1, 1'000.0, 1'500.0}});
+  const auto run = run_engine(config, trace);
+  EXPECT_EQ(run.bundle_transmissions, 2u);  // both in the first contact
+}
+
+TEST(Engine, IdleSlotFallsBackToOtherDirection) {
+  // Slot parity alternates the designated sender; when the high-id node has
+  // nothing to offer, the low-id node uses the slot instead, so a 2-slot
+  // contact still moves 2 bundles in one direction.
+  auto config = small_config(2);
+  const auto trace = make_trace({{0, 1, 0.0, 250.0}});
+  const auto run = run_engine(config, trace);
+  EXPECT_EQ(run.bundle_transmissions, 2u);
+}
+
+TEST(Engine, DeliveredBundlesNotReofferedToDestination) {
+  // Relay 1 delivers to 2; later 0 meets 2 and must not re-deliver.
+  auto config = small_config(1);
+  const auto trace = make_trace(
+      {{0, 1, 0.0, 150.0}, {1, 2, 500.0, 650.0}, {0, 2, 900.0, 1'050.0}});
+  const auto run = run_engine(config, trace);
+  EXPECT_DOUBLE_EQ(run.delivery_ratio, 1.0);
+  EXPECT_EQ(run.bundle_transmissions, 2u);
+}
+
+TEST(Engine, FullRelayRefusesUnderPureEpidemic) {
+  auto config = small_config(5);
+  config.buffer_capacity = 2;  // relay can hold 2 relay copies
+  config.load = 2;             // source holds its 2 (fits)
+  const auto trace = make_trace({{0, 1, 0.0, 1'000.0}});
+  const auto run = run_engine(config, trace);
+  EXPECT_EQ(run.bundle_transmissions, 2u);  // relay filled, then refused
+  EXPECT_DOUBLE_EQ(run.delivery_ratio, 0.0);
+}
+
+TEST(Engine, SourceInjectsOnlyUpToCapacityUnderPureEpidemic) {
+  // Pure epidemic never frees buffer space: with capacity 4 and load 10 the
+  // source can only ever inject 4 bundles.
+  auto config = small_config(10);
+  config.buffer_capacity = 4;
+  const auto trace = make_trace({{0, 2, 0.0, 10'000.0}});
+  const auto run = run_engine(config, trace);
+  // All four injected bundles are delivered; the rest never exist.
+  EXPECT_DOUBLE_EQ(run.delivery_ratio, 0.4);
+}
+
+TEST(Engine, StopsAtCompletion) {
+  auto config = small_config(1);
+  const auto trace =
+      make_trace({{0, 2, 0.0, 150.0}, {1, 2, 5'000.0, 5'150.0}});
+  const auto run = run_engine(config, trace);
+  EXPECT_TRUE(run.complete);
+  EXPECT_DOUBLE_EQ(run.end_time, 100.0);  // first delivery ends the run
+}
+
+TEST(Engine, ContactsBeyondHorizonIgnored) {
+  auto config = small_config(1);
+  config.horizon = 500.0;
+  const auto trace = make_trace({{0, 2, 600.0, 900.0}});
+  const auto run = run_engine(config, trace);
+  EXPECT_DOUBLE_EQ(run.delivery_ratio, 0.0);
+  EXPECT_EQ(run.contacts, 0u);
+}
+
+TEST(Engine, FailedRunChargedHorizon) {
+  auto config = small_config(1);
+  config.horizon = 500.0;
+  const auto trace = make_trace({{0, 1, 0.0, 150.0}});
+  const auto run = run_engine(config, trace);
+  EXPECT_FALSE(run.complete);
+  EXPECT_DOUBLE_EQ(run.completion_time, 500.0);
+}
+
+TEST(Engine, CountsContacts) {
+  auto config = small_config(1);
+  config.horizon = 10'000.0;
+  const auto trace =
+      make_trace({{0, 1, 0.0, 50.0}, {1, 2, 100.0, 160.0}});
+  const auto run = run_engine(config, trace);
+  EXPECT_EQ(run.contacts, 2u);
+}
+
+TEST(Engine, OverlappingContactsBothServe) {
+  // Source in simultaneous contact with two relays: both receive copies.
+  auto config = small_config(1, /*nodes=*/4);
+  config.destination = 3;
+  const auto trace = make_trace(
+      {{0, 1, 0.0, 150.0}, {0, 2, 50.0, 200.0}, {1, 3, 400.0, 520.0}});
+  const auto run = run_engine(config, trace);
+  EXPECT_DOUBLE_EQ(run.delivery_ratio, 1.0);
+  EXPECT_EQ(run.bundle_transmissions, 3u);  // to 1, to 2, then delivery
+}
+
+TEST(Engine, TimelineRecordedWhenEnabled) {
+  auto config = small_config(2);
+  config.horizon = 5'000.0;
+  config.record_timeline = true;
+  config.sample_interval = 1'000.0;
+  const auto trace = make_trace({{0, 1, 0.0, 350.0}});
+  Engine engine(config, trace, routing::make_protocol(config.protocol), 1);
+  engine.run();
+  // Samples at 0, 1000, ..., 5000 (the run never completes: dest is node 2).
+  EXPECT_EQ(engine.recorder().timeline().size(), 6u);
+  // The relay holds copies from t=100 onward.
+  EXPECT_GT(engine.recorder().timeline()[1].live_copies, 0u);
+}
+
+TEST(Engine, NoTimelineByDefault) {
+  auto config = small_config(1);
+  const auto trace = make_trace({{0, 2, 0.0, 150.0}});
+  Engine engine(config, trace, routing::make_protocol(config.protocol), 1);
+  engine.run();
+  EXPECT_TRUE(engine.recorder().timeline().empty());
+}
+
+TEST(Engine, RejectsTraceWiderThanConfig) {
+  auto config = small_config(1, /*nodes=*/3);
+  const auto trace = make_trace({{0, 9, 0.0, 100.0}});
+  EXPECT_THROW(
+      Engine(config, trace, routing::make_protocol(config.protocol), 1),
+      TraceError);
+}
+
+TEST(Engine, RejectsNullProtocol) {
+  auto config = small_config(1);
+  const auto trace = make_trace({{0, 1, 0.0, 100.0}});
+  EXPECT_THROW(Engine(config, trace, nullptr, 1), ConfigError);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto config = small_config(5, 4);
+  config.protocol.kind = ProtocolKind::kPqEpidemic;
+  config.protocol.p = 0.5;
+  config.protocol.q = 0.5;
+  const auto trace = make_trace(
+      {{0, 1, 0.0, 500.0}, {1, 3, 800.0, 1'300.0}, {0, 3, 2'000.0, 2'500.0}});
+  const auto a = run_engine(config, trace, 99);
+  const auto b = run_engine(config, trace, 99);
+  EXPECT_DOUBLE_EQ(a.delivery_ratio, b.delivery_ratio);
+  EXPECT_EQ(a.bundle_transmissions, b.bundle_transmissions);
+  EXPECT_DOUBLE_EQ(a.buffer_occupancy, b.buffer_occupancy);
+  EXPECT_DOUBLE_EQ(a.completion_time, b.completion_time);
+}
+
+TEST(Engine, RunSummaryBasicInvariants) {
+  auto config = small_config(7, 5);
+  const auto trace = make_trace({{0, 1, 0.0, 350.0},
+                                 {1, 2, 500.0, 900.0},
+                                 {2, 4, 1'200.0, 1'600.0},
+                                 {0, 4, 2'000.0, 2'300.0}});
+  config.destination = 4;
+  const auto run = run_engine(config, trace);
+  EXPECT_GE(run.delivery_ratio, 0.0);
+  EXPECT_LE(run.delivery_ratio, 1.0);
+  EXPECT_GE(run.buffer_occupancy, 0.0);
+  EXPECT_LE(run.buffer_occupancy, 1.0);
+  EXPECT_GE(run.duplication_rate, 0.0);
+  EXPECT_LE(run.duplication_rate, 1.0);
+}
+
+}  // namespace
+}  // namespace epi::routing

@@ -1,0 +1,147 @@
+// Engine edge cases: ties, overlaps and boundary conditions that the
+// generators can produce and the event core must survive.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "routing/engine.hpp"
+#include "routing/factory.hpp"
+#include "test_util.hpp"
+
+namespace epi::routing {
+namespace {
+
+using test::make_trace;
+using test::run_engine;
+using test::small_config;
+
+TEST(EngineEdge, OverlappingSamePairContactsNoDuplicateCopies) {
+  // Gatherings plus a background contact can overlap the same pair; the
+  // anti-entropy check must prevent duplicate copies and double counting.
+  auto config = small_config(3);
+  config.destination = 2;
+  const auto trace =
+      make_trace({{0, 1, 0.0, 500.0}, {0, 1, 100.0, 450.0}});
+  Engine engine(config, trace, make_protocol(config.protocol), 1);
+  const auto run = engine.run();
+  EXPECT_EQ(run.bundle_transmissions, 3u);  // each bundle crosses once
+  EXPECT_EQ(engine.node(1).buffer().size(), 3u);
+}
+
+TEST(EngineEdge, IdenticalContactsAreIdempotent) {
+  auto config = small_config(2);
+  config.destination = 2;
+  const auto trace =
+      make_trace({{0, 1, 0.0, 300.0}, {0, 1, 0.0, 300.0}});
+  Engine engine(config, trace, make_protocol(config.protocol), 1);
+  const auto run = engine.run();
+  EXPECT_EQ(run.bundle_transmissions, 2u);
+  EXPECT_EQ(run.contacts, 2u);
+}
+
+TEST(EngineEdge, ContactEndingExactlyAtHorizonRuns) {
+  auto config = small_config(1);
+  config.horizon = 150.0;
+  const auto trace = make_trace({{0, 2, 0.0, 150.0}});
+  const auto run = run_engine(config, trace);
+  EXPECT_DOUBLE_EQ(run.delivery_ratio, 1.0);
+}
+
+TEST(EngineEdge, SlotAtContactEndStillFires) {
+  // A 100 s contact has exactly one slot, completing at the contact's end
+  // instant.
+  auto config = small_config(1);
+  const auto trace = make_trace({{0, 2, 50.0, 150.0}});
+  const auto run = run_engine(config, trace);
+  EXPECT_DOUBLE_EQ(run.delivery_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(run.completion_time, 150.0);
+}
+
+TEST(EngineEdge, ExpiryAtSlotInstantResolvesDeterministically) {
+  // A relay copy expires at exactly the instant of its delivery slot. The
+  // expiry event was scheduled when the copy was stored (earlier), so it
+  // fires first and the delivery fails — deterministically.
+  auto config = small_config(1);
+  config.protocol.kind = ProtocolKind::kFixedTtl;
+  config.protocol.fixed_ttl = 300.0;
+  // Copy stored at t=100 (expiry 400); delivery slot would complete at 400.
+  const auto trace =
+      make_trace({{0, 1, 0.0, 150.0}, {1, 2, 300.0, 450.0}});
+  const auto a = run_engine(config, trace, 1);
+  const auto b = run_engine(config, trace, 2);
+  EXPECT_DOUBLE_EQ(a.delivery_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(a.delivery_ratio, b.delivery_ratio);
+}
+
+TEST(EngineEdge, ManySimultaneousContactStartsAreStable) {
+  // Six contacts all starting at t=0 involving the same source.
+  auto config = small_config(2, /*nodes=*/8);
+  config.destination = 7;
+  std::vector<mobility::Contact> contacts;
+  for (NodeId peer = 1; peer <= 6; ++peer) {
+    contacts.push_back({0, peer, 0.0, 350.0});
+  }
+  contacts.push_back({6, 7, 1'000.0, 1'250.0});
+  const mobility::ContactTrace trace{std::move(contacts)};
+  const auto a = run_engine(config, trace, 5);
+  const auto b = run_engine(config, trace, 5);
+  EXPECT_DOUBLE_EQ(a.delivery_ratio, 1.0);
+  EXPECT_EQ(a.bundle_transmissions, b.bundle_transmissions);
+}
+
+TEST(EngineEdge, SingleNodePairNetwork) {
+  SimulationConfig config;
+  config.node_count = 2;
+  config.load = 3;
+  config.source = 0;
+  config.destination = 1;
+  config.horizon = 10'000.0;
+  const auto trace = make_trace({{0, 1, 0.0, 350.0}});
+  const auto run = run_engine(config, trace);
+  EXPECT_DOUBLE_EQ(run.delivery_ratio, 1.0);
+}
+
+TEST(EngineEdge, HugeLoadSmallBufferDoesNotOverflow) {
+  auto config = small_config(500);
+  config.buffer_capacity = 3;
+  config.protocol.kind = ProtocolKind::kEncounterCount;
+  const auto trace = make_trace({{0, 1, 0.0, 5'000.0},
+                                 {1, 2, 6'000.0, 11'000.0},
+                                 {0, 2, 12'000.0, 17'000.0}});
+  Engine engine(config, trace, make_protocol(config.protocol), 1);
+  const auto run = engine.run();
+  EXPECT_LE(engine.node(0).buffer().size(), 3u);
+  EXPECT_GT(run.delivery_ratio, 0.0);
+  EXPECT_LE(run.delivery_ratio, 1.0);
+}
+
+TEST(EngineEdge, ZeroSlotContactStillExchangesControlPlane) {
+  // A 50 s contact carries no bundles but the immunity control exchange
+  // still happens (anti-packets are small). Load 2 keeps the run alive
+  // past the first delivery.
+  auto config = small_config(2, /*nodes=*/4);
+  config.destination = 3;
+  config.protocol.kind = ProtocolKind::kImmunity;
+  const auto trace = make_trace({{0, 1, 0.0, 150.0},    // copy to relay
+                                 {1, 3, 200.0, 350.0},  // delivery
+                                 {0, 1, 500.0, 550.0}});  // 0 slots
+  Engine engine(config, trace, make_protocol(config.protocol), 1);
+  engine.run();
+  // The source learned the anti-packet in the slot-less contact and purged.
+  EXPECT_TRUE(engine.node(0).ilist().immune(1));
+  EXPECT_FALSE(engine.node(0).buffer().contains(1));
+}
+
+TEST(EngineEdge, EngineRunIsSingleShotButStateReadable) {
+  auto config = small_config(1);
+  const auto trace = make_trace({{0, 2, 0.0, 150.0}});
+  Engine engine(config, trace, make_protocol(config.protocol), 1);
+  const auto run = engine.run();
+  EXPECT_TRUE(run.complete);
+  // Post-run inspection stays valid.
+  EXPECT_TRUE(engine.node(2).has_delivered(1));
+  EXPECT_EQ(engine.recorder().delivered_count(), 1u);
+}
+
+}  // namespace
+}  // namespace epi::routing

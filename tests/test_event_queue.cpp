@@ -1,0 +1,142 @@
+#include "core/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace epi::core {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(3.0, [&] { fired.push_back(3); });
+  q.schedule(1.0, [&] { fired.push_back(1); });
+  q.schedule(2.0, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5.0, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().action();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, PopReportsTime) {
+  EventQueue q;
+  q.schedule(4.5, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 4.5);
+  auto [time, action] = q.pop();
+  EXPECT_DOUBLE_EQ(time, 4.5);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue q;
+  bool fired = false;
+  const EventHandle h = q.schedule(1.0, [&] { fired = true; });
+  q.schedule(2.0, [] {});
+  q.cancel(h);
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().action();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelledHeadSkippedByNextTime) {
+  EventQueue q;
+  const EventHandle h = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  q.cancel(h);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop) {
+  EventQueue q;
+  const EventHandle h = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  q.pop().action();
+  q.cancel(h);  // already fired
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+}
+
+TEST(EventQueue, DoubleCancelIsNoop) {
+  EventQueue q;
+  const EventHandle h = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  q.cancel(h);
+  q.cancel(h);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, DefaultHandleCancelIsNoop) {
+  EventQueue q;
+  q.schedule(1.0, [] {});
+  q.cancel(EventHandle{});
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, CancelAllLeavesEmptyQueue) {
+  EventQueue q;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 5; ++i) {
+    handles.push_back(q.schedule(static_cast<double>(i), [] {}));
+  }
+  for (const auto h : handles) q.cancel(h);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) q.schedule(static_cast<double>(i), [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, ReschedulingAfterClearWorks) {
+  EventQueue q;
+  q.schedule(1.0, [] {});
+  q.clear();
+  bool fired = false;
+  q.schedule(2.0, [&] { fired = true; });
+  q.pop().action();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, ManyInterleavedOperations) {
+  EventQueue q;
+  std::vector<double> fired;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 100; ++i) {
+    handles.push_back(
+        q.schedule(static_cast<double>(100 - i), [&fired, i] {
+          fired.push_back(static_cast<double>(100 - i));
+        }));
+  }
+  // Cancel every other event.
+  for (size_t i = 0; i < handles.size(); i += 2) q.cancel(handles[i]);
+  EXPECT_EQ(q.size(), 50u);
+  double prev = -1.0;
+  while (!q.empty()) {
+    auto [time, action] = q.pop();
+    EXPECT_GT(time, prev);
+    prev = time;
+    action();
+  }
+  EXPECT_EQ(fired.size(), 50u);
+}
+
+}  // namespace
+}  // namespace epi::core

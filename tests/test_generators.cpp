@@ -1,0 +1,252 @@
+// Property tests for the three mobility generators: determinism, invariants
+// and the statistical shapes the experiments rely on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "mobility/interval_scenario.hpp"
+#include "mobility/rwp.hpp"
+#include "mobility/synthetic_haggle.hpp"
+
+namespace epi::mobility {
+namespace {
+
+// ---------------------------------------------------------------- haggle ----
+
+class HaggleSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HaggleSeeds, DeterministicForSeed) {
+  SyntheticHaggleParams params;
+  params.horizon = 60'000.0;
+  const ContactTrace a = generate_synthetic_haggle(params, GetParam());
+  const ContactTrace b = generate_synthetic_haggle(params, GetParam());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST_P(HaggleSeeds, RespectsInvariants) {
+  SyntheticHaggleParams params;
+  params.horizon = 100'000.0;
+  const ContactTrace trace = generate_synthetic_haggle(params, GetParam());
+  EXPECT_GT(trace.size(), 0u);
+  EXPECT_LE(trace.node_count(), params.node_count);
+  for (const auto& c : trace.contacts()) {
+    EXPECT_NE(c.a, c.b);
+    EXPECT_LT(c.a, params.node_count);
+    EXPECT_LT(c.b, params.node_count);
+    EXPECT_GE(c.start, 0.0);
+    EXPECT_LE(c.end, params.horizon);
+    EXPECT_GE(c.duration(), params.min_contact);
+  }
+}
+
+TEST_P(HaggleSeeds, AllNodesParticipate) {
+  SyntheticHaggleParams params;  // full 5-day horizon
+  const ContactTrace trace = generate_synthetic_haggle(params, GetParam());
+  std::vector<bool> seen(params.node_count, false);
+  for (const auto& c : trace.contacts()) {
+    seen[c.a] = true;
+    seen[c.b] = true;
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool s) { return s; }));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HaggleSeeds,
+                         ::testing::Values(1, 2, 42, 1234, 99999));
+
+TEST(SyntheticHaggle, DifferentSeedsDiffer) {
+  SyntheticHaggleParams params;
+  params.horizon = 60'000.0;
+  const ContactTrace a = generate_synthetic_haggle(params, 1);
+  const ContactTrace b = generate_synthetic_haggle(params, 2);
+  EXPECT_NE(a.size(), 0u);
+  bool any_diff = a.size() != b.size();
+  for (std::size_t i = 0; !any_diff && i < a.size(); ++i) {
+    any_diff = !(a[i] == b[i]);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticHaggle, IsBursty) {
+  // Human traces mix intra-gathering gaps (minutes) with long idle periods
+  // (hours): the max inter-contact gap should dwarf the mean.
+  const ContactTrace trace =
+      generate_synthetic_haggle(SyntheticHaggleParams{}, 42);
+  const TraceStats s = trace.stats();
+  EXPECT_GT(s.max_inter_contact, 5.0 * s.mean_inter_contact);
+}
+
+TEST(SyntheticHaggle, MeanDurationMatchesScale) {
+  const ContactTrace trace =
+      generate_synthetic_haggle(SyntheticHaggleParams{}, 42);
+  const TraceStats s = trace.stats();
+  // Contacts last minutes (a handful of 100 s slots), not seconds or hours.
+  EXPECT_GT(s.mean_duration, 100.0);
+  EXPECT_LT(s.mean_duration, 2'000.0);
+}
+
+TEST(SyntheticHaggle, ValidatesParams) {
+  SyntheticHaggleParams p;
+  p.node_count = 1;
+  EXPECT_THROW(generate_synthetic_haggle(p, 1), ConfigError);
+  p = {};
+  p.horizon = 0.0;
+  EXPECT_THROW(generate_synthetic_haggle(p, 1), ConfigError);
+  p = {};
+  p.max_attendees = p.node_count + 1;
+  EXPECT_THROW(generate_synthetic_haggle(p, 1), ConfigError);
+  p = {};
+  p.min_attendees = 1;
+  EXPECT_THROW(generate_synthetic_haggle(p, 1), ConfigError);
+  p = {};
+  p.median_gathering_gap = -5.0;
+  EXPECT_THROW(generate_synthetic_haggle(p, 1), ConfigError);
+}
+
+// ------------------------------------------------------------------- rwp ----
+
+class RwpSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RwpSeeds, DeterministicForSeed) {
+  RwpParams params;
+  params.horizon = 60'000.0;
+  const ContactTrace a = generate_rwp(params, GetParam());
+  const ContactTrace b = generate_rwp(params, GetParam());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST_P(RwpSeeds, RespectsContactCap) {
+  RwpParams params;
+  params.horizon = 100'000.0;
+  const ContactTrace trace = generate_rwp(params, GetParam());
+  EXPECT_GT(trace.size(), 0u);
+  for (const auto& c : trace.contacts()) {
+    // "Nodes may be in contact ... for a maximum 500 seconds."
+    EXPECT_LE(c.duration(), params.max_contact_s + 1e-9);
+    EXPECT_GE(c.duration(), params.min_contact_s);
+    EXPECT_LT(c.a, params.node_count);
+    EXPECT_LT(c.b, params.node_count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RwpSeeds, ::testing::Values(1, 7, 42, 31337));
+
+TEST(Rwp, FullHorizonKeepsNodesMoving) {
+  // The paper generates its RWP trace so nodes "move continuously along
+  // rendezvous points until the end of the simulation": contacts must keep
+  // occurring in the last tenth of the horizon.
+  RwpParams params;
+  const ContactTrace trace = generate_rwp(params, 42);
+  EXPECT_GT(trace.end_time(), 0.9 * params.horizon);
+}
+
+TEST(Rwp, DenserThanHaggleTrace) {
+  // The paper observes that "nodes have fewer encounters in the trace file"
+  // than under RWP — our generators must preserve that relation.
+  const ContactTrace rwp = generate_rwp(RwpParams{}, 42);
+  const ContactTrace haggle =
+      generate_synthetic_haggle(SyntheticHaggleParams{}, 42);
+  const double rwp_rate =
+      static_cast<double>(rwp.size()) / RwpParams{}.horizon;
+  const double haggle_rate = static_cast<double>(haggle.size()) /
+                             SyntheticHaggleParams{}.horizon;
+  EXPECT_GT(rwp_rate, haggle_rate);
+}
+
+TEST(Rwp, ValidatesParams) {
+  RwpParams p;
+  p.subscriber_points = 1;
+  EXPECT_THROW(generate_rwp(p, 1), ConfigError);
+  p = {};
+  p.subscriber_points = 100;  // "< 100 subscriber points"
+  EXPECT_THROW(generate_rwp(p, 1), ConfigError);
+  p = {};
+  p.min_speed_mps = 0.0;
+  EXPECT_THROW(generate_rwp(p, 1), ConfigError);
+  p = {};
+  p.max_speed_mps = p.min_speed_mps;
+  EXPECT_THROW(generate_rwp(p, 1), ConfigError);
+  p = {};
+  p.min_contact_s = p.max_contact_s + 1.0;
+  EXPECT_THROW(generate_rwp(p, 1), ConfigError);
+}
+
+// -------------------------------------------------------------- interval ----
+
+class IntervalSeeds
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(IntervalSeeds, Deterministic) {
+  IntervalScenarioParams params;
+  params.max_interval = std::get<1>(GetParam());
+  const ContactTrace a =
+      generate_interval_scenario(params, std::get<0>(GetParam()));
+  const ContactTrace b =
+      generate_interval_scenario(params, std::get<0>(GetParam()));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST_P(IntervalSeeds, EncounterBudgetHolds) {
+  IntervalScenarioParams params;
+  params.max_interval = std::get<1>(GetParam());
+  const ContactTrace trace =
+      generate_interval_scenario(params, std::get<0>(GetParam()));
+  std::vector<std::uint32_t> count(params.node_count, 0);
+  for (const auto& c : trace.contacts()) {
+    ++count[c.a];
+    ++count[c.b];
+  }
+  for (const auto n : count) {
+    // "each of which has at most 20 encounters with other nodes"
+    EXPECT_LE(n, params.encounters_per_node);
+  }
+}
+
+TEST_P(IntervalSeeds, NoSelfOverlap) {
+  IntervalScenarioParams params;
+  params.max_interval = std::get<1>(GetParam());
+  const ContactTrace trace =
+      generate_interval_scenario(params, std::get<0>(GetParam()));
+  // A node never participates in two overlapping contacts.
+  for (NodeId n = 0; n < params.node_count; ++n) {
+    const auto mine = trace.contacts_of(n);
+    for (std::size_t i = 1; i < mine.size(); ++i) {
+      EXPECT_GE(mine[i].start, mine[i - 1].end - 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, IntervalSeeds,
+    ::testing::Combine(::testing::Values(1, 42, 777),
+                       ::testing::Values(400.0, 2000.0)));
+
+TEST(IntervalScenario, LongerCapStretchesSchedule) {
+  IntervalScenarioParams p400;
+  IntervalScenarioParams p2000;
+  p2000.max_interval = 2000.0;
+  const auto t400 = generate_interval_scenario(p400, 42);
+  const auto t2000 = generate_interval_scenario(p2000, 42);
+  EXPECT_GT(t2000.end_time(), 2.0 * t400.end_time());
+}
+
+TEST(IntervalScenario, ValidatesParams) {
+  IntervalScenarioParams p;
+  p.node_count = 1;
+  EXPECT_THROW(generate_interval_scenario(p, 1), ConfigError);
+  p = {};
+  p.encounters_per_node = 0;
+  EXPECT_THROW(generate_interval_scenario(p, 1), ConfigError);
+  p = {};
+  p.max_interval = p.min_interval - 1.0;
+  EXPECT_THROW(generate_interval_scenario(p, 1), ConfigError);
+  p = {};
+  p.min_duration = 0.0;
+  EXPECT_THROW(generate_interval_scenario(p, 1), ConfigError);
+}
+
+}  // namespace
+}  // namespace epi::mobility

@@ -1,0 +1,114 @@
+#include "dtn/immunity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epi::dtn {
+namespace {
+
+TEST(ImmunityList, AddAndQuery) {
+  ImmunityList list;
+  EXPECT_FALSE(list.immune(4));
+  EXPECT_TRUE(list.add(4));
+  EXPECT_FALSE(list.add(4));
+  EXPECT_TRUE(list.immune(4));
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(ImmunityList, MergeCountsNewRecords) {
+  ImmunityList a;
+  ImmunityList b;
+  a.add(1);
+  b.add(1);
+  b.add(2);
+  b.add(3);
+  EXPECT_EQ(a.merge(b), 2u);
+  EXPECT_TRUE(a.immune(3));
+}
+
+TEST(ImmunityList, MergeLimitedRespectsCap) {
+  ImmunityList a;
+  ImmunityList b;
+  for (BundleId id = 1; id <= 10; ++id) b.add(id);
+  EXPECT_EQ(a.merge_limited(b, 3), 3u);
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(ImmunityList, MergeLimitedTakesLowestIdsFirst) {
+  ImmunityList a;
+  ImmunityList b;
+  for (const BundleId id : {9u, 2u, 7u, 4u}) b.add(id);
+  a.merge_limited(b, 2);
+  EXPECT_TRUE(a.immune(2));
+  EXPECT_TRUE(a.immune(4));
+  EXPECT_FALSE(a.immune(7));
+  EXPECT_FALSE(a.immune(9));
+}
+
+TEST(ImmunityList, MergeLimitedSkipsKnownRecords) {
+  ImmunityList a;
+  ImmunityList b;
+  a.add(1);
+  a.add(2);
+  for (BundleId id = 1; id <= 5; ++id) b.add(id);
+  EXPECT_EQ(a.merge_limited(b, 2), 2u);  // moves 3 and 4, not 1 and 2
+  EXPECT_TRUE(a.immune(3));
+  EXPECT_TRUE(a.immune(4));
+  EXPECT_FALSE(a.immune(5));
+}
+
+TEST(ImmunityList, MergeLimitedWithRoomTakesAll) {
+  ImmunityList a;
+  ImmunityList b;
+  b.add(1);
+  b.add(2);
+  EXPECT_EQ(a.merge_limited(b, 100), 2u);
+}
+
+TEST(CumulativeImmunity, StartsAtZero) {
+  const CumulativeImmunity c;
+  EXPECT_EQ(c.horizon(), 0u);
+  EXPECT_FALSE(c.immune(1));
+  EXPECT_FALSE(c.immune(kInvalidBundle));
+}
+
+TEST(CumulativeImmunity, AdoptKeepsMaximum) {
+  CumulativeImmunity c;
+  EXPECT_TRUE(c.adopt(30));
+  EXPECT_FALSE(c.adopt(20));  // "delete the table that covers the first 30"
+  EXPECT_FALSE(c.adopt(30));
+  EXPECT_TRUE(c.adopt(50));
+  EXPECT_EQ(c.horizon(), 50u);
+}
+
+TEST(CumulativeImmunity, ImmunityIsPrefix) {
+  CumulativeImmunity c;
+  c.adopt(30);
+  EXPECT_TRUE(c.immune(1));
+  EXPECT_TRUE(c.immune(30));
+  EXPECT_FALSE(c.immune(31));
+}
+
+TEST(DeliveredPrefixTracker, InOrderDeliveriesAdvance) {
+  DeliveredPrefixTracker t;
+  EXPECT_EQ(t.record(1), 1u);
+  EXPECT_EQ(t.record(2), 2u);
+  EXPECT_EQ(t.record(3), 3u);
+}
+
+TEST(DeliveredPrefixTracker, OutOfOrderHoldsThenJumps) {
+  DeliveredPrefixTracker t;
+  EXPECT_EQ(t.record(3), 0u);
+  EXPECT_EQ(t.record(2), 0u);
+  EXPECT_EQ(t.record(1), 3u);  // prefix jumps to cover the backlog
+  EXPECT_EQ(t.record(5), 3u);
+  EXPECT_EQ(t.record(4), 5u);
+}
+
+TEST(DeliveredPrefixTracker, DuplicateRecordIsHarmless) {
+  DeliveredPrefixTracker t;
+  t.record(1);
+  EXPECT_EQ(t.record(1), 1u);
+}
+
+}  // namespace
+}  // namespace epi::dtn

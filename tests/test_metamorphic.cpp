@@ -1,0 +1,129 @@
+// Metamorphic properties: provable relations between runs of the same
+// system under controlled input changes.
+#include <gtest/gtest.h>
+
+#include "analysis/reachability.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "test_util.hpp"
+
+namespace epi {
+namespace {
+
+using test::make_trace;
+using test::run_engine;
+using test::small_config;
+
+// Adding a contact can only create new time-respecting paths: every node's
+// earliest arrival is non-increasing.
+TEST(Metamorphic, OracleMonotoneUnderAddedContacts) {
+  auto scenario = exp::trace_scenario();
+  scenario.haggle.horizon = 80'000.0;
+  const auto base = exp::build_contact_trace(scenario, 42);
+
+  std::vector<mobility::Contact> augmented(base.contacts().begin(),
+                                           base.contacts().end());
+  augmented.push_back({0, 5, 40'000.0, 40'400.0});
+  augmented.push_back({3, 7, 55'000.0, 55'250.0});
+  const mobility::ContactTrace more{std::move(augmented)};
+
+  for (NodeId source = 0; source < base.node_count(); ++source) {
+    const auto before = analysis::earliest_arrivals(base, source, 0.0);
+    const auto after = analysis::earliest_arrivals(more, source, 0.0);
+    for (std::size_t v = 0; v < before.size(); ++v) {
+      EXPECT_LE(after[v], before[v])
+          << "added contacts delayed " << source << "->" << v;
+    }
+  }
+}
+
+// Scaling every contact's times by a constant scales the oracle arrivals.
+TEST(Metamorphic, OracleScalesWithTime) {
+  const auto trace =
+      make_trace({{0, 1, 0.0, 200.0}, {1, 2, 1'000.0, 1'200.0}});
+  std::vector<mobility::Contact> scaled;
+  for (const auto& c : trace.contacts()) {
+    scaled.push_back({c.a, c.b, 2.0 * c.start, 2.0 * c.end});
+  }
+  const mobility::ContactTrace doubled{std::move(scaled)};
+  // Slots also double in count; earliest slot completion scales only if the
+  // slot size scales — so compare with a doubled slot.
+  const SimTime base_arrival = analysis::earliest_arrival(trace, 0, 2, 0.0,
+                                                          100.0);
+  const SimTime scaled_arrival =
+      analysis::earliest_arrival(doubled, 0, 2, 0.0, 200.0);
+  EXPECT_DOUBLE_EQ(scaled_arrival, 2.0 * base_arrival);
+}
+
+// A longer contact (more slots) never delivers fewer bundles under pure
+// epidemic on a two-node topology.
+TEST(Metamorphic, MoreSlotsNeverHurtDirectDelivery) {
+  double previous = -1.0;
+  for (const double duration : {150.0, 250.0, 350.0, 450.0, 550.0}) {
+    auto config = small_config(5);
+    const auto trace = make_trace({{0, 2, 0.0, duration}});
+    const auto run = run_engine(config, trace);
+    EXPECT_GE(run.delivery_ratio, previous);
+    previous = run.delivery_ratio;
+  }
+}
+
+// Raising the source's buffer capacity never reduces how many bundles pure
+// epidemic injects on a fixed schedule.
+TEST(Metamorphic, CapacityMonotoneInjection) {
+  const auto trace = make_trace({{0, 2, 0.0, 2'000.0}});
+  double previous = -1.0;
+  for (const std::uint32_t capacity : {2u, 5u, 10u, 20u}) {
+    auto config = small_config(20);
+    config.buffer_capacity = capacity;
+    const auto run = run_engine(config, trace);
+    EXPECT_GE(run.delivery_ratio, previous);
+    previous = run.delivery_ratio;
+  }
+}
+
+// A longer fixed TTL never loses a *relay chain* that a shorter one kept:
+// on a single-path topology delivery is monotone in the TTL.
+TEST(Metamorphic, FixedTtlMonotoneOnSinglePath) {
+  const auto trace = make_trace({{0, 1, 0.0, 150.0},
+                                 {1, 2, 400.0, 550.0}});
+  double previous = -1.0;
+  for (const double ttl : {100.0, 300.0, 500.0, 1'000.0}) {
+    auto config = small_config(1);
+    config.protocol.kind = ProtocolKind::kFixedTtl;
+    config.protocol.fixed_ttl = ttl;
+    const auto run = run_engine(config, trace);
+    EXPECT_GE(run.delivery_ratio, previous) << "ttl=" << ttl;
+    previous = run.delivery_ratio;
+  }
+}
+
+// Spray-and-wait with a larger quota never reaches fewer nodes on a fixed
+// single-source schedule (the split tree only grows).
+TEST(Metamorphic, SprayQuotaMonotoneCoverage) {
+  std::vector<mobility::Contact> contacts;
+  double t = 0.0;
+  for (NodeId peer = 1; peer <= 6; ++peer) {
+    contacts.push_back({0, peer, t, t + 150.0});
+    t += 200.0;
+  }
+  contacts.push_back({6, 7, t + 1'000.0, t + 1'150.0});
+  const mobility::ContactTrace trace{std::move(contacts)};
+  double previous = -1.0;
+  for (const std::uint32_t quota : {1u, 2u, 4u, 8u, 16u}) {
+    SimulationConfig config;
+    config.node_count = 8;
+    config.load = 1;
+    config.source = 0;
+    config.destination = 7;
+    config.horizon = 100'000.0;
+    config.protocol.kind = ProtocolKind::kSprayAndWait;
+    config.protocol.spray_copies = quota;
+    const auto run = run_engine(config, trace);
+    EXPECT_GE(run.duplication_rate, previous) << "quota=" << quota;
+    previous = run.duplication_rate;
+  }
+}
+
+}  // namespace
+}  // namespace epi

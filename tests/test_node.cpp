@@ -1,0 +1,104 @@
+#include "dtn/node.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epi::dtn {
+namespace {
+
+TEST(DtnNode, Construction) {
+  const DtnNode node(3, 10);
+  EXPECT_EQ(node.id(), 3u);
+  EXPECT_EQ(node.buffer().capacity(), 10u);
+  EXPECT_EQ(node.contact_count(), 0u);
+}
+
+TEST(DtnNode, NoIntervalBeforeTwoContacts) {
+  DtnNode node(0, 10);
+  EXPECT_FALSE(node.last_interval().has_value());
+  node.note_contact_start(100.0);
+  EXPECT_FALSE(node.last_interval().has_value());
+  EXPECT_EQ(node.last_contact_start(), 100.0);
+}
+
+TEST(DtnNode, IntervalBetweenLastTwoContacts) {
+  DtnNode node(0, 10);
+  node.note_contact_start(100.0);
+  node.note_contact_start(400.0);
+  ASSERT_TRUE(node.last_interval().has_value());
+  EXPECT_DOUBLE_EQ(*node.last_interval(), 300.0);
+  node.note_contact_start(10'000.0);
+  EXPECT_DOUBLE_EQ(*node.last_interval(), 9'600.0);
+}
+
+TEST(DtnNode, SessionClusteringMergesBursts) {
+  DtnNode node(0, 10);
+  // A gathering: three contacts within minutes -> one session.
+  node.note_contact_start(1'000.0, 1'800.0);
+  node.note_contact_start(1'200.0, 1'800.0);
+  node.note_contact_start(1'900.0, 1'800.0);
+  EXPECT_FALSE(node.last_session_interval().has_value());
+  // Next gathering hours later -> second session.
+  node.note_contact_start(20'000.0, 1'800.0);
+  ASSERT_TRUE(node.last_session_interval().has_value());
+  EXPECT_DOUBLE_EQ(*node.last_session_interval(), 19'000.0);
+}
+
+TEST(DtnNode, SessionGapBoundaryIsExclusive) {
+  DtnNode node(0, 10);
+  node.note_contact_start(0.0, 100.0);
+  node.note_contact_start(100.0, 100.0);  // exactly the gap: same session
+  EXPECT_FALSE(node.last_session_interval().has_value());
+  node.note_contact_start(201.0, 100.0);  // 101 > gap: new session
+  ASSERT_TRUE(node.last_session_interval().has_value());
+  EXPECT_DOUBLE_EQ(*node.last_session_interval(), 201.0);
+}
+
+TEST(DtnNode, PerPeerIntervals) {
+  DtnNode node(0, 10);
+  EXPECT_FALSE(node.last_interval_with(1).has_value());
+  node.note_peer_contact(1, 100.0);
+  node.note_peer_contact(2, 150.0);
+  EXPECT_FALSE(node.last_interval_with(1).has_value());
+  node.note_peer_contact(1, 700.0);
+  ASSERT_TRUE(node.last_interval_with(1).has_value());
+  EXPECT_DOUBLE_EQ(*node.last_interval_with(1), 600.0);
+  EXPECT_FALSE(node.last_interval_with(2).has_value());
+}
+
+TEST(DtnNode, ContactCounter) {
+  DtnNode node(0, 10);
+  node.bump_contact_count();
+  node.bump_contact_count();
+  EXPECT_EQ(node.contact_count(), 2u);
+}
+
+TEST(DtnNode, DeliveredTracking) {
+  DtnNode node(0, 10);
+  EXPECT_FALSE(node.has_delivered(1));
+  node.mark_delivered(1);
+  node.mark_delivered(3);
+  EXPECT_TRUE(node.has_delivered(1));
+  EXPECT_TRUE(node.has_delivered(3));
+  EXPECT_FALSE(node.has_delivered(2));
+  EXPECT_EQ(node.delivered_prefix(), 1u);
+  node.mark_delivered(2);
+  EXPECT_EQ(node.delivered_prefix(), 3u);
+}
+
+TEST(DtnNode, KnowsImmuneFromIlist) {
+  DtnNode node(0, 10);
+  EXPECT_FALSE(node.knows_immune(5));
+  node.ilist().add(5);
+  EXPECT_TRUE(node.knows_immune(5));
+}
+
+TEST(DtnNode, KnowsImmuneFromCumulativeTable) {
+  DtnNode node(0, 10);
+  node.cumulative().adopt(4);
+  EXPECT_TRUE(node.knows_immune(3));
+  EXPECT_TRUE(node.knows_immune(4));
+  EXPECT_FALSE(node.knows_immune(5));
+}
+
+}  // namespace
+}  // namespace epi::dtn

@@ -1,0 +1,147 @@
+// Reachability-oracle unit tests plus the strongest end-to-end check in the
+// suite: with unbounded buffers and a single bundle, pure epidemic flooding
+// must achieve the oracle's earliest arrival exactly (paper SI: "epidemic
+// routing protocols are able to achieve minimum delivery delay").
+#include "analysis/reachability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "exp/scenario.hpp"
+#include "routing/engine.hpp"
+#include "routing/factory.hpp"
+#include "test_util.hpp"
+
+namespace epi::analysis {
+namespace {
+
+using test::make_trace;
+
+TEST(Oracle, DirectContactArrivesAtFirstSlot) {
+  const auto trace = make_trace({{0, 1, 0.0, 314.0}});
+  EXPECT_DOUBLE_EQ(earliest_arrival(trace, 0, 1, 0.0), 100.0);
+}
+
+TEST(Oracle, ShortContactIsUseless) {
+  const auto trace = make_trace({{0, 1, 0.0, 99.0}});
+  EXPECT_EQ(earliest_arrival(trace, 0, 1, 0.0), kNoExpiry);
+}
+
+TEST(Oracle, TwoHopPath) {
+  const auto trace =
+      make_trace({{0, 1, 0.0, 150.0}, {1, 2, 1'000.0, 1'150.0}});
+  EXPECT_DOUBLE_EQ(earliest_arrival(trace, 0, 2, 0.0), 1'100.0);
+}
+
+TEST(Oracle, TimeRespectingOnly) {
+  // The relay meets the destination BEFORE it gets the bundle: useless.
+  const auto trace =
+      make_trace({{1, 2, 0.0, 150.0}, {0, 1, 1'000.0, 1'150.0}});
+  EXPECT_EQ(earliest_arrival(trace, 0, 2, 0.0), kNoExpiry);
+  // The reverse direction works.
+  EXPECT_DOUBLE_EQ(earliest_arrival(trace, 2, 0, 0.0), 1'100.0);
+}
+
+TEST(Oracle, StartTimeFiltersEarlierContacts) {
+  const auto trace = make_trace({{0, 1, 0.0, 500.0}});
+  // Available only from t=450: the last usable slot is at 500.
+  EXPECT_DOUBLE_EQ(earliest_arrival(trace, 0, 1, 450.0), 500.0);
+  // Available from t=500: slot at 500 requires arrival strictly before it.
+  EXPECT_EQ(earliest_arrival(trace, 0, 1, 500.0), kNoExpiry);
+}
+
+TEST(Oracle, LaterSlotOfSameContactUsable) {
+  // Bundle appears mid-contact: it can still ride a later slot.
+  const auto trace = make_trace({{0, 1, 0.0, 350.0}});
+  EXPECT_DOUBLE_EQ(earliest_arrival(trace, 0, 1, 150.0), 200.0);
+}
+
+TEST(Oracle, SourceArrivalIsStart) {
+  const auto trace = make_trace({{0, 1, 0.0, 150.0}});
+  const auto arrival = earliest_arrivals(trace, 0, 25.0);
+  EXPECT_DOUBLE_EQ(arrival[0], 25.0);
+}
+
+TEST(Oracle, RejectsNonPositiveSlot) {
+  const auto trace = make_trace({{0, 1, 0.0, 150.0}});
+  EXPECT_THROW((void)earliest_arrival(trace, 0, 1, 0.0, 0.0), ConfigError);
+}
+
+TEST(Oracle, ReachablePairFraction) {
+  const auto trace =
+      make_trace({{0, 1, 0.0, 150.0}, {0, 2, 1'000.0, 1'150.0}});
+  // Reachable: 0->1, 1->0 (slot at 100), 0->2, 2->0 (slot at 1100) and
+  // 1->2 (via 0). Unreachable: 2->1 -- node 2's only contact comes after
+  // node 1's last one. 5 of 6 ordered pairs.
+  EXPECT_DOUBLE_EQ(reachable_pair_fraction(trace), 5.0 / 6.0);
+}
+
+TEST(Oracle, MeanOracleDelay) {
+  const auto trace =
+      make_trace({{0, 1, 0.0, 150.0}, {1, 2, 1'000.0, 1'150.0}});
+  // From 0: node 1 at 100, node 2 at 1100 -> mean 600.
+  EXPECT_DOUBLE_EQ(mean_oracle_delay(trace, 0, 0.0), 600.0);
+}
+
+// ---- the flooding-optimality cross-check -----------------------------------
+
+struct OracleCase {
+  const char* scenario;
+  std::uint64_t seed;
+};
+
+class FloodingMatchesOracle : public ::testing::TestWithParam<OracleCase> {};
+
+TEST_P(FloodingMatchesOracle, SingleBundleUnboundedBuffers) {
+  const auto& param = GetParam();
+  exp::ScenarioSpec spec;
+  if (std::string_view(param.scenario) == "trace") {
+    spec = exp::trace_scenario();
+    spec.haggle.horizon = 150'000.0;
+  } else {
+    spec = exp::rwp_scenario();
+    spec.rwp.horizon = 150'000.0;
+  }
+  const auto trace = exp::build_contact_trace(spec, param.seed);
+
+  SimulationConfig config;
+  config.node_count = std::max(trace.node_count(), 2u);
+  config.buffer_capacity = 100'000;  // effectively unbounded
+  config.load = 1;
+  config.horizon = trace.end_time() + 1.0;
+  config.protocol.kind = ProtocolKind::kPureEpidemic;
+
+  for (NodeId source = 0; source < config.node_count; ++source) {
+    const auto arrival = earliest_arrivals(trace, source, 0.0);
+    for (NodeId dest = 0; dest < config.node_count; ++dest) {
+      if (dest == source) continue;
+      config.source = source;
+      config.destination = dest;
+      routing::Engine engine(config, trace,
+                             routing::make_protocol(config.protocol), 1);
+      const auto run = engine.run();
+      if (arrival[dest] == kNoExpiry) {
+        EXPECT_FALSE(run.complete)
+            << "unreachable pair delivered: " << source << "->" << dest;
+      } else {
+        ASSERT_TRUE(run.complete)
+            << "reachable pair failed: " << source << "->" << dest;
+        EXPECT_DOUBLE_EQ(run.completion_time, arrival[dest])
+            << "flooding missed the oracle optimum for " << source << "->"
+            << dest;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, FloodingMatchesOracle,
+    ::testing::Values(OracleCase{"trace", 1}, OracleCase{"trace", 42},
+                      OracleCase{"rwp", 7}, OracleCase{"rwp", 42}),
+    [](const ::testing::TestParamInfo<OracleCase>& param_info) {
+      return std::string(param_info.param.scenario) + "_seed" +
+             std::to_string(param_info.param.seed);
+    });
+
+}  // namespace
+}  // namespace epi::analysis

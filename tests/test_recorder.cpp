@@ -1,0 +1,181 @@
+#include "metrics/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epi::metrics {
+namespace {
+
+using dtn::RemoveReason;
+
+TEST(Recorder, EmptyRunIsZero) {
+  Recorder r(4, 10);
+  r.finalize(100.0);
+  EXPECT_EQ(r.created_count(), 0u);
+  EXPECT_DOUBLE_EQ(r.delivery_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(r.avg_buffer_occupancy(), 0.0);
+  EXPECT_DOUBLE_EQ(r.avg_duplication_rate(), 0.0);
+  EXPECT_FALSE(r.completion_time().has_value());
+}
+
+TEST(Recorder, DeliveryRatioOverCreated) {
+  Recorder r(4, 10);
+  r.on_created(1, 0.0);
+  r.on_created(2, 0.0);
+  r.on_delivered(1, 50.0);
+  r.finalize(100.0);
+  EXPECT_DOUBLE_EQ(r.delivery_ratio(), 0.5);
+  EXPECT_EQ(r.delivered_count(), 1u);
+  EXPECT_FALSE(r.completion_time().has_value());
+}
+
+TEST(Recorder, CompletionWhenAllDelivered) {
+  Recorder r(4, 10);
+  r.on_created(1, 0.0);
+  r.on_created(2, 0.0);
+  r.on_delivered(2, 30.0);
+  r.on_delivered(1, 70.0);
+  r.finalize(100.0);
+  ASSERT_TRUE(r.completion_time().has_value());
+  EXPECT_DOUBLE_EQ(*r.completion_time(), 70.0);
+  EXPECT_DOUBLE_EQ(r.last_delivery_time(), 70.0);
+}
+
+TEST(Recorder, MeanBundleDelay) {
+  Recorder r(4, 10);
+  r.on_created(1, 10.0);
+  r.on_created(2, 20.0);
+  r.on_delivered(1, 110.0);  // delay 100
+  r.on_delivered(2, 320.0);  // delay 300
+  r.finalize(400.0);
+  EXPECT_DOUBLE_EQ(r.mean_bundle_delay(), 200.0);
+}
+
+TEST(Recorder, BufferOccupancyIsExactIntegral) {
+  // One node of capacity 10 holds 1 bundle for [0, 50) and 2 for [50, 100):
+  // integral = 50 + 100 = 150; occupancy = 150 / (4 nodes * 10 * 100).
+  Recorder r(4, 10);
+  r.on_created(1, 0.0);
+  r.on_created(2, 0.0);
+  r.on_stored(0, 1, 0.0);
+  r.on_stored(0, 2, 50.0);
+  r.finalize(100.0);
+  EXPECT_DOUBLE_EQ(r.avg_buffer_occupancy(), 150.0 / 4000.0);
+}
+
+TEST(Recorder, BufferOccupancyDropsOnRemoval) {
+  // Node 0 holds bundle 1 during [0, 40) only: integral 40 over 2*5*100.
+  Recorder r(2, 5);
+  r.on_created(1, 0.0);
+  r.on_stored(0, 1, 0.0);
+  r.on_removed(0, 1, 40.0, RemoveReason::kExpired);
+  r.finalize(100.0);
+  EXPECT_DOUBLE_EQ(r.avg_buffer_occupancy(), 40.0 / 1000.0);
+}
+
+TEST(Recorder, PeakDuplicationRate) {
+  // Bundle 1 reaches 3 of 4 nodes at its peak, then copies are removed.
+  Recorder r(4, 10);
+  r.on_created(1, 0.0);
+  r.on_stored(0, 1, 0.0);
+  r.on_stored(1, 1, 10.0);
+  r.on_stored(2, 1, 20.0);
+  r.on_removed(1, 1, 30.0, RemoveReason::kExpired);
+  r.on_removed(2, 1, 30.0, RemoveReason::kExpired);
+  r.finalize(100.0);
+  EXPECT_DOUBLE_EQ(r.avg_duplication_rate(), 3.0 / 4.0);
+}
+
+TEST(Recorder, PeakDuplicationAveragesOverBundles) {
+  Recorder r(4, 10);
+  r.on_created(1, 0.0);
+  r.on_created(2, 0.0);
+  r.on_stored(0, 1, 0.0);  // bundle 1 peaks at 1 copy
+  r.on_stored(0, 2, 0.0);
+  r.on_stored(1, 2, 5.0);  // bundle 2 peaks at 2 copies
+  r.finalize(10.0);
+  EXPECT_DOUBLE_EQ(r.avg_duplication_rate(), (0.25 + 0.5) / 2.0);
+}
+
+TEST(Recorder, TimeDuplicationFreezesAtDelivery) {
+  // Bundle 1: 1 copy over [0, 100), delivered at 100, copies keep changing
+  // afterwards but must not affect the pre-delivery time-average.
+  Recorder r(2, 10);
+  r.on_created(1, 0.0);
+  r.on_stored(0, 1, 0.0);
+  r.on_delivered(1, 100.0);
+  r.on_stored(1, 1, 150.0);
+  r.finalize(200.0);
+  EXPECT_DOUBLE_EQ(r.avg_time_duplication_rate(), 0.5);  // 1 of 2 nodes
+}
+
+TEST(Recorder, RemovalReasonsCounted) {
+  Recorder r(2, 10);
+  r.on_created(1, 0.0);
+  r.on_created(2, 0.0);
+  r.on_created(3, 0.0);
+  r.on_stored(0, 1, 0.0);
+  r.on_stored(0, 2, 0.0);
+  r.on_stored(0, 3, 0.0);
+  r.on_removed(0, 1, 10.0, RemoveReason::kExpired);
+  r.on_removed(0, 2, 10.0, RemoveReason::kEvicted);
+  r.on_removed(0, 3, 10.0, RemoveReason::kImmunized);
+  r.finalize(20.0);
+  EXPECT_EQ(r.removed(RemoveReason::kExpired), 1u);
+  EXPECT_EQ(r.removed(RemoveReason::kEvicted), 1u);
+  EXPECT_EQ(r.removed(RemoveReason::kImmunized), 1u);
+  EXPECT_EQ(r.removed(RemoveReason::kConsumed), 0u);
+}
+
+TEST(Recorder, CountsTransfersControlAndContacts) {
+  Recorder r(2, 10);
+  r.on_created(1, 0.0);
+  r.on_transfer(1, 5.0);
+  r.on_transfer(1, 6.0);
+  r.on_control_records(10);
+  r.on_control_records(5);
+  r.on_contact();
+  r.finalize(10.0);
+  EXPECT_EQ(r.bundle_transmissions(), 2u);
+  EXPECT_EQ(r.control_records(), 15u);
+  EXPECT_EQ(r.contacts(), 1u);
+}
+
+TEST(Recorder, TimelineSnapshotsState) {
+  Recorder r(2, 10);
+  r.on_created(1, 0.0);
+  r.on_created(2, 0.0);
+  r.on_stored(0, 1, 0.0);
+  r.sample(10.0, /*intended_load=*/4);
+  r.on_stored(1, 1, 20.0);
+  r.on_delivered(2, 30.0);
+  r.on_transfer(1, 30.0);
+  r.sample(40.0, 4);
+  r.finalize(50.0);
+
+  const auto& timeline = r.timeline();
+  ASSERT_EQ(timeline.size(), 2u);
+  EXPECT_DOUBLE_EQ(timeline[0].t, 10.0);
+  EXPECT_EQ(timeline[0].live_copies, 1u);
+  EXPECT_DOUBLE_EQ(timeline[0].buffer_occupancy, 1.0 / 20.0);
+  EXPECT_DOUBLE_EQ(timeline[0].delivered_fraction, 0.0);
+  EXPECT_EQ(timeline[1].live_copies, 2u);
+  EXPECT_DOUBLE_EQ(timeline[1].delivered_fraction, 0.25);
+  EXPECT_EQ(timeline[1].transmissions, 1u);
+}
+
+TEST(Recorder, TimelineEmptyWithoutSampling) {
+  Recorder r(2, 10);
+  r.finalize(1.0);
+  EXPECT_TRUE(r.timeline().empty());
+}
+
+TEST(Recorder, InstantDeliveryExcludedFromTimeDup) {
+  Recorder r(2, 10);
+  r.on_created(1, 50.0);
+  r.on_delivered(1, 50.0);  // zero routed lifetime
+  r.finalize(100.0);
+  EXPECT_DOUBLE_EQ(r.avg_time_duplication_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace epi::metrics

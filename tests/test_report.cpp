@@ -1,0 +1,103 @@
+#include "exp/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace epi::exp {
+namespace {
+
+Figure tiny_figure() {
+  Figure figure;
+  figure.id = "figXX";
+  figure.title = "test figure";
+  figure.metric = Metric::kDeliveryRatio;
+  figure.labels = {"alpha", "beta"};
+  for (int s = 0; s < 2; ++s) {
+    SweepResult result;
+    result.scenario_name = "trace";
+    result.loads = {5, 10};
+    for (std::size_t li = 0; li < 2; ++li) {
+      metrics::LoadPoint point;
+      point.load = result.loads[li];
+      point.delivery_ratio.mean = 0.1 * (s + 1) + 0.01 * static_cast<double>(li);
+      point.delay.mean = 100.0 * (s + 1);
+      result.points.push_back(point);
+    }
+    figure.results.push_back(std::move(result));
+  }
+  return figure;
+}
+
+TEST(Metric, NamesAreDistinct) {
+  EXPECT_NE(metric_name(Metric::kDelay), metric_name(Metric::kDeliveryRatio));
+  EXPECT_NE(metric_name(Metric::kBufferOccupancy),
+            metric_name(Metric::kDuplicationRate));
+}
+
+TEST(Metric, MetricOfSelectsField) {
+  metrics::LoadPoint p;
+  p.delay.mean = 7.0;
+  p.delivery_ratio.mean = 0.5;
+  p.control_records.mean = 99.0;
+  EXPECT_DOUBLE_EQ(metric_of(p, Metric::kDelay).mean, 7.0);
+  EXPECT_DOUBLE_EQ(metric_of(p, Metric::kDeliveryRatio).mean, 0.5);
+  EXPECT_DOUBLE_EQ(metric_of(p, Metric::kControlRecords).mean, 99.0);
+}
+
+TEST(Figure, ValueLooksUpSeriesAndLoad) {
+  const Figure f = tiny_figure();
+  EXPECT_DOUBLE_EQ(f.value(0, 0), 0.10);
+  EXPECT_DOUBLE_EQ(f.value(1, 1), 0.21);
+}
+
+TEST(Figure, SeriesMeanAveragesLoads) {
+  const Figure f = tiny_figure();
+  EXPECT_NEAR(f.series_mean(0), 0.105, 1e-12);
+}
+
+TEST(Figure, SeriesByLabel) {
+  const Figure f = tiny_figure();
+  EXPECT_EQ(f.series("alpha"), 0u);
+  EXPECT_EQ(f.series("beta"), 1u);
+  EXPECT_THROW((void)f.series("gamma"), std::out_of_range);
+}
+
+TEST(PrintFigure, ContainsHeaderLabelsAndRows) {
+  const Figure f = tiny_figure();
+  std::ostringstream out;
+  print_figure(out, f);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("figXX"), std::string::npos);
+  EXPECT_NE(text.find("test figure"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("beta"), std::string::npos);
+  EXPECT_NE(text.find("0.1000"), std::string::npos);
+  EXPECT_NE(text.find("avg delivery ratio"), std::string::npos);
+}
+
+TEST(PrintFigureCsv, OneLinePerLoad) {
+  const Figure f = tiny_figure();
+  std::ostringstream out;
+  print_figure_csv(out, f);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("load,alpha,beta"), std::string::npos);
+  int lines = 0;
+  for (const char c : text) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 3);  // header + 2 load rows
+}
+
+TEST(PrintFigure, EmptyFigureDoesNotCrash) {
+  Figure f;
+  f.id = "empty";
+  f.title = "no series";
+  std::ostringstream out;
+  print_figure(out, f);
+  print_figure_csv(out, f);
+  EXPECT_NE(out.str().find("empty"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace epi::exp

@@ -1,0 +1,107 @@
+// Integration tests asserting the paper's headline *shape* claims at reduced
+// replication counts (the bench binaries measure the full versions).
+#include <gtest/gtest.h>
+
+#include "exp/figures.hpp"
+
+namespace epi::exp {
+namespace {
+
+FigureOptions quick() {
+  FigureOptions options;
+  options.replications = 3;
+  return options;
+}
+
+TEST(Reproduction, Fig14IntervalHurtsFixedTtl) {
+  // "When the interval between encounters increases, delivery ratio drops
+  //  dramatically."
+  const Figure f = run_fig14(quick());
+  const double short_interval = f.series_mean(f.series("interval=400"));
+  const double long_interval = f.series_mean(f.series("interval=2000"));
+  EXPECT_GT(short_interval, long_interval + 0.05);
+}
+
+TEST(Reproduction, DynamicTtlBeatsFixedTtlOnTrace) {
+  // "Dynamic TTL improves delivery ratio by more than 20%."
+  const Figure f = run_fig16(quick());
+  const double dynamic = f.series_mean(f.series("dynamic TTL"));
+  const double fixed = f.series_mean(f.series("TTL=300"));
+  EXPECT_GT(dynamic, fixed + 0.20);
+}
+
+TEST(Reproduction, EcTtlReducesBufferOnTrace) {
+  // "EC+TTL reduces buffer occupancy level."
+  const Figure f = run_fig18(quick());
+  const double ec = f.series_mean(f.series("EC"));
+  const double ec_ttl = f.series_mean(f.series("EC+TTL"));
+  EXPECT_LT(ec_ttl, ec);
+}
+
+TEST(Reproduction, ImmunityVariantsDeliverEverything) {
+  const Figure f = run_fig16(quick());
+  EXPECT_GT(f.series_mean(f.series("Immunity")), 0.95);
+  EXPECT_GT(f.series_mean(f.series("CumImmunity")), 0.95);
+}
+
+TEST(Reproduction, CumulativeImmunityCutsOverhead) {
+  // Abstract: "an order of magnitude less signaling overheads".
+  const Figure f = run_overhead(quick(), /*rwp=*/false);
+  const double imm = f.series_mean(f.series("Immunity"));
+  const double cum = f.series_mean(f.series("CumImmunity"));
+  EXPECT_GT(imm, 5.0 * cum);
+}
+
+TEST(Reproduction, EcDelayGrowsFastestOnTrace) {
+  // Fig. 7: "the delay of epidemic with EC grows the quickest, and P-Q has
+  // the slowest growth."
+  const Figure f = run_fig07(quick());
+  const std::size_t last = f.results.front().points.size() - 1;
+  const double pq_delay = f.value(f.series("P-Q epidemic"), last);
+  const double ec_delay = f.value(f.series("EC"), last);
+  EXPECT_GT(ec_delay, pq_delay);
+}
+
+TEST(Reproduction, PqBufferStaysHighOnTrace) {
+  // Fig. 11: P-Q consumes the most buffer; immunity purges eagerly and sits
+  // clearly below it.
+  const Figure f = run_fig11(quick());
+  const double pq = f.series_mean(f.series("P-Q epidemic"));
+  const double immunity = f.series_mean(f.series("Immunity"));
+  const double ttl = f.series_mean(f.series("TTL=300"));
+  EXPECT_GT(pq, immunity);
+  EXPECT_GT(immunity, ttl);
+}
+
+TEST(Reproduction, Table2OrderingsHold) {
+  FigureOptions options;
+  options.replications = 3;
+  const auto rows = run_table2(options);
+  ASSERT_EQ(rows.size(), 6u);
+  const auto find = [&](const std::string& needle) -> const Table2Row& {
+    for (const auto& row : rows) {
+      if (row.protocol.find(needle) != std::string::npos) return row;
+    }
+    ADD_FAILURE() << "row not found: " << needle;
+    return rows.front();
+  };
+  const auto& ttl = find("with TTL");
+  const auto& dyn = find("Dynamic TTL");
+  const auto& ec = find("with EC");
+  const auto& ecttl = find("EC+TTL");
+  const auto& imm = find("with Immunity");
+  const auto& cum = find("Cumulative");
+
+  // Delivery: dynamic TTL > fixed TTL; EC+TTL >= EC; immunity ~ cumulative.
+  EXPECT_GT(dyn.delivery_trace, ttl.delivery_trace);
+  EXPECT_GT(dyn.delivery_rwp, ttl.delivery_rwp);
+  EXPECT_GE(ecttl.delivery_trace + 5.0, ec.delivery_trace);
+  EXPECT_NEAR(imm.delivery_trace, cum.delivery_trace, 10.0);
+
+  // Buffer: EC+TTL below EC; cumulative at or below immunity.
+  EXPECT_LT(ecttl.buffer_trace, ec.buffer_trace);
+  EXPECT_LE(cum.buffer_trace, imm.buffer_trace + 2.0);
+}
+
+}  // namespace
+}  // namespace epi::exp

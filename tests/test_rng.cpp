@@ -1,0 +1,190 @@
+#include "core/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace epi {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng r(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(r.next());
+  EXPECT_GT(seen.size(), 95u);  // not stuck
+}
+
+TEST(Rng, DeriveIsDeterministic) {
+  Rng a = Rng::derive(42, 1, 2, 3);
+  Rng b = Rng::derive(42, 1, 2, 3);
+  EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DeriveTagsMatter) {
+  EXPECT_NE(Rng::derive(42, 1, 2, 3).next(), Rng::derive(42, 1, 2, 4).next());
+  EXPECT_NE(Rng::derive(42, 1, 2, 3).next(), Rng::derive(42, 1, 3, 2).next());
+  EXPECT_NE(Rng::derive(42, 1, 2, 3).next(), Rng::derive(43, 1, 2, 3).next());
+  // Tag order matters (a, b) != (b, a).
+  EXPECT_NE(Rng::derive(42, 1, 2).next(), Rng::derive(42, 2, 1).next());
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsNearHalf) {
+  Rng r(5);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(9);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = r.uniform(-3.0, 7.5);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(11);
+  for (std::uint64_t n : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(n), n);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng r(13);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng r(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.below(6));
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Rng, BelowIsApproximatelyUniform) {
+  Rng r(19);
+  std::vector<int> counts(10, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[r.below(10)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+  }
+}
+
+TEST(Rng, BetweenIsInclusive) {
+  Rng r(23);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.between(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_TRUE(seen.contains(-2));
+  EXPECT_TRUE(seen.contains(2));
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng r(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+    EXPECT_FALSE(r.chance(-1.0));
+    EXPECT_TRUE(r.chance(2.0));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng r(31);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) hits += r.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng r(37);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.exponential(50.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 50.0, 1.5);
+}
+
+TEST(Rng, NormalHasZeroMeanUnitVariance) {
+  Rng r(41);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalMedianIsMedian) {
+  Rng r(43);
+  const int n = 100'001;
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = r.lognormal_median(500.0, 1.0);
+  std::nth_element(xs.begin(), xs.begin() + n / 2, xs.end());
+  EXPECT_NEAR(xs[n / 2], 500.0, 25.0);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng r(47);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_GT(r.lognormal_median(100.0, 2.0), 0.0);
+  }
+}
+
+TEST(Rng, WorksWithStdShuffle) {
+  Rng r(53);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  std::shuffle(v.begin(), v.end(), r);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);  // same multiset
+}
+
+}  // namespace
+}  // namespace epi

@@ -1,0 +1,139 @@
+#include "core/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace epi::core {
+namespace {
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(Simulator, RunAdvancesToHorizonWhenIdle) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.run(500.0), 500.0);
+}
+
+TEST(Simulator, EventsFireAtTheirTime) {
+  Simulator sim;
+  std::vector<double> seen;
+  sim.at(10.0, [&] { seen.push_back(sim.now()); });
+  sim.at(20.0, [&] { seen.push_back(sim.now()); });
+  sim.run(100.0);
+  EXPECT_EQ(seen, (std::vector<double>{10.0, 20.0}));
+}
+
+TEST(Simulator, EventsAtHorizonFire) {
+  Simulator sim;
+  bool fired = false;
+  sim.at(100.0, [&] { fired = true; });
+  sim.run(100.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, EventsPastHorizonDoNotFire) {
+  Simulator sim;
+  bool fired = false;
+  sim.at(100.1, [&] { fired = true; });
+  sim.run(100.0);
+  EXPECT_FALSE(fired);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+TEST(Simulator, AfterSchedulesRelative) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.at(10.0, [&] {
+    sim.after(5.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run(100.0);
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(Simulator, StopHaltsProcessing) {
+  Simulator sim;
+  int count = 0;
+  sim.at(1.0, [&] { ++count; });
+  sim.at(2.0, [&] {
+    ++count;
+    sim.stop();
+  });
+  sim.at(3.0, [&] { ++count; });
+  const SimTime end = sim.run(100.0);
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(end, 2.0);
+  EXPECT_TRUE(sim.stopped());
+}
+
+TEST(Simulator, StopDoesNotAdvanceToHorizon) {
+  Simulator sim;
+  sim.at(5.0, [&] { sim.stop(); });
+  EXPECT_DOUBLE_EQ(sim.run(100.0), 5.0);
+}
+
+TEST(Simulator, EventsScheduledDuringRunFire) {
+  Simulator sim;
+  std::vector<double> seen;
+  sim.at(1.0, [&] {
+    seen.push_back(sim.now());
+    sim.at(2.0, [&] { seen.push_back(sim.now()); });
+  });
+  sim.run(10.0);
+  EXPECT_EQ(seen, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Simulator, SameTimeEventChainsFireInOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(1.0, [&] {
+    order.push_back(0);
+    sim.at(1.0, [&] { order.push_back(2); });  // same instant, queued after
+  });
+  sim.at(1.0, [&] { order.push_back(1); });
+  sim.run(10.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  const auto h = sim.at(5.0, [&] { fired = true; });
+  sim.cancel(h);
+  sim.run(10.0);
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CountsProcessedEvents) {
+  Simulator sim;
+  for (int i = 1; i <= 7; ++i) {
+    sim.at(static_cast<double>(i), [] {});
+  }
+  sim.run(100.0);
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+TEST(Simulator, PendingEventsReported) {
+  Simulator sim;
+  sim.at(1.0, [] {});
+  sim.at(2.0, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.run(1.5);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulator, ResumeAfterPartialRun) {
+  Simulator sim;
+  std::vector<double> seen;
+  sim.at(1.0, [&] { seen.push_back(sim.now()); });
+  sim.at(10.0, [&] { seen.push_back(sim.now()); });
+  sim.run(5.0);
+  EXPECT_EQ(seen.size(), 1u);
+  sim.run(20.0);
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+}  // namespace
+}  // namespace epi::core

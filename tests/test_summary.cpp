@@ -1,0 +1,140 @@
+#include "metrics/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "metrics/recorder.hpp"
+
+namespace epi::metrics {
+namespace {
+
+TEST(Aggregate, EmptyInput) {
+  const Aggregate a = aggregate({});
+  EXPECT_EQ(a.count, 0u);
+  EXPECT_DOUBLE_EQ(a.mean, 0.0);
+}
+
+TEST(Aggregate, SingleValue) {
+  const double v[] = {7.0};
+  const Aggregate a = aggregate(v);
+  EXPECT_DOUBLE_EQ(a.mean, 7.0);
+  EXPECT_DOUBLE_EQ(a.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(a.min, 7.0);
+  EXPECT_DOUBLE_EQ(a.max, 7.0);
+}
+
+TEST(Aggregate, MeanMinMax) {
+  const double v[] = {1.0, 2.0, 3.0, 4.0};
+  const Aggregate a = aggregate(v);
+  EXPECT_DOUBLE_EQ(a.mean, 2.5);
+  EXPECT_DOUBLE_EQ(a.min, 1.0);
+  EXPECT_DOUBLE_EQ(a.max, 4.0);
+  EXPECT_EQ(a.count, 4u);
+}
+
+TEST(Aggregate, SampleStddev) {
+  const double v[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Aggregate a = aggregate(v);
+  // Known dataset: population sd = 2, sample sd = sqrt(32/7).
+  EXPECT_NEAR(a.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Aggregate, Ci95HalfWidth) {
+  // n=2: t = 12.706; sd of {1,3} = sqrt(2); hw = 12.706*sqrt(2)/sqrt(2).
+  const double two[] = {1.0, 3.0};
+  EXPECT_NEAR(aggregate(two).ci95_half_width(), 12.706, 1e-9);
+  // n=10 (the paper's replication count): t = 2.262.
+  std::vector<double> ten(10);
+  for (std::size_t i = 0; i < 10; ++i) ten[i] = static_cast<double>(i);
+  const Aggregate a = aggregate(ten);
+  EXPECT_NEAR(a.ci95_half_width(), 2.262 * a.stddev / std::sqrt(10.0), 1e-12);
+}
+
+TEST(Aggregate, Ci95ZeroForSingleton) {
+  const double one[] = {5.0};
+  EXPECT_DOUBLE_EQ(aggregate(one).ci95_half_width(), 0.0);
+  EXPECT_DOUBLE_EQ(aggregate({}).ci95_half_width(), 0.0);
+}
+
+TEST(Aggregate, Ci95LargeSampleUsesNormalQuantile) {
+  std::vector<double> many(50, 1.0);
+  many[0] = 2.0;
+  const Aggregate a = aggregate(many);
+  EXPECT_NEAR(a.ci95_half_width(), 1.96 * a.stddev / std::sqrt(50.0), 1e-12);
+}
+
+TEST(Summarize, UsesIntendedLoadNotCreatedCount) {
+  // 3 bundles created, 3 delivered — but the intended load was 10: bundles
+  // the source never injected count as undelivered.
+  Recorder r(4, 10);
+  for (BundleId id = 1; id <= 3; ++id) {
+    r.on_created(id, 0.0);
+    r.on_delivered(id, 10.0 * id);
+  }
+  r.finalize(100.0);
+  const RunSummary s = summarize(r, /*load=*/10, /*seed=*/1, /*horizon=*/500.0);
+  EXPECT_DOUBLE_EQ(s.delivery_ratio, 0.3);
+  EXPECT_FALSE(s.complete);
+  EXPECT_DOUBLE_EQ(s.completion_time, 500.0);  // horizon-charged
+}
+
+TEST(Summarize, CompleteRunUsesLastDelivery) {
+  Recorder r(4, 10);
+  r.on_created(1, 0.0);
+  r.on_created(2, 0.0);
+  r.on_delivered(1, 40.0);
+  r.on_delivered(2, 90.0);
+  r.finalize(100.0);
+  const RunSummary s = summarize(r, 2, 1, 500.0);
+  EXPECT_TRUE(s.complete);
+  EXPECT_DOUBLE_EQ(s.delivery_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(s.completion_time, 90.0);
+}
+
+TEST(Summarize, CopiesCounters) {
+  Recorder r(2, 10);
+  r.on_created(1, 0.0);
+  r.on_stored(0, 1, 0.0);
+  r.on_transfer(1, 1.0);
+  r.on_control_records(9);
+  r.on_contact();
+  r.on_removed(0, 1, 5.0, dtn::RemoveReason::kEvicted);
+  r.finalize(10.0);
+  const RunSummary s = summarize(r, 1, 77, 10.0);
+  EXPECT_EQ(s.seed, 77u);
+  EXPECT_EQ(s.bundle_transmissions, 1u);
+  EXPECT_EQ(s.control_records, 9u);
+  EXPECT_EQ(s.contacts, 1u);
+  EXPECT_EQ(s.drops_evicted, 1u);
+  EXPECT_EQ(s.drops_expired, 0u);
+}
+
+TEST(AggregateRuns, EmptyBatch) {
+  const LoadPoint p = aggregate_runs({});
+  EXPECT_EQ(p.load, 0u);
+  EXPECT_EQ(p.delivery_ratio.count, 0u);
+}
+
+TEST(AggregateRuns, AveragesAcrossReplications) {
+  std::vector<RunSummary> runs(2);
+  runs[0].load = 25;
+  runs[0].delivery_ratio = 0.8;
+  runs[0].completion_time = 100.0;
+  runs[0].buffer_occupancy = 0.4;
+  runs[1].load = 25;
+  runs[1].delivery_ratio = 0.6;
+  runs[1].completion_time = 300.0;
+  runs[1].buffer_occupancy = 0.2;
+  const LoadPoint p = aggregate_runs(runs);
+  EXPECT_EQ(p.load, 25u);
+  EXPECT_DOUBLE_EQ(p.delivery_ratio.mean, 0.7);
+  EXPECT_DOUBLE_EQ(p.delay.mean, 200.0);
+  EXPECT_DOUBLE_EQ(p.buffer_occupancy.mean, 0.3);
+  EXPECT_DOUBLE_EQ(p.delivery_ratio.min, 0.6);
+  EXPECT_DOUBLE_EQ(p.delivery_ratio.max, 0.8);
+}
+
+}  // namespace
+}  // namespace epi::metrics

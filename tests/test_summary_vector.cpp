@@ -1,0 +1,77 @@
+#include "dtn/summary_vector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epi::dtn {
+namespace {
+
+TEST(SummaryVector, InsertReportsNovelty) {
+  SummaryVector v;
+  EXPECT_TRUE(v.insert(3));
+  EXPECT_FALSE(v.insert(3));
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(SummaryVector, EraseReportsPresence) {
+  SummaryVector v;
+  v.insert(3);
+  EXPECT_TRUE(v.erase(3));
+  EXPECT_FALSE(v.erase(3));
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SummaryVector, Contains) {
+  SummaryVector v;
+  v.insert(1);
+  EXPECT_TRUE(v.contains(1));
+  EXPECT_FALSE(v.contains(2));
+}
+
+TEST(SummaryVector, DifferenceIsSortedAndOneSided) {
+  SummaryVector a;
+  SummaryVector b;
+  for (const BundleId id : {9u, 1u, 5u, 3u}) a.insert(id);
+  b.insert(5);
+  b.insert(2);
+  const auto diff = a.difference(b);
+  EXPECT_EQ(diff, (std::vector<BundleId>{1, 3, 9}));
+  const auto rdiff = b.difference(a);
+  EXPECT_EQ(rdiff, (std::vector<BundleId>{2}));
+}
+
+TEST(SummaryVector, DifferenceWithEmpty) {
+  SummaryVector a;
+  a.insert(4);
+  EXPECT_EQ(a.difference(SummaryVector{}).size(), 1u);
+  EXPECT_TRUE(SummaryVector{}.difference(a).empty());
+}
+
+TEST(SummaryVector, MergeCountsNewIds) {
+  SummaryVector a;
+  SummaryVector b;
+  a.insert(1);
+  a.insert(2);
+  b.insert(2);
+  b.insert(3);
+  b.insert(4);
+  EXPECT_EQ(a.merge(b), 2u);  // 3 and 4 are new
+  EXPECT_EQ(a.size(), 4u);
+  EXPECT_EQ(a.merge(b), 0u);  // idempotent
+}
+
+TEST(SummaryVector, SortedSnapshot) {
+  SummaryVector v;
+  for (const BundleId id : {7u, 2u, 5u}) v.insert(id);
+  EXPECT_EQ(v.sorted(), (std::vector<BundleId>{2, 5, 7}));
+}
+
+TEST(SummaryVector, Clear) {
+  SummaryVector v;
+  v.insert(1);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_FALSE(v.contains(1));
+}
+
+}  // namespace
+}  // namespace epi::dtn

@@ -1,0 +1,100 @@
+#include "exp/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace epi::exp {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedJobs) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { count.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitWithNoJobsReturns) {
+  ThreadPool pool(2);
+  pool.wait();
+}
+
+TEST(ThreadPool, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&] { count.fetch_add(1); });
+  pool.wait();
+  pool.submit([&] { count.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, PropagatesException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The pool survives and keeps working.
+  std::atomic<int> count{0};
+  pool.submit([&] { count.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(1000, 8, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  parallel_for(0, 4, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelFor, SingleThreadRunsInOrder) {
+  std::vector<std::size_t> order;
+  parallel_for(10, 1, [&](std::size_t i) { order.push_back(i); });
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelFor, MoreThreadsThanWorkIsFine) {
+  std::atomic<int> count{0};
+  parallel_for(3, 64, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(
+      parallel_for(100, 4,
+                   [](std::size_t i) {
+                     if (i == 13) throw std::runtime_error("unlucky");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, ResultIndependentOfThreadCount) {
+  const auto compute = [](unsigned threads) {
+    std::vector<double> out(500);
+    parallel_for(500, threads, [&](std::size_t i) {
+      out[i] = static_cast<double>(i) * 1.5 + 1.0;
+    });
+    return std::accumulate(out.begin(), out.end(), 0.0);
+  };
+  const double expected = compute(1);
+  EXPECT_DOUBLE_EQ(compute(2), expected);
+  EXPECT_DOUBLE_EQ(compute(7), expected);
+  EXPECT_DOUBLE_EQ(compute(16), expected);
+}
+
+}  // namespace
+}  // namespace epi::exp

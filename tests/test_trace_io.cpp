@@ -1,0 +1,110 @@
+#include "mobility/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.hpp"
+#include "mobility/synthetic_haggle.hpp"
+
+namespace epi::mobility {
+namespace {
+
+TEST(TraceIo, ParsesSimpleLines) {
+  std::istringstream in("0 1 10 20\n1 2 30.5 45.25\n");
+  const ContactTrace trace = read_trace(in);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].a, 0u);
+  EXPECT_EQ(trace[0].b, 1u);
+  EXPECT_DOUBLE_EQ(trace[1].start, 30.5);
+  EXPECT_DOUBLE_EQ(trace[1].end, 45.25);
+}
+
+TEST(TraceIo, SkipsCommentsAndBlankLines) {
+  std::istringstream in(
+      "# header comment\n"
+      "\n"
+      "0 1 10 20  # trailing comment\n"
+      "   \n"
+      "# another\n");
+  EXPECT_EQ(read_trace(in).size(), 1u);
+}
+
+TEST(TraceIo, RejectsShortLine) {
+  std::istringstream in("0 1 10\n");
+  EXPECT_THROW(read_trace(in), TraceError);
+}
+
+TEST(TraceIo, RejectsTrailingGarbage) {
+  std::istringstream in("0 1 10 20 bogus\n");
+  EXPECT_THROW(read_trace(in), TraceError);
+}
+
+TEST(TraceIo, RejectsNegativeNodeId) {
+  std::istringstream in("-1 1 10 20\n");
+  EXPECT_THROW(read_trace(in), TraceError);
+}
+
+TEST(TraceIo, RejectsSelfContact) {
+  std::istringstream in("4 4 10 20\n");
+  EXPECT_THROW(read_trace(in), TraceError);
+}
+
+TEST(TraceIo, RejectsBackwardsInterval) {
+  std::istringstream in("0 1 20 10\n");
+  EXPECT_THROW(read_trace(in), TraceError);
+}
+
+TEST(TraceIo, ErrorMentionsLineNumber) {
+  std::istringstream in("0 1 10 20\n0 1 bad line\n");
+  try {
+    (void)read_trace(in);
+    FAIL() << "expected TraceError";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(read_trace_file("/nonexistent/path/trace.txt"), TraceError);
+}
+
+TEST(TraceIo, RoundTripPreservesContacts) {
+  SyntheticHaggleParams params;
+  params.horizon = 50'000.0;  // keep the test fast
+  const ContactTrace original = generate_synthetic_haggle(params, 7);
+  ASSERT_GT(original.size(), 0u);
+
+  std::stringstream buffer;
+  write_trace(buffer, original, "round-trip test");
+  const ContactTrace parsed = read_trace(buffer);
+
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].a, original[i].a);
+    EXPECT_EQ(parsed[i].b, original[i].b);
+    EXPECT_NEAR(parsed[i].start, original[i].start, 1e-6);
+    EXPECT_NEAR(parsed[i].end, original[i].end, 1e-6);
+  }
+}
+
+TEST(TraceIo, WriteIncludesHeaderAndComment) {
+  std::stringstream buffer;
+  write_trace(buffer, ContactTrace{}, "my comment");
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("# contact trace"), std::string::npos);
+  EXPECT_NE(text.find("my comment"), std::string::npos);
+  EXPECT_NE(text.find("contacts=0"), std::string::npos);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/epi_trace_io_test.txt";
+  std::vector<Contact> contacts{{0, 1, 5.0, 125.0}, {1, 2, 10.0, 400.0}};
+  write_trace_file(path, ContactTrace(std::move(contacts)));
+  const ContactTrace loaded = read_trace_file(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded[1].end, 400.0);
+}
+
+}  // namespace
+}  // namespace epi::mobility

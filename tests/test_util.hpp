@@ -1,0 +1,43 @@
+// Shared fixtures and helpers for the test suite.
+#pragma once
+
+#include <initializer_list>
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "mobility/contact_trace.hpp"
+#include "routing/engine.hpp"
+#include "routing/factory.hpp"
+
+namespace epi::test {
+
+/// Builds a trace from a brace-list of {a, b, start, end} tuples.
+inline mobility::ContactTrace make_trace(
+    std::initializer_list<mobility::Contact> contacts) {
+  return mobility::ContactTrace(std::vector<mobility::Contact>(contacts));
+}
+
+/// A minimal 3-node config: node 0 -> node 2, relay node 1.
+inline SimulationConfig small_config(std::uint32_t load = 1,
+                                     std::uint32_t nodes = 3) {
+  SimulationConfig config;
+  config.node_count = nodes;
+  config.buffer_capacity = 10;
+  config.load = load;
+  config.source = 0;
+  config.destination = nodes - 1;
+  config.horizon = 100'000.0;
+  return config;
+}
+
+/// Runs one engine to completion and returns the summary.
+inline metrics::RunSummary run_engine(const SimulationConfig& config,
+                                      const mobility::ContactTrace& trace,
+                                      std::uint64_t seed = 1) {
+  routing::Engine engine(config, trace,
+                         routing::make_protocol(config.protocol), seed);
+  return engine.run();
+}
+
+}  // namespace epi::test
