@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_ecthreshold"
+  "../bench/bench_ablation_ecthreshold.pdb"
+  "CMakeFiles/bench_ablation_ecthreshold.dir/bench_ablation_ecthreshold.cpp.o"
+  "CMakeFiles/bench_ablation_ecthreshold.dir/bench_ablation_ecthreshold.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ecthreshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

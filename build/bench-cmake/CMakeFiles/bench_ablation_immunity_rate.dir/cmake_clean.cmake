@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_immunity_rate"
+  "../bench/bench_ablation_immunity_rate.pdb"
+  "CMakeFiles/bench_ablation_immunity_rate.dir/bench_ablation_immunity_rate.cpp.o"
+  "CMakeFiles/bench_ablation_immunity_rate.dir/bench_ablation_immunity_rate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_immunity_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_pq"
+  "../bench/bench_ablation_pq.pdb"
+  "CMakeFiles/bench_ablation_pq.dir/bench_ablation_pq.cpp.o"
+  "CMakeFiles/bench_ablation_pq.dir/bench_ablation_pq.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

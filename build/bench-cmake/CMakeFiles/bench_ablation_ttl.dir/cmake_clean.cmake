@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_ttl"
+  "../bench/bench_ablation_ttl.pdb"
+  "CMakeFiles/bench_ablation_ttl.dir/bench_ablation_ttl.cpp.o"
+  "CMakeFiles/bench_ablation_ttl.dir/bench_ablation_ttl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ttl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

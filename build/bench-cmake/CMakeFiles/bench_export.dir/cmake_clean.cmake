@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_export"
+  "../bench/bench_export.pdb"
+  "CMakeFiles/bench_export.dir/bench_export.cpp.o"
+  "CMakeFiles/bench_export.dir/bench_export.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

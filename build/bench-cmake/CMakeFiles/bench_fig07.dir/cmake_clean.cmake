@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07"
+  "../bench/bench_fig07.pdb"
+  "CMakeFiles/bench_fig07.dir/bench_fig07.cpp.o"
+  "CMakeFiles/bench_fig07.dir/bench_fig07.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

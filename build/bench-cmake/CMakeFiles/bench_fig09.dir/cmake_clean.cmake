@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09"
+  "../bench/bench_fig09.pdb"
+  "CMakeFiles/bench_fig09.dir/bench_fig09.cpp.o"
+  "CMakeFiles/bench_fig09.dir/bench_fig09.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig14.cpp" "bench-cmake/CMakeFiles/bench_fig14.dir/bench_fig14.cpp.o" "gcc" "bench-cmake/CMakeFiles/bench_fig14.dir/bench_fig14.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/epi_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/epi_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/epi_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/epi_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtn/CMakeFiles/epi_dtn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/epi_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14"
+  "../bench/bench_fig14.pdb"
+  "CMakeFiles/bench_fig14.dir/bench_fig14.cpp.o"
+  "CMakeFiles/bench_fig14.dir/bench_fig14.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

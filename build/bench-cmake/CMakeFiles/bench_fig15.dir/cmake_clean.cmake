@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15"
+  "../bench/bench_fig15.pdb"
+  "CMakeFiles/bench_fig15.dir/bench_fig15.cpp.o"
+  "CMakeFiles/bench_fig15.dir/bench_fig15.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

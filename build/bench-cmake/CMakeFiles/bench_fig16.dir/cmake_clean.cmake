@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16"
+  "../bench/bench_fig16.pdb"
+  "CMakeFiles/bench_fig16.dir/bench_fig16.cpp.o"
+  "CMakeFiles/bench_fig16.dir/bench_fig16.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

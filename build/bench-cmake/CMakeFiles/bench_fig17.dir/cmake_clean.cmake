@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17"
+  "../bench/bench_fig17.pdb"
+  "CMakeFiles/bench_fig17.dir/bench_fig17.cpp.o"
+  "CMakeFiles/bench_fig17.dir/bench_fig17.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

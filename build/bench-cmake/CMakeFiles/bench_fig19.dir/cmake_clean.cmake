@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig19"
+  "../bench/bench_fig19.pdb"
+  "CMakeFiles/bench_fig19.dir/bench_fig19.cpp.o"
+  "CMakeFiles/bench_fig19.dir/bench_fig19.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

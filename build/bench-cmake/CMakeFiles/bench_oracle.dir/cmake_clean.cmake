@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_oracle"
+  "../bench/bench_oracle.pdb"
+  "CMakeFiles/bench_oracle.dir/bench_oracle.cpp.o"
+  "CMakeFiles/bench_oracle.dir/bench_oracle.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

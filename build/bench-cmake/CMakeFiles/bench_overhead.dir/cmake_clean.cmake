@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_overhead"
+  "../bench/bench_overhead.pdb"
+  "CMakeFiles/bench_overhead.dir/bench_overhead.cpp.o"
+  "CMakeFiles/bench_overhead.dir/bench_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

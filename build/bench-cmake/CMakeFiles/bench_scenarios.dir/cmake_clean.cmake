@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_scenarios"
+  "../bench/bench_scenarios.pdb"
+  "CMakeFiles/bench_scenarios.dir/bench_scenarios.cpp.o"
+  "CMakeFiles/bench_scenarios.dir/bench_scenarios.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

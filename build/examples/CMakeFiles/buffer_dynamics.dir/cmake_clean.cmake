@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_dynamics.dir/buffer_dynamics.cpp.o"
+  "CMakeFiles/buffer_dynamics.dir/buffer_dynamics.cpp.o.d"
+  "buffer_dynamics"
+  "buffer_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for buffer_dynamics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_comparison.dir/campus_comparison.cpp.o"
+  "CMakeFiles/campus_comparison.dir/campus_comparison.cpp.o.d"
+  "campus_comparison"
+  "campus_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

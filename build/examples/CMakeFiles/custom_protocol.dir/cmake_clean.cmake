@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_protocol.dir/custom_protocol.cpp.o"
+  "CMakeFiles/custom_protocol.dir/custom_protocol.cpp.o.d"
+  "custom_protocol"
+  "custom_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

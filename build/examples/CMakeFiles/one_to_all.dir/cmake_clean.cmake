@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/one_to_all.dir/one_to_all.cpp.o"
+  "CMakeFiles/one_to_all.dir/one_to_all.cpp.o.d"
+  "one_to_all"
+  "one_to_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/one_to_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for one_to_all.
+# This may be replaced when dependencies are built.

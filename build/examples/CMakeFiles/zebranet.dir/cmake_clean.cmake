@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zebranet.dir/zebranet.cpp.o"
+  "CMakeFiles/zebranet.dir/zebranet.cpp.o.d"
+  "zebranet"
+  "zebranet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zebranet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

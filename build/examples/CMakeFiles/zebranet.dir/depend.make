@@ -1,0 +1,2 @@
+# Empty dependencies file for zebranet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_analysis.dir/reachability.cpp.o"
+  "CMakeFiles/epi_analysis.dir/reachability.cpp.o.d"
+  "libepi_analysis.a"
+  "libepi_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

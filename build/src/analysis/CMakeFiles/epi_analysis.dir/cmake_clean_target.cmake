@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libepi_analysis.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_core.dir/config.cpp.o"
+  "CMakeFiles/epi_core.dir/config.cpp.o.d"
+  "CMakeFiles/epi_core.dir/event_queue.cpp.o"
+  "CMakeFiles/epi_core.dir/event_queue.cpp.o.d"
+  "CMakeFiles/epi_core.dir/rng.cpp.o"
+  "CMakeFiles/epi_core.dir/rng.cpp.o.d"
+  "CMakeFiles/epi_core.dir/simulator.cpp.o"
+  "CMakeFiles/epi_core.dir/simulator.cpp.o.d"
+  "libepi_core.a"
+  "libepi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dtn/buffer.cpp" "src/dtn/CMakeFiles/epi_dtn.dir/buffer.cpp.o" "gcc" "src/dtn/CMakeFiles/epi_dtn.dir/buffer.cpp.o.d"
+  "/root/repo/src/dtn/immunity.cpp" "src/dtn/CMakeFiles/epi_dtn.dir/immunity.cpp.o" "gcc" "src/dtn/CMakeFiles/epi_dtn.dir/immunity.cpp.o.d"
+  "/root/repo/src/dtn/summary_vector.cpp" "src/dtn/CMakeFiles/epi_dtn.dir/summary_vector.cpp.o" "gcc" "src/dtn/CMakeFiles/epi_dtn.dir/summary_vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/epi_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

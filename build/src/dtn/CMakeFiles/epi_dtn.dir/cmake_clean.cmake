@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_dtn.dir/buffer.cpp.o"
+  "CMakeFiles/epi_dtn.dir/buffer.cpp.o.d"
+  "CMakeFiles/epi_dtn.dir/immunity.cpp.o"
+  "CMakeFiles/epi_dtn.dir/immunity.cpp.o.d"
+  "CMakeFiles/epi_dtn.dir/summary_vector.cpp.o"
+  "CMakeFiles/epi_dtn.dir/summary_vector.cpp.o.d"
+  "libepi_dtn.a"
+  "libepi_dtn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_dtn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/figures.cpp" "src/exp/CMakeFiles/epi_exp.dir/figures.cpp.o" "gcc" "src/exp/CMakeFiles/epi_exp.dir/figures.cpp.o.d"
+  "/root/repo/src/exp/report.cpp" "src/exp/CMakeFiles/epi_exp.dir/report.cpp.o" "gcc" "src/exp/CMakeFiles/epi_exp.dir/report.cpp.o.d"
+  "/root/repo/src/exp/runner.cpp" "src/exp/CMakeFiles/epi_exp.dir/runner.cpp.o" "gcc" "src/exp/CMakeFiles/epi_exp.dir/runner.cpp.o.d"
+  "/root/repo/src/exp/scenario.cpp" "src/exp/CMakeFiles/epi_exp.dir/scenario.cpp.o" "gcc" "src/exp/CMakeFiles/epi_exp.dir/scenario.cpp.o.d"
+  "/root/repo/src/exp/sweep.cpp" "src/exp/CMakeFiles/epi_exp.dir/sweep.cpp.o" "gcc" "src/exp/CMakeFiles/epi_exp.dir/sweep.cpp.o.d"
+  "/root/repo/src/exp/thread_pool.cpp" "src/exp/CMakeFiles/epi_exp.dir/thread_pool.cpp.o" "gcc" "src/exp/CMakeFiles/epi_exp.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/epi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtn/CMakeFiles/epi_dtn.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/epi_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/epi_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/epi_routing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

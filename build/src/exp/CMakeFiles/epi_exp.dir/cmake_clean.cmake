@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_exp.dir/figures.cpp.o"
+  "CMakeFiles/epi_exp.dir/figures.cpp.o.d"
+  "CMakeFiles/epi_exp.dir/report.cpp.o"
+  "CMakeFiles/epi_exp.dir/report.cpp.o.d"
+  "CMakeFiles/epi_exp.dir/runner.cpp.o"
+  "CMakeFiles/epi_exp.dir/runner.cpp.o.d"
+  "CMakeFiles/epi_exp.dir/scenario.cpp.o"
+  "CMakeFiles/epi_exp.dir/scenario.cpp.o.d"
+  "CMakeFiles/epi_exp.dir/sweep.cpp.o"
+  "CMakeFiles/epi_exp.dir/sweep.cpp.o.d"
+  "CMakeFiles/epi_exp.dir/thread_pool.cpp.o"
+  "CMakeFiles/epi_exp.dir/thread_pool.cpp.o.d"
+  "libepi_exp.a"
+  "libepi_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_metrics.dir/recorder.cpp.o"
+  "CMakeFiles/epi_metrics.dir/recorder.cpp.o.d"
+  "CMakeFiles/epi_metrics.dir/summary.cpp.o"
+  "CMakeFiles/epi_metrics.dir/summary.cpp.o.d"
+  "libepi_metrics.a"
+  "libepi_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobility/contact_trace.cpp" "src/mobility/CMakeFiles/epi_mobility.dir/contact_trace.cpp.o" "gcc" "src/mobility/CMakeFiles/epi_mobility.dir/contact_trace.cpp.o.d"
+  "/root/repo/src/mobility/interval_scenario.cpp" "src/mobility/CMakeFiles/epi_mobility.dir/interval_scenario.cpp.o" "gcc" "src/mobility/CMakeFiles/epi_mobility.dir/interval_scenario.cpp.o.d"
+  "/root/repo/src/mobility/rwp.cpp" "src/mobility/CMakeFiles/epi_mobility.dir/rwp.cpp.o" "gcc" "src/mobility/CMakeFiles/epi_mobility.dir/rwp.cpp.o.d"
+  "/root/repo/src/mobility/synthetic_haggle.cpp" "src/mobility/CMakeFiles/epi_mobility.dir/synthetic_haggle.cpp.o" "gcc" "src/mobility/CMakeFiles/epi_mobility.dir/synthetic_haggle.cpp.o.d"
+  "/root/repo/src/mobility/trace_io.cpp" "src/mobility/CMakeFiles/epi_mobility.dir/trace_io.cpp.o" "gcc" "src/mobility/CMakeFiles/epi_mobility.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/epi_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_mobility.dir/contact_trace.cpp.o"
+  "CMakeFiles/epi_mobility.dir/contact_trace.cpp.o.d"
+  "CMakeFiles/epi_mobility.dir/interval_scenario.cpp.o"
+  "CMakeFiles/epi_mobility.dir/interval_scenario.cpp.o.d"
+  "CMakeFiles/epi_mobility.dir/rwp.cpp.o"
+  "CMakeFiles/epi_mobility.dir/rwp.cpp.o.d"
+  "CMakeFiles/epi_mobility.dir/synthetic_haggle.cpp.o"
+  "CMakeFiles/epi_mobility.dir/synthetic_haggle.cpp.o.d"
+  "CMakeFiles/epi_mobility.dir/trace_io.cpp.o"
+  "CMakeFiles/epi_mobility.dir/trace_io.cpp.o.d"
+  "libepi_mobility.a"
+  "libepi_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/anti_packet_base.cpp" "src/routing/CMakeFiles/epi_routing.dir/anti_packet_base.cpp.o" "gcc" "src/routing/CMakeFiles/epi_routing.dir/anti_packet_base.cpp.o.d"
+  "/root/repo/src/routing/baselines.cpp" "src/routing/CMakeFiles/epi_routing.dir/baselines.cpp.o" "gcc" "src/routing/CMakeFiles/epi_routing.dir/baselines.cpp.o.d"
+  "/root/repo/src/routing/cumulative_immunity.cpp" "src/routing/CMakeFiles/epi_routing.dir/cumulative_immunity.cpp.o" "gcc" "src/routing/CMakeFiles/epi_routing.dir/cumulative_immunity.cpp.o.d"
+  "/root/repo/src/routing/ec_epidemic.cpp" "src/routing/CMakeFiles/epi_routing.dir/ec_epidemic.cpp.o" "gcc" "src/routing/CMakeFiles/epi_routing.dir/ec_epidemic.cpp.o.d"
+  "/root/repo/src/routing/engine.cpp" "src/routing/CMakeFiles/epi_routing.dir/engine.cpp.o" "gcc" "src/routing/CMakeFiles/epi_routing.dir/engine.cpp.o.d"
+  "/root/repo/src/routing/factory.cpp" "src/routing/CMakeFiles/epi_routing.dir/factory.cpp.o" "gcc" "src/routing/CMakeFiles/epi_routing.dir/factory.cpp.o.d"
+  "/root/repo/src/routing/pq_epidemic.cpp" "src/routing/CMakeFiles/epi_routing.dir/pq_epidemic.cpp.o" "gcc" "src/routing/CMakeFiles/epi_routing.dir/pq_epidemic.cpp.o.d"
+  "/root/repo/src/routing/protocol.cpp" "src/routing/CMakeFiles/epi_routing.dir/protocol.cpp.o" "gcc" "src/routing/CMakeFiles/epi_routing.dir/protocol.cpp.o.d"
+  "/root/repo/src/routing/ttl_epidemic.cpp" "src/routing/CMakeFiles/epi_routing.dir/ttl_epidemic.cpp.o" "gcc" "src/routing/CMakeFiles/epi_routing.dir/ttl_epidemic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/epi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtn/CMakeFiles/epi_dtn.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/epi_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/epi_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

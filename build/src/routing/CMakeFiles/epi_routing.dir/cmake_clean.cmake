@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_routing.dir/anti_packet_base.cpp.o"
+  "CMakeFiles/epi_routing.dir/anti_packet_base.cpp.o.d"
+  "CMakeFiles/epi_routing.dir/baselines.cpp.o"
+  "CMakeFiles/epi_routing.dir/baselines.cpp.o.d"
+  "CMakeFiles/epi_routing.dir/cumulative_immunity.cpp.o"
+  "CMakeFiles/epi_routing.dir/cumulative_immunity.cpp.o.d"
+  "CMakeFiles/epi_routing.dir/ec_epidemic.cpp.o"
+  "CMakeFiles/epi_routing.dir/ec_epidemic.cpp.o.d"
+  "CMakeFiles/epi_routing.dir/engine.cpp.o"
+  "CMakeFiles/epi_routing.dir/engine.cpp.o.d"
+  "CMakeFiles/epi_routing.dir/factory.cpp.o"
+  "CMakeFiles/epi_routing.dir/factory.cpp.o.d"
+  "CMakeFiles/epi_routing.dir/pq_epidemic.cpp.o"
+  "CMakeFiles/epi_routing.dir/pq_epidemic.cpp.o.d"
+  "CMakeFiles/epi_routing.dir/protocol.cpp.o"
+  "CMakeFiles/epi_routing.dir/protocol.cpp.o.d"
+  "CMakeFiles/epi_routing.dir/ttl_epidemic.cpp.o"
+  "CMakeFiles/epi_routing.dir/ttl_epidemic.cpp.o.d"
+  "libepi_routing.a"
+  "libepi_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_buffer.dir/test_buffer.cpp.o"
+  "CMakeFiles/test_buffer.dir/test_buffer.cpp.o.d"
+  "test_buffer"
+  "test_buffer.pdb"
+  "test_buffer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

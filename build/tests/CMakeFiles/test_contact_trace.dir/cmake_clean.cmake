@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_contact_trace.dir/test_contact_trace.cpp.o"
+  "CMakeFiles/test_contact_trace.dir/test_contact_trace.cpp.o.d"
+  "test_contact_trace"
+  "test_contact_trace.pdb"
+  "test_contact_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_contact_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_edge.dir/test_engine_edge.cpp.o"
+  "CMakeFiles/test_engine_edge.dir/test_engine_edge.cpp.o.d"
+  "test_engine_edge"
+  "test_engine_edge.pdb"
+  "test_engine_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

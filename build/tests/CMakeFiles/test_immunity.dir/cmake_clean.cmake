@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_immunity.dir/test_immunity.cpp.o"
+  "CMakeFiles/test_immunity.dir/test_immunity.cpp.o.d"
+  "test_immunity"
+  "test_immunity.pdb"
+  "test_immunity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_immunity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

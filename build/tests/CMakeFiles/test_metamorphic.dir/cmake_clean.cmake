@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metamorphic.dir/test_metamorphic.cpp.o"
+  "CMakeFiles/test_metamorphic.dir/test_metamorphic.cpp.o.d"
+  "test_metamorphic"
+  "test_metamorphic.pdb"
+  "test_metamorphic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metamorphic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiflow.dir/test_multiflow.cpp.o"
+  "CMakeFiles/test_multiflow.dir/test_multiflow.cpp.o.d"
+  "test_multiflow"
+  "test_multiflow.pdb"
+  "test_multiflow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

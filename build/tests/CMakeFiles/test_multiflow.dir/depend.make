@@ -1,0 +1,2 @@
+# Empty dependencies file for test_multiflow.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oracle.dir/test_oracle.cpp.o"
+  "CMakeFiles/test_oracle.dir/test_oracle.cpp.o.d"
+  "test_oracle"
+  "test_oracle.pdb"
+  "test_oracle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

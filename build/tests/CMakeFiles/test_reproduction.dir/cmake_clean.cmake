@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reproduction.dir/test_reproduction.cpp.o"
+  "CMakeFiles/test_reproduction.dir/test_reproduction.cpp.o.d"
+  "test_reproduction"
+  "test_reproduction.pdb"
+  "test_reproduction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reproduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

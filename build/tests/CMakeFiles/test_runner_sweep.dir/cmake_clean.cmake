@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runner_sweep.dir/test_runner_sweep.cpp.o"
+  "CMakeFiles/test_runner_sweep.dir/test_runner_sweep.cpp.o.d"
+  "test_runner_sweep"
+  "test_runner_sweep.pdb"
+  "test_runner_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runner_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

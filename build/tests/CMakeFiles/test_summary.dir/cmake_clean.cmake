@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_summary.dir/test_summary.cpp.o"
+  "CMakeFiles/test_summary.dir/test_summary.cpp.o.d"
+  "test_summary"
+  "test_summary.pdb"
+  "test_summary[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_summary_vector.dir/test_summary_vector.cpp.o"
+  "CMakeFiles/test_summary_vector.dir/test_summary_vector.cpp.o.d"
+  "test_summary_vector"
+  "test_summary_vector.pdb"
+  "test_summary_vector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_summary_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
