@@ -1,33 +1,55 @@
 // Shared CLI scaffolding for the figure-reproduction benches.
 //
 // Every binary accepts:
-//   --reps N     replications per load point (default 10, the paper's count)
-//   --seed S     master seed (default 42)
-//   --threads T  worker threads (default: hardware concurrency)
-//   --csv        additionally dump machine-readable CSV
+//   --reps N            replications per load point (default 10, the paper's)
+//   --seed S            master seed (default 42)
+//   --threads T         worker threads (default: hardware concurrency)
+//   --csv               additionally dump machine-readable CSV
+//   --trace-out=FILE    stream one JSONL record per engine event to FILE
+//   --perf              live progress line on stderr + perf totals at the end
+//   --chrome-trace=FILE write per-replication spans (chrome://tracing format)
+//
+// Flags taking a value accept both `--flag VALUE` and `--flag=VALUE`.
 #pragma once
 
+#include <algorithm>
 #include <cstdlib>
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <string_view>
 
 #include "exp/figures.hpp"
 #include "exp/report.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/jsonl_sink.hpp"
+#include "obs/progress.hpp"
 
 namespace epi::bench {
 
 struct Args {
   exp::FigureOptions options;
   bool csv = false;
+  bool perf = false;
+  std::string trace_out;   ///< empty = event tracing off
+  std::string chrome_out;  ///< empty = chrome trace off
 };
 
 inline Args parse_args(int argc, char** argv) {
   Args args;
   for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    const auto next = [&]() -> const char* {
+    std::string_view arg = argv[i];
+    // Split `--flag=VALUE` into flag and inline value.
+    std::string_view inline_value;
+    bool has_inline = false;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      inline_value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_inline = true;
+    }
+    const auto next = [&]() -> std::string {
+      if (has_inline) return std::string(inline_value);
       if (i + 1 >= argc) {
         std::cerr << "missing value for " << arg << "\n";
         std::exit(2);
@@ -36,17 +58,24 @@ inline Args parse_args(int argc, char** argv) {
     };
     if (arg == "--reps") {
       args.options.replications =
-          static_cast<std::uint32_t>(std::atoi(next()));
+          static_cast<std::uint32_t>(std::atoi(next().c_str()));
     } else if (arg == "--seed") {
       args.options.master_seed =
-          static_cast<std::uint64_t>(std::atoll(next()));
+          static_cast<std::uint64_t>(std::atoll(next().c_str()));
     } else if (arg == "--threads") {
-      args.options.threads = static_cast<unsigned>(std::atoi(next()));
+      args.options.threads = static_cast<unsigned>(std::atoi(next().c_str()));
     } else if (arg == "--csv") {
       args.csv = true;
+    } else if (arg == "--perf") {
+      args.perf = true;
+    } else if (arg == "--trace-out") {
+      args.trace_out = next();
+    } else if (arg == "--chrome-trace") {
+      args.chrome_out = next();
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
-                << " [--reps N] [--seed S] [--threads T] [--csv]\n";
+                << " [--reps N] [--seed S] [--threads T] [--csv] [--perf]"
+                   " [--trace-out=FILE] [--chrome-trace=FILE]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
@@ -56,20 +85,89 @@ inline Args parse_args(int argc, char** argv) {
   return args;
 }
 
+/// Owns the sinks a bench wires into FigureOptions, so `run(options)` can
+/// trace without every bench managing sink lifetime itself.
+struct Observability {
+  std::unique_ptr<obs::JsonlSink> sink;
+  std::unique_ptr<obs::ChromeTraceWriter> chrome;
+  std::string chrome_out;
+
+  /// Instantiates the sinks the flags ask for and points `args.options` at
+  /// them. Throws std::runtime_error when an output file cannot be opened.
+  void attach(Args& args) {
+    if (!args.trace_out.empty()) {
+      sink = std::make_unique<obs::JsonlSink>(args.trace_out);
+      args.options.trace_sink = sink.get();
+    }
+    if (!args.chrome_out.empty()) {
+      chrome = std::make_unique<obs::ChromeTraceWriter>();
+      args.options.chrome = chrome.get();
+      chrome_out = args.chrome_out;
+    }
+    args.options.progress = args.perf;
+  }
+
+  /// Flushes file-backed outputs and reports where they went.
+  void finish(std::ostream& out) {
+    if (chrome != nullptr) {
+      chrome->write_file(chrome_out);
+      out << "chrome trace: " << chrome_out << " (" << chrome->span_count()
+          << " spans; open in chrome://tracing or ui.perfetto.dev)\n";
+    }
+    if (sink != nullptr) {
+      out << "event trace: " << sink->records() << " JSONL records\n";
+    }
+  }
+};
+
+/// Aggregated PerfCounters of every replication in a figure.
+inline void print_perf(std::ostream& out, const exp::Figure& figure) {
+  std::size_t runs = 0;
+  double wall = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t transfers = 0;
+  std::uint64_t contacts = 0;
+  std::size_t peak_queue = 0;
+  for (const auto& result : figure.results) {
+    for (const auto& batch : result.runs) {
+      for (const auto& run : batch) {
+        ++runs;
+        wall += run.perf.wall_seconds;
+        events += run.perf.events_processed;
+        transfers += run.perf.transfers;
+        contacts += run.perf.contacts;
+        peak_queue = std::max(peak_queue, run.perf.peak_queue_depth);
+      }
+    }
+  }
+  const double rate = wall > 0.0 ? static_cast<double>(events) / wall : 0.0;
+  out << "[perf] " << runs << " runs, " << events << " events, "
+      << obs::humanize_rate(rate) << " ev/s (cpu), peak queue " << peak_queue
+      << ", "
+      << (contacts > 0
+              ? static_cast<double>(transfers) / static_cast<double>(contacts)
+              : 0.0)
+      << " transfers/contact\n";
+}
+
 /// Runs one figure bench: executes the experiment, prints the table, then a
 /// note stating the paper's shape claim for eyeball comparison.
 inline int figure_main(int argc, char** argv,
                        const std::function<exp::Figure(
                            const exp::FigureOptions&)>& run,
                        std::string_view paper_claim) {
-  const Args args = parse_args(argc, argv);
+  Args args = parse_args(argc, argv);
   try {
+    Observability observability;
+    observability.attach(args);
     const exp::Figure figure = run(args.options);
     exp::print_figure(std::cout, figure);
     if (args.csv) {
       std::cout << "\n";
       exp::print_figure_csv(std::cout, figure);
     }
+    if (args.perf) print_perf(std::cout, figure);
+    observability.finish(std::cout);
     std::cout << "\npaper shape: " << paper_claim << "\n\n";
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -1,6 +1,7 @@
-// Export: regenerates every figure and writes machine-readable CSVs to a
-// results directory (for plotting the paper's figures with any external
-// tool). One file per figure, named results/figXX.csv.
+// Export: regenerates every figure and writes machine-readable CSVs and
+// JSON to a results directory (for plotting the paper's figures with any
+// external tool, and for CI regression checks on the raw per-replication
+// values). Two files per figure: results/figXX.csv and results/figXX.json.
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -37,8 +38,18 @@ int main(int argc, char** argv) {
           << exp::metric_name(figure.metric) << "\n";
       exp::print_figure_csv(out, figure);
       std::cout << "wrote " << path.string() << "\n";
+
+      const std::filesystem::path json_path =
+          dir / (std::string(name) + ".json");
+      std::ofstream json_out(json_path);
+      if (!json_out) {
+        std::cerr << "cannot write " << json_path << "\n";
+        return 1;
+      }
+      exp::print_figure_json(json_out, figure);
+      std::cout << "wrote " << json_path.string() << "\n";
     }
-    std::cout << "\nall figure series exported (" << std::size(figures)
+    std::cout << "\nall figure series exported (" << 2 * std::size(figures)
               << " files, " << args.options.replications
               << " replications each)\n\n";
   } catch (const std::exception& e) {

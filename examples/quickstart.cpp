@@ -1,24 +1,44 @@
 // Quickstart: simulate one epidemic protocol on the synthetic Cambridge-like
 // trace and print the paper's four metrics.
 //
-//   ./quickstart [protocol] [load]
+//   ./quickstart [protocol] [load] [--trace-out=FILE]
 //
 // protocol: pure_epidemic | pq_epidemic | fixed_ttl | dynamic_ttl |
 //           encounter_count | ec_ttl | immunity | cumulative_immunity
+//
+// --trace-out streams one JSONL record per engine event (contacts, stores,
+// transfers, drops, deliveries) — the fastest way to see *why* a metric came
+// out the way it did.
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
+#include "obs/jsonl_sink.hpp"
 
 int main(int argc, char** argv) {
   using namespace epi;
 
+  std::string trace_out;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.starts_with("--trace-out=")) {
+      trace_out = arg.substr(std::string_view("--trace-out=").size());
+    } else {
+      positional.emplace_back(arg);
+    }
+  }
   const std::string protocol_name =
-      argc > 1 ? argv[1] : "cumulative_immunity";
+      !positional.empty() ? positional[0] : "cumulative_immunity";
   const std::uint32_t load =
-      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 25;
+      positional.size() > 1
+          ? static_cast<std::uint32_t>(std::atoi(positional[1].c_str()))
+          : 25;
 
   try {
     // 1. Build the mobility input: a statistical twin of the Cambridge
@@ -41,8 +61,18 @@ int main(int argc, char** argv) {
     spec.load = load;
     spec.horizon = scenario.horizon();
 
+    std::unique_ptr<obs::JsonlSink> sink;
+    if (!trace_out.empty()) {
+      sink = std::make_unique<obs::JsonlSink>(trace_out);
+      spec.trace_sink = sink.get();
+    }
+
     // 3. Run and report.
     const metrics::RunSummary run = exp::run_single(spec, trace);
+    if (sink != nullptr) {
+      std::cout << "event trace:        " << sink->records()
+                << " records -> " << trace_out << "\n";
+    }
     std::cout << "protocol:           " << protocol_name << "\n"
               << "load (bundles):     " << load << "\n"
               << "delivery ratio:     " << run.delivery_ratio << "\n"
@@ -54,7 +84,10 @@ int main(int argc, char** argv) {
               << "duplication rate:   " << run.duplication_rate << "\n"
               << "transmissions:      " << run.bundle_transmissions << "\n"
               << "signaling records:  " << run.control_records << "\n"
-              << "contacts processed: " << run.contacts << "\n";
+              << "contacts processed: " << run.contacts << "\n"
+              << "sim events:         " << run.perf.events_processed << " ("
+              << run.perf.events_per_second() << " ev/s, peak queue "
+              << run.perf.peak_queue_depth << ")\n";
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -5,6 +5,9 @@ namespace epi::core {
 SimTime Simulator::run(SimTime horizon) {
   while (!stopped_ && !queue_.empty()) {
     if (queue_.next_time() > horizon) break;
+    // Depth is sampled before each pop, so it also covers events scheduled
+    // by the previous callback (the deepest the queue ever gets).
+    if (queue_.size() > peak_pending_) peak_pending_ = queue_.size();
     auto [time, action] = queue_.pop();
     // Events never run backwards; equal times are allowed.
     assert(time >= now_);

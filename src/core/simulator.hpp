@@ -54,11 +54,18 @@ class Simulator {
     return events_processed_;
   }
 
+  /// Deepest the pending-event queue ever got during run() — a proxy for
+  /// the scheduling working set (deterministic for a given run).
+  [[nodiscard]] std::size_t peak_pending() const noexcept {
+    return peak_pending_;
+  }
+
  private:
   EventQueue queue_;
   SimTime now_ = 0.0;
   bool stopped_ = false;
   std::uint64_t events_processed_ = 0;
+  std::size_t peak_pending_ = 0;
 };
 
 }  // namespace epi::core

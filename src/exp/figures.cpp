@@ -2,11 +2,13 @@
 
 #include <iomanip>
 #include <map>
+#include <memory>
 #include <ostream>
 
 #include "exp/runner.hpp"
 #include "exp/sweep.hpp"
 #include "exp/thread_pool.hpp"
+#include "obs/progress.hpp"
 
 namespace epi::exp {
 
@@ -77,6 +79,13 @@ Figure run_figure(std::string id, std::string title, Metric metric,
     }
   }
 
+  std::unique_ptr<obs::ProgressReporter> progress;
+  if (options.progress) {
+    progress = std::make_unique<obs::ProgressReporter>(
+        figure.id,
+        series.size() * paper_loads().size() * options.replications);
+  }
+
   for (auto& def : series) {
     SweepSpec spec;
     spec.scenario = def.scenario;
@@ -84,6 +93,9 @@ Figure run_figure(std::string id, std::string title, Metric metric,
     spec.replications = options.replications;
     spec.master_seed = options.master_seed;
     spec.threads = options.threads;
+    spec.trace_sink = options.trace_sink;
+    spec.chrome = options.chrome;
+    spec.progress = progress.get();
 
     figure.labels.push_back(def.label);
     figure.results.push_back(

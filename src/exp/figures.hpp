@@ -8,6 +8,8 @@
 #include "core/config.hpp"
 #include "exp/report.hpp"
 #include "exp/scenario.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/trace_sink.hpp"
 
 namespace epi::exp {
 
@@ -16,6 +18,11 @@ struct FigureOptions {
   std::uint64_t master_seed = 42;
   std::uint32_t replications = 10;  // paper SIV
   unsigned threads = 0;             // 0 = hardware concurrency
+
+  // --- observability (non-owning, optional) ---------------------------------
+  obs::TraceSink* trace_sink = nullptr;      ///< event-level JSONL/etc. sink
+  obs::ChromeTraceWriter* chrome = nullptr;  ///< per-replication spans
+  bool progress = false;  ///< live `[figXX] n/m runs ...` line on stderr
 };
 
 // --- protocol parameter shorthands (the paper's configurations) -------------

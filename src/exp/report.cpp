@@ -49,6 +49,26 @@ const metrics::Aggregate& metric_of(const metrics::LoadPoint& point,
   return point.delivery_ratio;
 }
 
+double metric_value(const metrics::RunSummary& run, Metric metric) noexcept {
+  switch (metric) {
+    case Metric::kDelay:
+      return run.completion_time;
+    case Metric::kMeanBundleDelay:
+      return run.mean_bundle_delay;
+    case Metric::kDeliveryRatio:
+      return run.delivery_ratio;
+    case Metric::kBufferOccupancy:
+      return run.buffer_occupancy;
+    case Metric::kDuplicationRate:
+      return run.duplication_rate;
+    case Metric::kControlRecords:
+      return static_cast<double>(run.control_records);
+    case Metric::kTransmissions:
+      return static_cast<double>(run.bundle_transmissions);
+  }
+  return 0.0;
+}
+
 double Figure::value(std::size_t s, std::size_t li) const {
   return metric_of(results.at(s).points.at(li), metric).mean;
 }
@@ -115,6 +135,65 @@ void print_figure_csv(std::ostream& out, const Figure& figure) {
     }
     out << '\n';
   }
+}
+
+namespace {
+
+/// Minimal JSON string escaping (labels/titles contain no exotic characters,
+/// but quotes and backslashes must never break the document).
+void json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void print_figure_json(std::ostream& out, const Figure& figure) {
+  const auto old_precision = out.precision(10);
+  out << "{\"id\":";
+  json_string(out, figure.id);
+  out << ",\"title\":";
+  json_string(out, figure.title);
+  out << ",\"metric\":";
+  json_string(out, metric_name(figure.metric));
+  out << ",\"loads\":[";
+  if (!figure.results.empty()) {
+    const auto& loads = figure.results.front().loads;
+    for (std::size_t li = 0; li < loads.size(); ++li) {
+      out << (li > 0 ? "," : "") << loads[li];
+    }
+  }
+  out << "],\"series\":[";
+  for (std::size_t s = 0; s < figure.results.size(); ++s) {
+    const SweepResult& result = figure.results[s];
+    out << (s > 0 ? "," : "") << "\n{\"label\":";
+    json_string(out, figure.labels.at(s));
+    out << ",\"protocol\":";
+    json_string(out, to_string(result.protocol.kind));
+    out << ",\"scenario\":";
+    json_string(out, result.scenario_name);
+    out << ",\"means\":[";
+    for (std::size_t li = 0; li < result.points.size(); ++li) {
+      out << (li > 0 ? "," : "") << figure.value(s, li);
+    }
+    out << "],\"raw\":[";
+    for (std::size_t li = 0; li < result.runs.size(); ++li) {
+      out << (li > 0 ? "," : "") << "[";
+      const auto& batch = result.runs[li];
+      for (std::size_t r = 0; r < batch.size(); ++r) {
+        out << (r > 0 ? "," : "")
+            << metric_value(batch[r], figure.metric);
+      }
+      out << "]";
+    }
+    out << "]}";
+  }
+  out << "\n]}\n";
+  out.precision(old_precision);
 }
 
 }  // namespace epi::exp

@@ -29,6 +29,11 @@ enum class Metric {
 [[nodiscard]] const metrics::Aggregate& metric_of(
     const metrics::LoadPoint& point, Metric metric) noexcept;
 
+/// The same scalar read off a single replication (what aggregate_runs
+/// averages into the LoadPoint the figure plots).
+[[nodiscard]] double metric_value(const metrics::RunSummary& run,
+                                  Metric metric) noexcept;
+
 /// One reproduced figure: parallel vectors of series labels and results.
 struct Figure {
   std::string id;      ///< "fig07"
@@ -52,5 +57,14 @@ void print_figure(std::ostream& out, const Figure& figure);
 
 /// Machine-readable CSV (load, <label columns>...) with mean values.
 void print_figure_csv(std::ostream& out, const Figure& figure);
+
+/// Machine-readable JSON: figure id/title/metric, the load axis, and per
+/// series both the plotted means and the per-replication raw values, so
+/// external plotting and CI regression checks need not re-parse CSV:
+///
+///   {"id":"fig07","metric":"avg delay (s)","loads":[5,...],
+///    "series":[{"label":"EC","protocol":"encounter_count",
+///               "means":[...],"raw":[[rep0,rep1,...],...]}]}
+void print_figure_json(std::ostream& out, const Figure& figure);
 
 }  // namespace epi::exp

@@ -43,6 +43,7 @@ metrics::RunSummary run_single(const RunSpec& spec,
                                      .next();
   routing::Engine engine(config, trace, routing::make_protocol(spec.protocol),
                          run_seed);
+  engine.set_trace_sink(spec.trace_sink, spec.replication);
   return engine.run();
 }
 

@@ -13,6 +13,7 @@
 #include "core/config.hpp"
 #include "metrics/summary.hpp"
 #include "mobility/contact_trace.hpp"
+#include "obs/trace_sink.hpp"
 
 namespace epi::exp {
 
@@ -25,6 +26,10 @@ struct RunSpec {
   SimTime slot_seconds = defaults::kSlotSeconds;
   SimTime horizon = defaults::kTraceHorizon;
   SimTime session_gap = 1'800.0;  ///< see SimulationConfig
+
+  /// Optional event-level trace sink (non-owning; nullptr = tracing off).
+  /// Records are stamped with this spec's replication index.
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 /// Derives the flow endpoints of a replication (deterministic, protocol

@@ -23,7 +23,7 @@ SweepResult run_sweep_on(const SweepSpec& spec,
   }
 
   const std::size_t total = result.loads.size() * spec.replications;
-  parallel_for(total, spec.threads, [&](std::size_t job) {
+  parallel_for(total, spec.threads, [&](std::size_t job, unsigned worker) {
     const std::size_t load_idx = job / spec.replications;
     const auto replication = static_cast<std::uint32_t>(job % spec.replications);
     RunSpec run;
@@ -35,7 +35,19 @@ SweepResult run_sweep_on(const SweepSpec& spec,
     // The paper's failure horizon is the trace's own maximum recorded time.
     run.horizon = trace.end_time();
     run.session_gap = spec.scenario.session_gap;
+    run.trace_sink = spec.trace_sink;
+    const double begin_us = spec.chrome != nullptr ? spec.chrome->now_us() : 0.0;
     result.runs[load_idx][replication] = run_single(run, trace);
+    if (spec.chrome != nullptr) {
+      spec.chrome->record_span(
+          std::string(to_string(spec.protocol.kind)) + "/load=" +
+              std::to_string(run.load) + "/rep=" + std::to_string(replication),
+          worker, begin_us, spec.chrome->now_us());
+    }
+    if (spec.progress != nullptr) {
+      spec.progress->tick(
+          result.runs[load_idx][replication].perf.events_processed);
+    }
   });
 
   result.points.reserve(result.loads.size());

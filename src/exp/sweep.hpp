@@ -11,6 +11,9 @@
 #include "core/config.hpp"
 #include "exp/scenario.hpp"
 #include "metrics/summary.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace_sink.hpp"
 
 namespace epi::exp {
 
@@ -25,6 +28,11 @@ struct SweepSpec {
   std::uint64_t master_seed = 42;
   std::uint32_t buffer_capacity = defaults::kBufferCapacity;
   unsigned threads = 0;  ///< 0 = hardware concurrency
+
+  // --- observability (all non-owning, all optional) -------------------------
+  obs::TraceSink* trace_sink = nullptr;        ///< per-event records
+  obs::ProgressReporter* progress = nullptr;   ///< ticked per replication
+  obs::ChromeTraceWriter* chrome = nullptr;    ///< one span per replication
 };
 
 struct SweepResult {

@@ -69,7 +69,7 @@ void ThreadPool::worker_loop() {
 }
 
 void parallel_for(std::size_t count, unsigned threads,
-                  const std::function<void(std::size_t)>& fn) {
+                  const std::function<void(std::size_t, unsigned)>& fn) {
   if (count == 0) return;
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
@@ -77,7 +77,7 @@ void parallel_for(std::size_t count, unsigned threads,
   threads = static_cast<unsigned>(
       std::min<std::size_t>(threads, count));
   if (threads == 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    for (std::size_t i = 0; i < count; ++i) fn(i, 0);
     return;
   }
 
@@ -86,12 +86,12 @@ void parallel_for(std::size_t count, unsigned threads,
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
-  auto body = [&] {
+  auto body = [&](unsigned worker) {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count || failed.load(std::memory_order_relaxed)) return;
       try {
-        fn(i);
+        fn(i, worker);
       } catch (...) {
         std::lock_guard lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -103,9 +103,15 @@ void parallel_for(std::size_t count, unsigned threads,
 
   std::vector<std::thread> pool;
   pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(body);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(body, t);
   for (auto& t : pool) t.join();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(std::size_t count, unsigned threads,
+                  const std::function<void(std::size_t)>& fn) {
+  parallel_for(count, threads,
+               [&fn](std::size_t i, unsigned /*worker*/) { fn(i); });
 }
 
 }  // namespace epi::exp

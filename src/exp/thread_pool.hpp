@@ -58,4 +58,11 @@ class ThreadPool {
 void parallel_for(std::size_t count, unsigned threads,
                   const std::function<void(std::size_t)>& fn);
 
+/// Same, but fn also receives the worker index in [0, threads) that executes
+/// the job — the lane identity observability consumers (the Chrome-trace
+/// exporter) use to visualise how jobs packed onto threads. Job-to-worker
+/// assignment is scheduling-dependent; results must not depend on it.
+void parallel_for(std::size_t count, unsigned threads,
+                  const std::function<void(std::size_t, unsigned)>& fn);
+
 }  // namespace epi::exp

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "obs/perf_counters.hpp"
 
 namespace epi::metrics {
 
@@ -38,6 +39,10 @@ struct RunSummary {
   /// Per-flow delivery ratios (one entry per flow, in flow order). A single
   /// flow — the paper's setup — yields one entry equal to delivery_ratio.
   std::vector<double> flow_delivery;
+
+  /// Run instrumentation (wall clock, event counts, queue depth). The
+  /// event-count fields are deterministic; wall_seconds is not.
+  obs::PerfCounters perf;
 };
 
 /// Builds a RunSummary from a finalized Recorder.

@@ -1,0 +1,51 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace epi::obs {
+
+ChromeTraceWriter::ChromeTraceWriter()
+    : origin_(std::chrono::steady_clock::now()) {}
+
+double ChromeTraceWriter::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - origin_)
+      .count();
+}
+
+void ChromeTraceWriter::record_span(std::string name, unsigned tid,
+                                    double begin_us, double end_us) {
+  std::lock_guard lock(mutex_);
+  spans_.push_back(
+      Span{std::move(name), tid, begin_us, std::max(0.0, end_us - begin_us)});
+}
+
+std::size_t ChromeTraceWriter::span_count() const {
+  std::lock_guard lock(mutex_);
+  return spans_.size();
+}
+
+void ChromeTraceWriter::write(std::ostream& out) const {
+  std::lock_guard lock(mutex_);
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& span : spans_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"name\":\"" << span.name
+        << "\",\"cat\":\"run\",\"ph\":\"X\",\"pid\":1,\"tid\":" << span.tid
+        << ",\"ts\":" << span.ts_us << ",\"dur\":" << span.dur_us << "}";
+  }
+  out << "\n]}\n";
+}
+
+void ChromeTraceWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open chrome trace: " + path);
+  write(out);
+}
+
+}  // namespace epi::obs

@@ -1,0 +1,50 @@
+// ChromeTraceWriter: sweep parallelism visualised in chrome://tracing.
+//
+// The sweep records one complete ("ph":"X") span per (protocol, load,
+// replication) task, on the worker thread lane that executed it. Loading the
+// resulting file in Perfetto or chrome://tracing shows how the thread pool
+// packed the replications and where the stragglers are.
+#pragma once
+
+#include <cstdint>
+#include <chrono>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace epi::obs {
+
+class ChromeTraceWriter {
+ public:
+  ChromeTraceWriter();
+
+  /// Microseconds elapsed since construction; the timebase of every span.
+  [[nodiscard]] double now_us() const;
+
+  /// Records a finished span on worker lane `tid`. Thread-safe.
+  void record_span(std::string name, unsigned tid, double begin_us,
+                   double end_us);
+
+  [[nodiscard]] std::size_t span_count() const;
+
+  /// Serialises the Trace Event Format JSON object.
+  void write(std::ostream& out) const;
+
+  /// Writes to `path`; throws std::runtime_error on failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  struct Span {
+    std::string name;
+    unsigned tid;
+    double ts_us;
+    double dur_us;
+  };
+
+  std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mutex_;
+  std::vector<Span> spans_;
+};
+
+}  // namespace epi::obs

@@ -1,0 +1,79 @@
+#include "obs/jsonl_sink.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace epi::obs {
+
+std::string_view to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kContactUp: return "contact_up";
+    case EventKind::kContactDown: return "contact_down";
+    case EventKind::kCreated: return "created";
+    case EventKind::kStored: return "stored";
+    case EventKind::kTransferred: return "transferred";
+    case EventKind::kRemoved: return "removed";
+    case EventKind::kDelivered: return "delivered";
+    case EventKind::kControl: return "control";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(dtn::RemoveReason reason) noexcept {
+  switch (reason) {
+    case dtn::RemoveReason::kExpired: return "expired";
+    case dtn::RemoveReason::kEvicted: return "evicted";
+    case dtn::RemoveReason::kImmunized: return "immunized";
+    case dtn::RemoveReason::kConsumed: return "consumed";
+  }
+  return "unknown";
+}
+
+JsonlSink::JsonlSink(std::ostream& out) : out_(&out) {}
+
+JsonlSink::JsonlSink(const std::string& path)
+    : file_(path), out_(&file_) {
+  if (!file_) throw std::runtime_error("cannot open trace output: " + path);
+}
+
+void JsonlSink::emit(const TraceEvent& event) {
+  // One snprintf per record keeps emit() allocation-free and locale-proof;
+  // the longest record (every optional field present) fits comfortably.
+  char line[256];
+  int n = std::snprintf(line, sizeof(line),
+                        R"({"t":%.10g,"ev":"%.*s","protocol":"%.*s",)"
+                        R"("load":%u,"rep":%u)",
+                        event.t,
+                        static_cast<int>(to_string(event.kind).size()),
+                        to_string(event.kind).data(),
+                        static_cast<int>(event.protocol.size()),
+                        event.protocol.data(), event.load, event.replication);
+  const auto append = [&](const char* fmt, auto... args) {
+    if (n < 0 || static_cast<std::size_t>(n) >= sizeof(line)) return;
+    const std::size_t room = sizeof(line) - static_cast<std::size_t>(n);
+    const int m = std::snprintf(line + n, room, fmt, args...);
+    if (m < 0) return;
+    n += std::min(m, static_cast<int>(room) - 1);
+  };
+  if (event.a != kInvalidNode) append(R"(,"a":%u)", event.a);
+  if (event.b != kInvalidNode) append(R"(,"b":%u)", event.b);
+  if (event.bundle != kInvalidBundle) append(R"(,"bundle":%u)", event.bundle);
+  if (event.kind == EventKind::kRemoved) {
+    const std::string_view why = to_string(event.reason);
+    append(R"(,"reason":"%.*s")", static_cast<int>(why.size()), why.data());
+  }
+  if (event.kind == EventKind::kControl) {
+    append(R"(,"count":%llu)",
+           static_cast<unsigned long long>(event.count));
+  }
+  append("}\n");
+
+  if (n <= 0) return;
+
+  std::lock_guard lock(mutex_);
+  out_->write(line, n);
+  ++records_;
+}
+
+}  // namespace epi::obs

@@ -1,0 +1,43 @@
+// JsonlSink: streams one JSON object per engine event, one per line.
+//
+// The schema is flat and self-describing; fields that do not apply to an
+// event kind are omitted:
+//
+//   {"t":1234.5,"ev":"transferred","protocol":"pq_epidemic",
+//    "load":25,"rep":3,"a":4,"b":7,"bundle":12}
+//
+// emit() is mutex-serialised so a single sink can watch a whole parallel
+// sweep; lines are written atomically and the stream is flushed on
+// destruction.
+#pragma once
+
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "obs/trace_sink.hpp"
+
+namespace epi::obs {
+
+class JsonlSink final : public TraceSink {
+ public:
+  /// Writes to a caller-owned stream (kept alive by the caller).
+  explicit JsonlSink(std::ostream& out);
+
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit JsonlSink(const std::string& path);
+
+  void emit(const TraceEvent& event) override;
+
+  /// Number of records written so far.
+  [[nodiscard]] std::uint64_t records() const noexcept { return records_; }
+
+ private:
+  std::ofstream file_;     // only used by the path constructor
+  std::ostream* out_;      // points at file_ or the caller's stream
+  std::mutex mutex_;
+  std::uint64_t records_ = 0;
+};
+
+}  // namespace epi::obs

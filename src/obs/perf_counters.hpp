@@ -1,0 +1,34 @@
+// PerfCounters: per-run instrumentation attached to every RunSummary.
+//
+// The deterministic fields (events, peak queue depth, transfers, contacts)
+// depend only on the run's seed and configuration and are bit-identical for
+// any thread count; wall_seconds is the one wall-clock-derived field.
+// Collection is always on — it costs one steady_clock read per run plus one
+// max() per simulated event.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace epi::obs {
+
+struct PerfCounters {
+  double wall_seconds = 0.0;            ///< wall clock of Engine::run()
+  std::uint64_t events_processed = 0;   ///< discrete events the run executed
+  std::size_t peak_queue_depth = 0;     ///< max pending events at any instant
+  std::uint64_t transfers = 0;          ///< bundle transmissions
+  std::uint64_t contacts = 0;           ///< contacts processed
+
+  [[nodiscard]] double events_per_second() const noexcept {
+    return wall_seconds > 0.0
+               ? static_cast<double>(events_processed) / wall_seconds
+               : 0.0;
+  }
+  [[nodiscard]] double transfers_per_contact() const noexcept {
+    return contacts > 0
+               ? static_cast<double>(transfers) / static_cast<double>(contacts)
+               : 0.0;
+  }
+};
+
+}  // namespace epi::obs

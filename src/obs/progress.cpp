@@ -1,0 +1,93 @@
+#include "obs/progress.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+namespace epi::obs {
+
+std::string humanize_rate(double per_second) {
+  char buf[32];
+  if (per_second >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", per_second / 1e6);
+  } else if (per_second >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", per_second / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", per_second);
+  }
+  return buf;
+}
+
+ProgressReporter::ProgressReporter(std::string label, std::size_t total_runs,
+                                   std::ostream& out)
+    : label_(std::move(label)),
+      total_(total_runs),
+      out_(out),
+      start_(std::chrono::steady_clock::now()),
+      last_print_(start_) {}
+
+ProgressReporter::ProgressReporter(std::string label, std::size_t total_runs)
+    : ProgressReporter(std::move(label), total_runs, std::cerr) {}
+
+ProgressReporter::~ProgressReporter() { finish(); }
+
+void ProgressReporter::tick(std::uint64_t events_processed) {
+  std::lock_guard lock(mutex_);
+  ++completed_;
+  events_ += events_processed;
+  const auto now = std::chrono::steady_clock::now();
+  // Rate-limit redraws; always draw the last tick so 110/110 is visible.
+  if (completed_ < total_ &&
+      now - last_print_ < std::chrono::milliseconds(100)) {
+    return;
+  }
+  last_print_ = now;
+  print_line(/*final=*/false);
+}
+
+void ProgressReporter::finish() {
+  std::lock_guard lock(mutex_);
+  if (finished_) return;
+  finished_ = true;
+  if (printed_) print_line(/*final=*/true);
+}
+
+std::size_t ProgressReporter::completed() const {
+  std::lock_guard lock(mutex_);
+  return completed_;
+}
+
+std::uint64_t ProgressReporter::total_events() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+void ProgressReporter::print_line(bool final) {
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  const double rate =
+      elapsed > 0.0 ? static_cast<double>(events_) / elapsed : 0.0;
+  char line[160];
+  if (final) {
+    std::snprintf(line, sizeof(line),
+                  "\r[%s] %zu/%zu runs, %s ev/s, %.1fs total          \n",
+                  label_.c_str(), completed_, total_,
+                  humanize_rate(rate).c_str(), elapsed);
+  } else {
+    const double eta =
+        completed_ > 0
+            ? elapsed / static_cast<double>(completed_) *
+                  static_cast<double>(total_ - completed_)
+            : 0.0;
+    std::snprintf(line, sizeof(line),
+                  "\r[%s] %zu/%zu runs, %s ev/s, ETA %.0fs   ",
+                  label_.c_str(), completed_, total_,
+                  humanize_rate(rate).c_str(), std::ceil(eta));
+  }
+  out_ << line;
+  out_.flush();
+  printed_ = true;
+}
+
+}  // namespace epi::obs

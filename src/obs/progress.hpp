@@ -1,0 +1,61 @@
+// ProgressReporter: live sweep progress on stderr.
+//
+// The sweep loop calls tick() once per completed replication, passing that
+// run's event count; the reporter prints a rate-limited single-line status
+//
+//   [fig07] 43/110 runs, 3.2k ev/s, ETA 12s
+//
+// to its stream (carriage-return overwritten; finish() seals the line with
+// the total wall time and a newline). tick() is thread-safe — replications
+// complete on pool threads.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+
+namespace epi::obs {
+
+class ProgressReporter {
+ public:
+  /// `total_runs` completed ticks are expected; `label` prefixes every line.
+  ProgressReporter(std::string label, std::size_t total_runs,
+                   std::ostream& out);
+
+  /// Defaults the stream to std::cerr.
+  ProgressReporter(std::string label, std::size_t total_runs);
+
+  ~ProgressReporter();
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  /// One replication finished, having processed `events_processed` events.
+  void tick(std::uint64_t events_processed);
+
+  /// Prints the final line (idempotent; also called by the destructor).
+  void finish();
+
+  [[nodiscard]] std::size_t completed() const;
+  [[nodiscard]] std::uint64_t total_events() const;
+
+ private:
+  void print_line(bool final);  // callers hold mutex_
+
+  std::string label_;
+  std::size_t total_;
+  std::ostream& out_;
+  mutable std::mutex mutex_;
+  std::size_t completed_ = 0;
+  std::uint64_t events_ = 0;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_print_;
+  bool printed_ = false;
+  bool finished_ = false;
+};
+
+/// "3217" -> "3.2k", "4512345" -> "4.5M"; used for ev/s displays.
+[[nodiscard]] std::string humanize_rate(double per_second);
+
+}  // namespace epi::obs

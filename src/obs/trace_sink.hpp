@@ -1,0 +1,58 @@
+// TraceSink: the pluggable per-event observability interface.
+//
+// The engine narrates every state change it makes — contact up/down, bundle
+// created/stored/transferred/removed/delivered, control-record exchange —
+// through an optional sink. The default is *no* sink (a nullptr), and every
+// hook point is a single branch-on-nullptr, so simulations that do not trace
+// pay nothing. Sinks attached to parallel sweeps receive events from many
+// runs interleaved; each event therefore carries its run coordinates
+// (protocol, load, replication) so consumers can demultiplex.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "core/types.hpp"
+#include "dtn/bundle.hpp"
+
+namespace epi::obs {
+
+/// What happened. One enumerator per engine hook point.
+enum class EventKind : std::uint8_t {
+  kContactUp,    ///< a contact began (a, b)
+  kContactDown,  ///< a contact ended (a, b)
+  kCreated,      ///< the source injected a fresh bundle (a = source)
+  kStored,       ///< a copy entered a buffer (a = holder, b = sender or none)
+  kTransferred,  ///< one bundle transmission (a = sender, b = receiver)
+  kRemoved,      ///< a copy left a buffer (a = holder; see reason)
+  kDelivered,    ///< the destination consumed the bundle (a = sender, b = dst)
+  kControl,      ///< control-plane records crossed the air (count)
+};
+
+[[nodiscard]] std::string_view to_string(EventKind kind) noexcept;
+[[nodiscard]] std::string_view to_string(dtn::RemoveReason reason) noexcept;
+
+/// One structured record of one engine event.
+struct TraceEvent {
+  EventKind kind = EventKind::kContactUp;
+  SimTime t = 0.0;                ///< simulation time of the event
+  std::string_view protocol;      ///< canonical protocol name
+  std::uint32_t load = 0;         ///< total intended load of the run
+  std::uint32_t replication = 0;  ///< replication index within a sweep
+  NodeId a = kInvalidNode;        ///< primary node (see EventKind)
+  NodeId b = kInvalidNode;        ///< peer node, kInvalidNode when n/a
+  BundleId bundle = kInvalidBundle;  ///< kInvalidBundle when n/a
+  dtn::RemoveReason reason = dtn::RemoveReason::kExpired;  ///< kRemoved only
+  std::uint64_t count = 0;        ///< record count, kControl only
+};
+
+/// Receives every engine event. Implementations attached to multi-threaded
+/// sweeps must make emit() thread-safe; within one run events arrive in
+/// simulation order.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void emit(const TraceEvent& event) = 0;
+};
+
+}  // namespace epi::obs

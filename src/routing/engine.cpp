@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <string>
 
 #include "core/error.hpp"
@@ -56,12 +57,21 @@ Engine::Engine(SimulationConfig config, const mobility::ContactTrace& trace,
 metrics::RunSummary Engine::run() {
   assert(!ran_ && "Engine::run() is single-shot");
   ran_ = true;
+  const auto wall_start = std::chrono::steady_clock::now();
   try_inject(0.0);
   const SimTime end = sim_.run(config_.horizon);
   recorder_.finalize(end);
   metrics::RunSummary summary =
       metrics::summarize(recorder_, total_load_, seed_, config_.horizon);
   summary.end_time = end;
+  summary.perf.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  summary.perf.events_processed = sim_.events_processed();
+  summary.perf.peak_queue_depth = sim_.peak_pending();
+  summary.perf.transfers = recorder_.bundle_transmissions();
+  summary.perf.contacts = recorder_.contacts();
   summary.flow_delivery.reserve(flows_.size());
   for (std::size_t f = 0; f < flows_.size(); ++f) {
     summary.flow_delivery.push_back(
@@ -75,6 +85,13 @@ void Engine::start_contact(const mobility::Contact& contact) {
   const SessionId id = next_session_++;
   sessions_.emplace(id, Session{id, contact});
   recorder_.on_contact();
+  if (sink_ != nullptr) {
+    trace([&](obs::TraceEvent& ev) {
+      ev.kind = obs::EventKind::kContactUp;
+      ev.a = contact.a;
+      ev.b = contact.b;
+    });
+  }
 
   dtn::DtnNode& a = node(contact.a);
   dtn::DtnNode& b = node(contact.b);
@@ -129,6 +146,14 @@ void Engine::end_contact(SessionId session) {
   const auto it = sessions_.find(session);
   if (it == sessions_.end()) return;
   protocol_->on_contact_end(*this, session, sim_.now());
+  if (sink_ != nullptr) {
+    const mobility::Contact& contact = it->second.contact;
+    trace([&](obs::TraceEvent& ev) {
+      ev.kind = obs::EventKind::kContactDown;
+      ev.a = contact.a;
+      ev.b = contact.b;
+    });
+  }
   sessions_.erase(it);
 }
 
@@ -207,6 +232,14 @@ bool Engine::try_transfer(SessionId session, dtn::DtnNode& sender,
     fresh_sender->last_tx = now;
 
     recorder_.on_transfer(id, now);
+    if (sink_ != nullptr) {
+      trace([&](obs::TraceEvent& ev) {
+        ev.kind = obs::EventKind::kTransferred;
+        ev.a = sender.id();
+        ev.b = receiver.id();
+        ev.bundle = id;
+      });
+    }
     dtn::StoredBundle* fresh_receiver = receiver.buffer().find(id);
     if (fresh_receiver != nullptr) {
       protocol_->after_transfer(*this, sender, receiver, *fresh_sender,
@@ -225,6 +258,20 @@ void Engine::deliver(dtn::DtnNode& sender, dtn::DtnNode& destination,
   recorder_.on_transfer(id, now);
   destination.mark_delivered(id);
   recorder_.on_delivered(id, now);
+  if (sink_ != nullptr) {
+    trace([&](obs::TraceEvent& ev) {
+      ev.kind = obs::EventKind::kTransferred;
+      ev.a = sender.id();
+      ev.b = destination.id();
+      ev.bundle = id;
+    });
+    trace([&](obs::TraceEvent& ev) {
+      ev.kind = obs::EventKind::kDelivered;
+      ev.a = sender.id();
+      ev.b = destination.id();
+      ev.bundle = id;
+    });
+  }
   ++delivered_;
   ++flow_delivered_[bundle(id).flow];
 
@@ -257,6 +304,13 @@ void Engine::try_inject(SimTime now) {
       bundles_[id] = dtn::Bundle{id, flow.source, flow.destination, now,
                                  static_cast<std::uint32_t>(f)};
       recorder_.on_created(id, now);
+      if (sink_ != nullptr) {
+        trace([&](obs::TraceEvent& ev) {
+          ev.kind = obs::EventKind::kCreated;
+          ev.a = flow.source;
+          ev.bundle = id;
+        });
+      }
       dtn::StoredBundle copy;
       copy.id = id;
       copy.stored_at = now;
@@ -271,6 +325,14 @@ dtn::StoredBundle& Engine::store_copy(dtn::DtnNode& holder,
                                       const dtn::DtnNode* from, SimTime now) {
   dtn::StoredBundle& stored = holder.buffer().insert(copy);
   recorder_.on_stored(holder.id(), stored.id, now);
+  if (sink_ != nullptr) {
+    trace([&](obs::TraceEvent& ev) {
+      ev.kind = obs::EventKind::kStored;
+      ev.a = holder.id();
+      ev.b = from != nullptr ? from->id() : kInvalidNode;
+      ev.bundle = stored.id;
+    });
+  }
   if (from == nullptr) {
     protocol_->on_injected(*this, holder, stored, now);
   }
@@ -288,6 +350,14 @@ void Engine::purge(dtn::DtnNode& holder, BundleId id, dtn::RemoveReason why,
   sim_.cancel(copy->expiry_event);
   holder.buffer().remove(id);
   recorder_.on_removed(holder.id(), id, now, why);
+  if (sink_ != nullptr) {
+    trace([&](obs::TraceEvent& ev) {
+      ev.kind = obs::EventKind::kRemoved;
+      ev.a = holder.id();
+      ev.bundle = id;
+      ev.reason = why;
+    });
+  }
   if (flow_sources_.contains(holder.id())) try_inject(now);
 }
 

@@ -31,6 +31,7 @@
 #include "metrics/recorder.hpp"
 #include "metrics/summary.hpp"
 #include "mobility/contact_trace.hpp"
+#include "obs/trace_sink.hpp"
 #include "routing/protocol.hpp"
 
 namespace epi::routing {
@@ -46,6 +47,15 @@ class Engine {
 
   /// Executes the run to completion and returns its summary. Callable once.
   metrics::RunSummary run();
+
+  /// Attaches an event-level trace sink (non-owning; may be nullptr to
+  /// detach). `replication` stamps every emitted record so one sink can
+  /// watch a whole sweep. Call before run().
+  void set_trace_sink(obs::TraceSink* sink,
+                      std::uint32_t replication = 0) noexcept {
+    sink_ = sink;
+    replication_ = replication;
+  }
 
   // --- services used by Protocol implementations ----------------------------
 
@@ -74,6 +84,12 @@ class Engine {
   /// entries, cumulative tables) moved across the air.
   void count_control_records(std::uint64_t records) {
     recorder_.on_control_records(records);
+    if (sink_ != nullptr) {
+      trace([&](obs::TraceEvent& ev) {
+        ev.kind = obs::EventKind::kControl;
+        ev.count = records;
+      });
+    }
   }
 
  private:
@@ -81,6 +97,20 @@ class Engine {
     SessionId id = 0;
     mobility::Contact contact;
   };
+
+  /// Builds one TraceEvent (run coordinates pre-filled) and emits it.
+  /// Callers guard with `sink_ != nullptr` so the disabled path stays a
+  /// single predictable branch.
+  template <typename Fill>
+  void trace(Fill&& fill) {
+    obs::TraceEvent ev;
+    ev.t = sim_.now();
+    ev.protocol = to_string(protocol_->kind());
+    ev.load = total_load_;
+    ev.replication = replication_;
+    fill(ev);
+    sink_->emit(ev);
+  }
 
   void start_contact(const mobility::Contact& contact);
   void run_slot(SessionId session, std::uint32_t slot_index);
@@ -123,6 +153,9 @@ class Engine {
   std::uint32_t delivered_ = 0;
   bool injecting_ = false;  // re-entrancy guard: purge() calls try_inject()
   bool ran_ = false;
+
+  obs::TraceSink* sink_ = nullptr;  // non-owning; nullptr = tracing off
+  std::uint32_t replication_ = 0;   // stamped into every trace record
 };
 
 }  // namespace epi::routing
