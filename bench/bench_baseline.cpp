@@ -1,0 +1,168 @@
+// Perf-regression baseline: end-to-end engine runs for every protocol
+// family on both canonical scenarios, written as machine-readable JSON.
+//
+//   bench_baseline [--out FILE] [--reps N] [--quick]
+//
+// Per case it reports ns/run (best of N reps, steady_clock around the whole
+// run including engine construction) and engine events/s from PerfCounters,
+// plus the deterministic counters (events_processed, peak_queue_depth,
+// transfers) that scripts/compare_bench.py checks bit-exactly: a perf number
+// may drift with the machine, a counter may not.
+//
+// The committed repo baseline is BENCH_engine.json at the repo root;
+// regenerate it with `bench_baseline --out BENCH_engine.json` after an
+// intentional engine change and let the compare script arbitrate the rest.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+
+namespace {
+
+struct CaseResult {
+  std::string name;
+  double ns_per_run = 0.0;
+  double events_per_sec = 0.0;
+  std::uint64_t events_processed = 0;
+  std::uint64_t peak_queue_depth = 0;
+  std::uint64_t transfers = 0;
+};
+
+constexpr const char* kTraceProtocols[] = {
+    "immunity",     "encounter_count", "cumulative_immunity", "pure_epidemic",
+    "pq_epidemic",  "fixed_ttl",       "dynamic_ttl",         "ec_ttl",
+};
+constexpr const char* kRwpProtocols[] = {
+    "pure_epidemic", "encounter_count", "immunity",
+    "spray_and_wait", "direct_delivery",
+};
+
+template <std::size_t N>
+void run_suite(std::vector<CaseResult>& results, std::string_view scenario_name,
+               const epi::exp::ScenarioSpec& scenario,
+               const epi::mobility::ContactTrace& trace,
+               const char* const (&protocols)[N], std::uint32_t reps) {
+  using clock = std::chrono::steady_clock;
+  for (const char* protocol : protocols) {
+    CaseResult r;
+    r.name = std::string(scenario_name) + "/" + protocol;
+    double best_seconds = std::numeric_limits<double>::infinity();
+    for (std::uint32_t rep = 0; rep < reps; ++rep) {
+      epi::exp::RunSpec spec;
+      spec.protocol.kind = epi::protocol_from_string(protocol);
+      spec.load = 25;
+      spec.replication = 1;  // fixed: every rep times the identical run
+      spec.horizon = scenario.horizon();
+      spec.session_gap = scenario.session_gap;
+      const auto t0 = clock::now();
+      const auto summary = epi::exp::run_single(spec, trace);
+      const double seconds =
+          std::chrono::duration<double>(clock::now() - t0).count();
+      if (seconds < best_seconds) best_seconds = seconds;
+      if (rep == 0) {
+        r.events_processed = summary.perf.events_processed;
+        r.peak_queue_depth = summary.perf.peak_queue_depth;
+        r.transfers = summary.perf.transfers;
+      } else if (summary.perf.events_processed != r.events_processed ||
+                 summary.perf.transfers != r.transfers) {
+        std::fprintf(stderr, "non-deterministic repetition in %s\n",
+                     r.name.c_str());
+        std::exit(1);
+      }
+    }
+    r.ns_per_run = best_seconds * 1e9;
+    r.events_per_sec =
+        static_cast<double>(r.events_processed) / best_seconds;
+    std::fprintf(stderr, "%-28s %12.0f ns/run %12.3g ev/s\n", r.name.c_str(),
+                 r.ns_per_run, r.events_per_sec);
+    results.push_back(std::move(r));
+  }
+}
+
+void write_json(const std::string& path, const std::vector<CaseResult>& results,
+                std::uint32_t reps) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"schema\": 1,\n  \"suite\": \"engine_baseline\",\n");
+  std::fprintf(f, "  \"reps\": %u,\n  \"load\": 25,\n  \"benchmarks\": [\n",
+               reps);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CaseResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"ns_per_run\": %.0f, "
+                 "\"events_per_sec\": %.0f, \"events_processed\": %llu, "
+                 "\"peak_queue_depth\": %llu, \"transfers\": %llu}%s\n",
+                 r.name.c_str(), r.ns_per_run, r.events_per_sec,
+                 static_cast<unsigned long long>(r.events_processed),
+                 static_cast<unsigned long long>(r.peak_queue_depth),
+                 static_cast<unsigned long long>(r.transfers),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out = "BENCH_engine.json";
+  std::uint32_t reps = 5;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    std::string_view inline_value;
+    bool has_inline = false;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      inline_value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_inline = true;
+    }
+    const auto next = [&]() -> std::string {
+      if (has_inline) return std::string(inline_value);
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %.*s\n",
+                     static_cast<int>(arg.size()), arg.data());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      out = next();
+    } else if (arg == "--reps") {
+      reps = epi::bench::parse_unsigned<std::uint32_t>(arg, next());
+    } else if (arg == "--quick") {
+      reps = 1;  // CI smoke: one timing rep per case
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [--out FILE] [--reps N] [--quick]\n", argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %.*s\n",
+                   static_cast<int>(arg.size()), arg.data());
+      return 2;
+    }
+  }
+  if (reps == 0) {
+    std::fprintf(stderr, "--reps must be >= 1\n");
+    return 2;
+  }
+
+  std::vector<CaseResult> results;
+  const auto trace_spec = epi::exp::trace_scenario();
+  const auto rwp_spec = epi::exp::rwp_scenario();
+  const auto trace = epi::exp::build_contact_trace(trace_spec, 42);
+  const auto rwp = epi::exp::build_contact_trace(rwp_spec, 42);
+  run_suite(results, "trace", trace_spec, trace, kTraceProtocols, reps);
+  run_suite(results, "rwp", rwp_spec, rwp, kRwpProtocols, reps);
+  write_json(out, results, reps);
+  std::printf("wrote %zu benchmarks to %s\n", results.size(), out.c_str());
+  return 0;
+}

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <algorithm>
+#include <charconv>
 #include <cstdlib>
 #include <functional>
 #include <iostream>
@@ -36,6 +37,22 @@ struct Args {
   std::string chrome_out;  ///< empty = chrome trace off
 };
 
+/// Parses a full unsigned decimal value; exits 2 on anything else (empty,
+/// sign, trailing garbage, overflow) — `--reps abc` must not silently run
+/// with 0 replications.
+template <typename T>
+inline T parse_unsigned(std::string_view flag, std::string_view value) {
+  T out{};
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    std::cerr << "invalid value for " << flag << ": '" << value
+              << "' (expected an unsigned integer)\n";
+    std::exit(2);
+  }
+  return out;
+}
+
 inline Args parse_args(int argc, char** argv) {
   Args args;
   for (int i = 1; i < argc; ++i) {
@@ -56,23 +73,32 @@ inline Args parse_args(int argc, char** argv) {
       }
       return argv[++i];
     };
+    // Boolean flags take no value; `--csv=nonsense` is a user error, not an
+    // enable.
+    const auto boolean = [&]() {
+      if (has_inline) {
+        std::cerr << arg << " takes no value (got '" << inline_value
+                  << "')\n";
+        std::exit(2);
+      }
+      return true;
+    };
     if (arg == "--reps") {
-      args.options.replications =
-          static_cast<std::uint32_t>(std::atoi(next().c_str()));
+      args.options.replications = parse_unsigned<std::uint32_t>(arg, next());
     } else if (arg == "--seed") {
-      args.options.master_seed =
-          static_cast<std::uint64_t>(std::atoll(next().c_str()));
+      args.options.master_seed = parse_unsigned<std::uint64_t>(arg, next());
     } else if (arg == "--threads") {
-      args.options.threads = static_cast<unsigned>(std::atoi(next().c_str()));
+      args.options.threads = parse_unsigned<unsigned>(arg, next());
     } else if (arg == "--csv") {
-      args.csv = true;
+      args.csv = boolean();
     } else if (arg == "--perf") {
-      args.perf = true;
+      args.perf = boolean();
     } else if (arg == "--trace-out") {
       args.trace_out = next();
     } else if (arg == "--chrome-trace") {
       args.chrome_out = next();
     } else if (arg == "--help" || arg == "-h") {
+      boolean();
       std::cout << "usage: " << argv[0]
                 << " [--reps N] [--seed S] [--threads T] [--csv] [--perf]"
                    " [--trace-out=FILE] [--chrome-trace=FILE]\n";

@@ -87,27 +87,54 @@ void BM_GenerateHaggleTrace(benchmark::State& state) {
 }
 BENCHMARK(BM_GenerateHaggleTrace);
 
-void BM_FullRun(benchmark::State& state) {
-  // One end-to-end simulation: the unit of work the sweeps parallelise.
-  const auto scenario = epi::exp::trace_scenario();
-  const auto trace = epi::exp::build_contact_trace(scenario, 42);
-  const char* protocol =
-      state.range(0) == 0 ? "immunity"
-                          : (state.range(0) == 1 ? "encounter_count"
-                                                 : "cumulative_immunity");
+// Protocol families for the end-to-end benches. The first three keep their
+// historic argument indices so old and new runs stay A/B-comparable.
+constexpr const char* kTraceProtocols[] = {
+    "immunity",     "encounter_count", "cumulative_immunity", "pure_epidemic",
+    "pq_epidemic",  "fixed_ttl",       "dynamic_ttl",         "ec_ttl",
+};
+constexpr const char* kRwpProtocols[] = {
+    "pure_epidemic", "encounter_count", "immunity",
+    "spray_and_wait", "direct_delivery",
+};
+
+/// One end-to-end simulation — the unit of work the sweeps parallelise.
+/// Reports both ns/run and engine events/s (the sweep throughput metric).
+template <std::size_t N>
+void full_run(benchmark::State& state, const epi::exp::ScenarioSpec& scenario,
+              const epi::mobility::ContactTrace& trace,
+              const char* const (&protocols)[N]) {
+  const char* protocol = protocols[static_cast<std::size_t>(state.range(0))];
   std::uint32_t rep = 0;
+  std::uint64_t events = 0;
   for (auto _ : state) {
     epi::exp::RunSpec spec;
     spec.protocol.kind = epi::protocol_from_string(protocol);
     spec.load = 25;
     spec.replication = ++rep;
-    spec.horizon = trace.end_time();
-    benchmark::DoNotOptimize(
-        epi::exp::run_single(spec, trace).delivery_ratio);
+    spec.horizon = scenario.horizon();
+    spec.session_gap = scenario.session_gap;
+    const auto summary = epi::exp::run_single(spec, trace);
+    benchmark::DoNotOptimize(summary.delivery_ratio);
+    events += summary.perf.events_processed;
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
   state.SetLabel(protocol);
 }
-BENCHMARK(BM_FullRun)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_FullRun(benchmark::State& state) {
+  static const auto scenario = epi::exp::trace_scenario();
+  static const auto trace = epi::exp::build_contact_trace(scenario, 42);
+  full_run(state, scenario, trace, kTraceProtocols);
+}
+BENCHMARK(BM_FullRun)->DenseRange(0, 7);
+
+void BM_FullRunRwp(benchmark::State& state) {
+  static const auto scenario = epi::exp::rwp_scenario();
+  static const auto trace = epi::exp::build_contact_trace(scenario, 42);
+  full_run(state, scenario, trace, kRwpProtocols);
+}
+BENCHMARK(BM_FullRunRwp)->DenseRange(0, 4);
 
 }  // namespace
 

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Compare two bench_baseline JSON files and fail on regressions.
+
+Usage:
+    compare_bench.py BASELINE.json FRESH.json [--tolerance 0.10]
+                     [--counters-only] [--time-only]
+
+Two kinds of checks, per benchmark name present in both files:
+
+* Deterministic counters (events_processed, transfers) must match exactly —
+  a mismatch means the engine's simulation behaviour changed, which is a
+  hard failure regardless of tolerance. peak_queue_depth is also checked
+  exactly: it is deterministic for a given scheduling strategy, and a jump
+  usually means lazily scheduled work became eager again.
+
+* Timings (ns_per_run down-is-better, events_per_sec up-is-better) may
+  regress by at most --tolerance (default 0.10 = 10%). Use this on the SAME
+  machine for A/B work; across machines prefer --counters-only, or a
+  generous tolerance.
+
+Exit status: 0 clean, 1 regression or counter mismatch, 2 usage/input error.
+"""
+
+import argparse
+import json
+import sys
+
+EXACT_COUNTERS = ("events_processed", "peak_queue_depth", "transfers")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    if data.get("suite") != "engine_baseline" or "benchmarks" not in data:
+        sys.exit(f"error: {path} is not a bench_baseline file")
+    return {b["name"]: b for b in data["benchmarks"]}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional timing regression "
+                             "(default 0.10)")
+    parser.add_argument("--counters-only", action="store_true",
+                        help="skip timing checks (machine-independent mode)")
+    parser.add_argument("--time-only", action="store_true",
+                        help="skip counter checks")
+    args = parser.parse_args()
+    if args.counters_only and args.time_only:
+        parser.error("--counters-only and --time-only are mutually exclusive")
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+    common = [name for name in baseline if name in fresh]
+    if not common:
+        sys.exit("error: no common benchmarks between the two files")
+    missing = sorted(set(baseline) - set(fresh))
+    if missing:
+        print(f"warning: {len(missing)} baseline case(s) absent from fresh "
+              f"run: {', '.join(missing)}")
+
+    failures = []
+    for name in common:
+        b, f = baseline[name], fresh[name]
+        if not args.time_only:
+            for counter in EXACT_COUNTERS:
+                if b.get(counter) != f.get(counter):
+                    failures.append(
+                        f"{name}: {counter} changed "
+                        f"{b.get(counter)} -> {f.get(counter)} "
+                        f"(deterministic counter; exact match required)")
+        if not args.counters_only:
+            ns_b, ns_f = b["ns_per_run"], f["ns_per_run"]
+            if ns_b > 0 and ns_f > ns_b * (1.0 + args.tolerance):
+                failures.append(
+                    f"{name}: ns_per_run regressed {ns_b:.0f} -> {ns_f:.0f} "
+                    f"(+{100.0 * (ns_f / ns_b - 1.0):.1f}%, "
+                    f"tolerance {100.0 * args.tolerance:.0f}%)")
+            ev_b, ev_f = b["events_per_sec"], f["events_per_sec"]
+            if ev_b > 0 and ev_f < ev_b * (1.0 - args.tolerance):
+                failures.append(
+                    f"{name}: events_per_sec regressed {ev_b:.0f} -> "
+                    f"{ev_f:.0f} "
+                    f"(-{100.0 * (1.0 - ev_f / ev_b):.1f}%, "
+                    f"tolerance {100.0 * args.tolerance:.0f}%)")
+
+    checked = "counters" if args.counters_only else (
+        "timings" if args.time_only else "counters + timings")
+    if failures:
+        print(f"FAIL: {len(failures)} regression(s) across {len(common)} "
+              f"benchmark(s) ({checked}):")
+        for line in failures:
+            print(f"  {line}")
+        sys.exit(1)
+    print(f"OK: {len(common)} benchmark(s) within limits ({checked})")
+
+
+if __name__ == "__main__":
+    main()

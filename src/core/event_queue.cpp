@@ -1,49 +1,151 @@
 #include "core/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace epi::core {
 
-EventHandle EventQueue::schedule(SimTime at, Action action) {
-  const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{at, seq, std::move(action)});
-  queued_.insert(seq);
-  return EventHandle{seq};
+namespace {
+
+constexpr int kArity = 4;
+constexpr std::uint64_t kOrderBits = 62;  // class lives in the top 2 bits
+
+[[nodiscard]] constexpr std::uint64_t pack_order(EventClass klass,
+                                                 std::uint64_t fifo) noexcept {
+  return (static_cast<std::uint64_t>(klass) << kOrderBits) | fifo;
+}
+
+}  // namespace
+
+EventHandle EventQueue::schedule(SimTime at, EventClass klass, Action action) {
+  assert(next_order_ < (std::uint64_t{1} << kOrderBits));
+  return push(at, pack_order(klass, next_order_++), std::move(action));
+}
+
+std::uint64_t EventQueue::reserve_ranks(std::uint64_t count) {
+  const std::uint64_t first = next_order_;
+  next_order_ += count;
+  assert(next_order_ < (std::uint64_t{1} << kOrderBits));
+  return first;
+}
+
+EventHandle EventQueue::schedule_ranked(SimTime at, std::uint64_t rank,
+                                        Action action) {
+  assert(rank < next_order_ && "rank was never reserved");
+  return push(at, pack_order(EventClass::kNormal, rank), std::move(action));
+}
+
+EventHandle EventQueue::push(SimTime at, std::uint64_t order, Action action) {
+  const std::uint32_t slot = acquire_slot(std::move(action));
+  const Node node{at, order, slot};
+  heap_.push_back(node);
+  slots_[slot].pos = static_cast<std::uint32_t>(heap_.size() - 1);
+  sift_up(heap_.size() - 1);
+  return EventHandle{(static_cast<std::uint64_t>(slots_[slot].generation)
+                      << 32) |
+                     slot};
 }
 
 void EventQueue::cancel(EventHandle handle) {
-  // If the seq is not live (already fired or already cancelled), ignore.
-  queued_.erase(handle.seq);
+  // Decode and validate: a stale generation (event fired or was cancelled, or
+  // the slot was reused) and the null handle are harmless no-ops.
+  const auto slot = static_cast<std::uint32_t>(handle.seq & 0xffffffffu);
+  const auto generation = static_cast<std::uint32_t>(handle.seq >> 32);
+  if (generation == 0 || slot >= slots_.size() ||
+      slots_[slot].generation != generation) {
+    return;
+  }
+  const std::uint32_t pos = slots_[slot].pos;
+  release_slot(slot);
+  remove_at(pos);
 }
 
 SimTime EventQueue::next_time() const {
-  drop_cancelled_head();
   assert(!heap_.empty());
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 EventQueue::Popped EventQueue::pop() {
-  drop_cancelled_head();
   assert(!heap_.empty());
-  // priority_queue::top() is const&; the Entry must be moved out via
-  // const_cast, which is safe because pop() immediately removes it.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  Popped out{top.time, std::move(top.action)};
-  queued_.erase(top.seq);
-  heap_.pop();
+  const Node top = heap_.front();
+  Popped out{top.time, std::move(slots_[top.slot].action)};
+  release_slot(top.slot);
+  remove_at(0);
   return out;
 }
 
 void EventQueue::clear() {
-  while (!heap_.empty()) heap_.pop();
-  queued_.clear();
+  for (const Node& node : heap_) release_slot(node.slot);
+  heap_.clear();
 }
 
-void EventQueue::drop_cancelled_head() const {
-  while (!heap_.empty() && !queued_.contains(heap_.top().seq)) {
-    heap_.pop();
+std::uint32_t EventQueue::acquire_slot(Action action) {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot].action = std::move(action);
+    return slot;
   }
+  assert(slots_.size() < 0xffffffffu);
+  slots_.push_back(Slot{1, 0, std::move(action)});
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t slot) noexcept {
+  // The generation bump invalidates every outstanding handle to this slot.
+  // (A single slot would need 2^32 reuses for a stale handle to collide.)
+  ++slots_[slot].generation;
+  slots_[slot].action = nullptr;
+  free_slots_.push_back(slot);
+}
+
+void EventQueue::remove_at(std::size_t pos) {
+  assert(pos < heap_.size());
+  const std::size_t last = heap_.size() - 1;
+  if (pos != last) {
+    place(pos, heap_[last]);
+    heap_.pop_back();
+    // The moved-in node may violate the heap property in either direction.
+    sift_up(pos);
+    sift_down(pos);
+  } else {
+    heap_.pop_back();
+  }
+}
+
+void EventQueue::place(std::size_t pos, Node node) noexcept {
+  heap_[pos] = node;
+  slots_[node.slot].pos = static_cast<std::uint32_t>(pos);
+}
+
+void EventQueue::sift_up(std::size_t pos) {
+  const Node node = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / kArity;
+    if (!before(node, heap_[parent])) break;
+    place(pos, heap_[parent]);
+    pos = parent;
+  }
+  place(pos, node);
+}
+
+void EventQueue::sift_down(std::size_t pos) {
+  const Node node = heap_[pos];
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t first_child = pos * kArity + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t end = std::min(first_child + kArity, n);
+    for (std::size_t c = first_child + 1; c < end; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], node)) break;
+    place(pos, heap_[best]);
+    pos = best;
+  }
+  place(pos, node);
 }
 
 }  // namespace epi::core

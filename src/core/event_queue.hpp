@@ -3,14 +3,17 @@
 // Events scheduled for the same instant pop in scheduling order (FIFO), which
 // makes simulations reproducible: the paper's trace is processed "event by
 // event", and tie order matters when several contacts begin simultaneously.
-// Cancellation is supported through handles; cancelled events are dropped
-// lazily when popped.
+//
+// Implementation: an indexed 4-ary heap. Every live event owns a slot in a
+// side table holding its action and its current heap position, so cancel()
+// removes the entry from the heap in O(log n) — no tombstones, no per-event
+// hash lookups, and size()/empty() are always exact. The 4-ary layout halves
+// the sift depth of a binary heap and keeps sibling comparisons in one cache
+// line (heap nodes are 24 bytes; actions stay put in the slot table).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "core/types.hpp"
@@ -18,9 +21,24 @@
 namespace epi::core {
 
 /// Token identifying a scheduled event; usable to cancel it.
+///
+/// `seq` packs the event's slot index (low 32 bits) and the slot's generation
+/// (high 32 bits, always >= 1 for live events), so a handle validates in O(1)
+/// without hashing. seq 0 — the default-constructed handle — never identifies
+/// a live event.
 struct EventHandle {
   std::uint64_t seq = 0;
   friend bool operator==(EventHandle, EventHandle) = default;
+};
+
+/// Deterministic tie-break tier for events scheduled at the same instant:
+/// lower classes fire first, FIFO within a class. The engine's lazily
+/// rescheduled feeders reproduce the event order of an eager scheduler this
+/// way: trace-feed events beat samplers, samplers beat ordinary actions.
+enum class EventClass : std::uint8_t {
+  kFeeder = 0,   ///< input-feed cursors (contact starts)
+  kSampler = 1,  ///< periodic measurement probes
+  kNormal = 2,   ///< everything else (slots, contact ends, expiries)
 };
 
 class EventQueue {
@@ -32,17 +50,30 @@ class EventQueue {
   EventQueue& operator=(const EventQueue&) = delete;
 
   /// Schedules `action` to fire at absolute time `at`.
-  EventHandle schedule(SimTime at, Action action);
+  EventHandle schedule(SimTime at, Action action) {
+    return schedule(at, EventClass::kNormal, std::move(action));
+  }
+  EventHandle schedule(SimTime at, EventClass klass, Action action);
+
+  /// Reserves `count` consecutive FIFO ranks in EventClass::kNormal and
+  /// returns the first. schedule_ranked() spends them: a caller can chain
+  /// events lazily (one pending at a time) while same-time ties break
+  /// exactly as if the whole chain had been scheduled eagerly at
+  /// reservation time. Each rank must be used at most once.
+  std::uint64_t reserve_ranks(std::uint64_t count);
+
+  /// Schedules `action` at `at` with a rank from reserve_ranks().
+  EventHandle schedule_ranked(SimTime at, std::uint64_t rank, Action action);
 
   /// Cancels a previously scheduled event. Cancelling an event that already
   /// fired (or was cancelled) is a harmless no-op.
   void cancel(EventHandle handle);
 
   /// True when no live (non-cancelled) events remain.
-  [[nodiscard]] bool empty() const noexcept { return queued_.empty(); }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
 
   /// Number of live events.
-  [[nodiscard]] std::size_t size() const noexcept { return queued_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
 
   /// Time of the earliest pending event. Requires !empty().
   [[nodiscard]] SimTime next_time() const;
@@ -57,24 +88,39 @@ class EventQueue {
   void clear();
 
  private:
-  struct Entry {
+  // One heap node: 24 bytes, moved freely during sifts. `order` packs the
+  // EventClass (top 2 bits) above a monotonic FIFO counter, so the ordering
+  // key is the lexicographic (time, order).
+  struct Node {
     SimTime time;
-    std::uint64_t seq;
+    std::uint64_t order;
+    std::uint32_t slot;
+  };
+  // Side table entry: the slot index is what handles address. `generation`
+  // is bumped on release so stale handles never match a reused slot.
+  struct Slot {
+    std::uint32_t generation = 1;
+    std::uint32_t pos = 0;  ///< index into heap_ while live
     Action action;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
 
-  void drop_cancelled_head() const;
+  [[nodiscard]] static bool before(const Node& a, const Node& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.order < b.order;
+  }
 
-  // `mutable` so that const queries can discard cancelled heads lazily.
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<std::uint64_t> queued_;  // live seqs
-  std::uint64_t next_seq_ = 1;
+  EventHandle push(SimTime at, std::uint64_t order, Action action);
+  std::uint32_t acquire_slot(Action action);
+  void release_slot(std::uint32_t slot) noexcept;
+  void remove_at(std::size_t pos);
+  void sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
+  void place(std::size_t pos, Node node) noexcept;
+
+  std::vector<Node> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint64_t next_order_ = 0;  ///< FIFO counter (low 62 bits of `order`)
 };
 
 }  // namespace epi::core

@@ -23,11 +23,17 @@ class Simulator {
   [[nodiscard]] SimTime now() const noexcept { return now_; }
 
   /// Schedules `action` at absolute time `at`. Scheduling in the past is a
-  /// programming error (asserted); same-time events fire in FIFO order.
+  /// programming error (asserted); same-time events fire in FIFO order
+  /// within their EventClass (lower classes first).
   template <typename F>
   EventHandle at(SimTime time, F&& action) {
+    return at(time, EventClass::kNormal, std::forward<F>(action));
+  }
+
+  template <typename F>
+  EventHandle at(SimTime time, EventClass klass, F&& action) {
     assert(time >= now_ && "cannot schedule into the past");
-    return queue_.schedule(time, std::forward<F>(action));
+    return queue_.schedule(time, klass, std::forward<F>(action));
   }
 
   /// Schedules `action` after a relative delay (>= 0).
@@ -35,6 +41,20 @@ class Simulator {
   EventHandle after(SimTime delay, F&& action) {
     assert(delay >= 0.0);
     return queue_.schedule(now_ + delay, std::forward<F>(action));
+  }
+
+  /// Reserves `count` consecutive same-time tie-break ranks; see
+  /// EventQueue::reserve_ranks. Lets chained (lazily scheduled) events keep
+  /// the FIFO position an eager scheduler would have given them.
+  std::uint64_t reserve_ranks(std::uint64_t count) {
+    return queue_.reserve_ranks(count);
+  }
+
+  /// Schedules `action` at `time` with a reserved rank.
+  template <typename F>
+  EventHandle at_ranked(SimTime time, std::uint64_t rank, F&& action) {
+    assert(time >= now_ && "cannot schedule into the past");
+    return queue_.schedule_ranked(time, rank, std::forward<F>(action));
   }
 
   void cancel(EventHandle handle) { queue_.cancel(handle); }

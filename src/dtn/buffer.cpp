@@ -8,6 +8,7 @@ namespace epi::dtn {
 BundleBuffer::BundleBuffer(std::uint32_t capacity) : capacity_(capacity) {
   assert(capacity_ > 0);
   entries_.reserve(capacity_);
+  offer_order_.reserve(capacity_);
 }
 
 bool BundleBuffer::contains(BundleId id) const noexcept {
@@ -31,6 +32,7 @@ const StoredBundle* BundleBuffer::find(BundleId id) const noexcept {
 StoredBundle& BundleBuffer::insert(StoredBundle copy) {
   assert(!full() && "insert into a full buffer");
   assert(!contains(copy.id) && "duplicate bundle in buffer");
+  order_insert(OfferEntry{copy.last_tx, copy.id});
   entries_.push_back(copy);
   return entries_.back();
 }
@@ -41,7 +43,36 @@ std::optional<StoredBundle> BundleBuffer::remove(BundleId id) {
   if (it == entries_.end()) return std::nullopt;
   StoredBundle out = *it;
   entries_.erase(it);  // keeps FIFO order of the rest
+  order_erase(id);
   return out;
+}
+
+void BundleBuffer::mark_transmitted(BundleId id, SimTime at) {
+  StoredBundle* copy = find(id);
+  assert(copy != nullptr && "mark_transmitted of an absent bundle");
+  copy->last_tx = at;
+  order_erase(id);
+  order_insert(OfferEntry{at, id});
+}
+
+void BundleBuffer::order_insert(OfferEntry entry) {
+  // (last_tx, id) ascending; never-transmitted copies carry last_tx < 0 and
+  // therefore precede every transmitted copy. Buffers are tiny, so a linear
+  // scan of the sorted vector beats any cleverer structure.
+  const auto it = std::find_if(
+      offer_order_.begin(), offer_order_.end(), [&](const OfferEntry& e) {
+        if (e.last_tx != entry.last_tx) return entry.last_tx < e.last_tx;
+        return entry.id < e.id;
+      });
+  offer_order_.insert(it, entry);
+}
+
+void BundleBuffer::order_erase(BundleId id) {
+  const auto it =
+      std::find_if(offer_order_.begin(), offer_order_.end(),
+                   [id](const OfferEntry& e) { return e.id == id; });
+  assert(it != offer_order_.end());
+  offer_order_.erase(it);
 }
 
 BundleId BundleBuffer::highest_ec_bundle() const noexcept {

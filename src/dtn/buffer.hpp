@@ -46,13 +46,37 @@ class BundleBuffer {
     return entries_;
   }
 
+  /// One rung of the offer order; carries the sort key so reordering never
+  /// has to chase the entry by id.
+  struct OfferEntry {
+    SimTime last_tx = -1.0;  ///< < 0 means never transmitted
+    BundleId id = kInvalidBundle;
+  };
+
+  /// Bundle ids in the engine's fair offer order: never-transmitted copies
+  /// first (ascending id), then by least-recently-transmitted (ties toward
+  /// the lower id). Maintained incrementally on insert/remove/
+  /// mark_transmitted, so the per-slot transfer loop never sorts.
+  [[nodiscard]] std::span<const OfferEntry> offer_order() const noexcept {
+    return offer_order_;
+  }
+
+  /// Records that the holder transmitted its copy of `id` at time `at`:
+  /// updates the copy's last_tx and repositions it in offer_order().
+  /// Mutating last_tx through find() instead would stale the order.
+  void mark_transmitted(BundleId id, SimTime at);
+
   /// The eviction victim of the EC policy: the copy with the highest EC,
   /// breaking ties toward the oldest-stored copy. kInvalidBundle when empty.
   [[nodiscard]] BundleId highest_ec_bundle() const noexcept;
 
  private:
+  void order_insert(OfferEntry entry);
+  void order_erase(BundleId id);
+
   std::uint32_t capacity_;
-  std::vector<StoredBundle> entries_;  // insertion order
+  std::vector<StoredBundle> entries_;     // insertion order
+  std::vector<OfferEntry> offer_order_;   // sorted by (last_tx, id)
 };
 
 }  // namespace epi::dtn

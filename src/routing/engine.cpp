@@ -1,6 +1,5 @@
 #include "routing/engine.hpp"
 
-#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <string>
@@ -39,18 +38,43 @@ Engine::Engine(SimulationConfig config, const mobility::ContactTrace& trace,
   }
   bundles_.resize(static_cast<std::size_t>(total_load_) + 1);
 
-  // Schedule every contact start inside the horizon. Contact-end and slot
-  // events are scheduled lazily when the contact begins.
-  for (const auto& contact : trace.contacts()) {
-    if (contact.start > config_.horizon) continue;
-    sim_.at(contact.start, [this, contact] { start_contact(contact); });
+  offer_scratch_.reserve(config_.buffer_capacity);
+
+  // Contacts are fed lazily from a cursor over the sorted trace: only the
+  // next start instant is ever pending, instead of one event per contact up
+  // front (the former design's peak queue depth was the whole trace).
+  contacts_ = trace.contacts();
+  if (!contacts_.empty() && contacts_.front().start <= config_.horizon) {
+    at_clamped(contacts_.front().start, core::EventClass::kFeeder,
+               [this] { feed_contacts(); });
   }
 
+  // The timeline sampler is likewise self-rescheduling; sample k fires at
+  // exactly k * sample_interval.
   if (config_.record_timeline) {
-    for (SimTime t = 0.0; t <= config_.horizon;
-         t += config_.sample_interval) {
-      sim_.at(t, [this] { recorder_.sample(sim_.now(), total_load_); });
-    }
+    at_clamped(0.0, core::EventClass::kSampler, [this] { take_sample(); });
+  }
+}
+
+void Engine::feed_contacts() {
+  const SimTime now = sim_.now();
+  while (feed_cursor_ < contacts_.size() &&
+         contacts_[feed_cursor_].start <= now) {
+    start_contact(contacts_[feed_cursor_++]);
+  }
+  if (feed_cursor_ < contacts_.size() &&
+      contacts_[feed_cursor_].start <= config_.horizon) {
+    at_clamped(contacts_[feed_cursor_].start, core::EventClass::kFeeder,
+               [this] { feed_contacts(); });
+  }
+}
+
+void Engine::take_sample() {
+  recorder_.sample(sim_.now(), total_load_);
+  const SimTime next =
+      static_cast<double>(++sample_index_) * config_.sample_interval;
+  if (next <= config_.horizon) {
+    at_clamped(next, core::EventClass::kSampler, [this] { take_sample(); });
   }
 }
 
@@ -83,7 +107,7 @@ metrics::RunSummary Engine::run() {
 
 void Engine::start_contact(const mobility::Contact& contact) {
   const SessionId id = next_session_++;
-  sessions_.emplace(id, Session{id, contact});
+  Session& session = sessions_.emplace(id, Session{id, contact}).first->second;
   recorder_.on_contact();
   if (sink_ != nullptr) {
     trace([&](obs::TraceEvent& ev) {
@@ -110,13 +134,39 @@ void Engine::start_contact(const mobility::Contact& contact) {
   // gained an evictable transmitted copy).
   try_inject(now);
 
+  // Slot and end events are chained lazily: only the contact's next event is
+  // pending at any instant, and nothing past the horizon is ever enqueued.
+  // The whole chain's tie-break ranks are reserved here — the exact point
+  // the former design scheduled every slot — so same-time ordering against
+  // other events (e.g. TTL expiries landing on a slot boundary) is
+  // unchanged.
   const std::uint32_t slots = contact.slots(config_.slot_seconds);
-  for (std::uint32_t i = 0; i < slots; ++i) {
-    const SimTime done = contact.start +
-                         static_cast<double>(i + 1) * config_.slot_seconds;
-    sim_.at(done, [this, id, i] { run_slot(id, i); });
+  session.base_rank = sim_.reserve_ranks(std::uint64_t{slots} + 1);
+  schedule_contact_step(session, 0);
+}
+
+void Engine::schedule_contact_step(const Session& session,
+                                   std::uint32_t slot_index) {
+  const mobility::Contact& contact = session.contact;
+  const SessionId id = session.id;
+  if (slot_index < contact.slots(config_.slot_seconds)) {
+    const SimTime done =
+        contact.start +
+        static_cast<double>(slot_index + 1) * config_.slot_seconds;
+    if (done <= config_.horizon) {
+      assert(done >= sim_.now());
+      sim_.at_ranked(done, session.base_rank + slot_index,
+                     [this, id, slot_index] { run_slot(id, slot_index); });
+    }
+    // A slot past the horizon implies the contact end is past it too: the
+    // rest of this contact can never fire.
+    return;
   }
-  sim_.at(contact.end, [this, id] { end_contact(id); });
+  if (contact.end <= config_.horizon) {
+    sim_.at_ranked(contact.end,
+                   session.base_rank + contact.slots(config_.slot_seconds),
+                   [this, id] { end_contact(id); });
+  }
 }
 
 void Engine::run_slot(SessionId session, std::uint32_t slot_index) {
@@ -124,6 +174,10 @@ void Engine::run_slot(SessionId session, std::uint32_t slot_index) {
   if (it == sessions_.end()) return;  // contact already torn down
   const mobility::Contact& contact = it->second.contact;
   const SimTime now = sim_.now();
+
+  // Chain the next step before transferring; its reserved rank already fixes
+  // the same-time tie order, this just keeps the queue primed.
+  schedule_contact_step(it->second, slot_index + 1);
 
   // "The node with the lower ID will send first"; directions alternate so
   // both sides get slots. If the designated sender has nothing to offer the
@@ -161,30 +215,17 @@ bool Engine::try_transfer(SessionId session, dtn::DtnNode& sender,
                           dtn::DtnNode& receiver, SimTime now) {
   // Deterministic fair offer order: never-transmitted copies first (by id),
   // then least-recently-transmitted. A slot budget of 1-2 bundles per
-  // contact would otherwise starve high ids behind low ones forever.
-  struct Candidate {
-    BundleId id;
-    bool transmitted;
-    SimTime last_tx;
-  };
-  std::vector<Candidate> order;
-  order.reserve(sender.buffer().size());
-  for (const auto& entry : sender.buffer().entries()) {
-    order.push_back(Candidate{entry.id, entry.ever_transmitted(),
-                              entry.last_tx});
+  // contact would otherwise starve high ids behind low ones forever. The
+  // buffer maintains the order incrementally, so no per-slot sort; the ids
+  // are copied out because a transfer can grow the sender's buffer through
+  // the source-refill path (store_copy -> purge -> try_inject).
+  offer_scratch_.clear();
+  for (const auto& entry : sender.buffer().offer_order()) {
+    offer_scratch_.push_back(entry.id);
   }
-  std::sort(order.begin(), order.end(),
-            [](const Candidate& x, const Candidate& y) {
-              if (x.transmitted != y.transmitted) return !x.transmitted;
-              if (x.last_tx != y.last_tx) return x.last_tx < y.last_tx;
-              return x.id < y.id;
-            });
-  std::vector<BundleId> candidates;
-  candidates.reserve(order.size());
-  for (const auto& c : order) candidates.push_back(c.id);
 
   bool receiver_rejected_for_space = false;
-  for (const BundleId id : candidates) {
+  for (const BundleId id : offer_scratch_) {
     // Anti-entropy: never transmit a bundle either side knows is
     // delivered/immune, nor one the peer already has.
     if (sender.knows_immune(id)) continue;
@@ -229,7 +270,7 @@ bool Engine::try_transfer(SessionId session, dtn::DtnNode& sender,
     dtn::StoredBundle* fresh_sender = sender.buffer().find(id);
     assert(fresh_sender != nullptr);
     fresh_sender->ec += 1;
-    fresh_sender->last_tx = now;
+    sender.buffer().mark_transmitted(id, now);
 
     recorder_.on_transfer(id, now);
     if (sink_ != nullptr) {
@@ -254,7 +295,7 @@ void Engine::deliver(dtn::DtnNode& sender, dtn::DtnNode& destination,
                      dtn::StoredBundle& sender_copy, SimTime now) {
   const BundleId id = sender_copy.id;
   sender_copy.ec += 1;  // a delivery is a transmission too
-  sender_copy.last_tx = now;
+  sender.buffer().mark_transmitted(id, now);
   recorder_.on_transfer(id, now);
   destination.mark_delivered(id);
   recorder_.on_delivered(id, now);
@@ -373,8 +414,13 @@ void Engine::set_expiry(dtn::DtnNode& holder, BundleId id, SimTime expiry,
     purge(holder, id, dtn::RemoveReason::kExpired, now);
     return;
   }
+  // A deadline past the horizon can never fire; the copy keeps its `expiry`
+  // for protocol reads, but no event is enqueued (a renewal within the
+  // horizon schedules afresh).
+  if (expiry > config_.horizon) return;
   const NodeId holder_id = holder.id();
-  copy->expiry_event = sim_.at(expiry, [this, holder_id, id] {
+  copy->expiry_event = at_clamped(expiry, core::EventClass::kNormal,
+                                  [this, holder_id, id] {
     dtn::DtnNode& n = node(holder_id);
     // The event is cancelled on renewal/removal, so firing means the copy is
     // still present with this deadline; the guard protects against future

@@ -19,7 +19,9 @@
 //     the horizon is reached ("failed" in the paper's terms).
 #pragma once
 
+#include <cassert>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -39,7 +41,9 @@ namespace epi::routing {
 class Engine {
  public:
   /// The trace must fit the config (node ids < node_count). Throws
-  /// ConfigError / TraceError on inconsistencies.
+  /// ConfigError / TraceError on inconsistencies. The engine feeds contacts
+  /// lazily from a cursor over the trace, so `trace` must outlive the engine
+  /// (not just the constructor).
   Engine(SimulationConfig config, const mobility::ContactTrace& trace,
          std::unique_ptr<Protocol> protocol, std::uint64_t seed);
   Engine(const Engine&) = delete;
@@ -96,6 +100,11 @@ class Engine {
   struct Session {
     SessionId id = 0;
     mobility::Contact contact;
+    /// First of the slots+1 FIFO ranks reserved for this contact's chained
+    /// slot and end events (slot i gets base_rank + i, the end gets
+    /// base_rank + slots); keeps same-time ties identical to scheduling the
+    /// whole contact up front.
+    std::uint64_t base_rank = 0;
   };
 
   /// Builds one TraceEvent (run coordinates pre-filled) and emits it.
@@ -112,9 +121,37 @@ class Engine {
     sink_->emit(ev);
   }
 
+  /// Starts every contact beginning at the current instant and reschedules
+  /// itself for the next distinct start time within the horizon. Runs in
+  /// EventClass::kFeeder so same-time ties resolve exactly as the former
+  /// schedule-everything-up-front design did.
+  void feed_contacts();
+
+  /// Takes one timeline sample and reschedules itself (EventClass::kSampler)
+  /// for `(sample_index_ + 1) * sample_interval` — an integer-indexed grid,
+  /// immune to the drift of accumulating `t += interval` in floating point.
+  void take_sample();
+
   void start_contact(const mobility::Contact& contact);
+
+  /// Chains the next pending event of a contact: slot `slot_index` if the
+  /// contact still affords one, else the contact end — each only when it
+  /// falls within the horizon, at the contact's reserved rank.
+  void schedule_contact_step(const Session& session,
+                             std::uint32_t slot_index);
+
   void run_slot(SessionId session, std::uint32_t slot_index);
   void end_contact(SessionId session);
+
+  /// Schedules `action` at `time`, asserting the horizon clamp: the engine
+  /// never enqueues an event that cannot fire, so queue depth tracks live
+  /// work only.
+  template <typename F>
+  core::EventHandle at_clamped(SimTime time, core::EventClass klass,
+                               F&& action) {
+    assert(time <= config_.horizon && "event scheduled past the horizon");
+    return sim_.at(time, klass, std::forward<F>(action));
+  }
 
   /// Tries to move one bundle from `sender` to `receiver`; true on transfer.
   bool try_transfer(SessionId session, dtn::DtnNode& sender,
@@ -140,6 +177,12 @@ class Engine {
   metrics::Recorder recorder_;
   std::vector<std::unique_ptr<dtn::DtnNode>> nodes_;
   std::vector<dtn::Bundle> bundles_;  // index 0 unused; ids are 1-based
+
+  std::span<const mobility::Contact> contacts_;  ///< sorted; owned by caller
+  std::size_t feed_cursor_ = 0;   ///< next contact to start
+  std::uint64_t sample_index_ = 0;  ///< next timeline sample number
+
+  std::vector<BundleId> offer_scratch_;  ///< reused by try_transfer
 
   std::unordered_map<SessionId, Session> sessions_;
   SessionId next_session_ = 1;

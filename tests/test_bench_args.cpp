@@ -1,0 +1,72 @@
+// CLI hardening tests for the shared bench argument parser: malformed
+// input must exit with code 2 and a clear message, never run with silently
+// defaulted values.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace epi::bench {
+namespace {
+
+/// Runs parse_args over a brace-list of arguments (argv[0] supplied).
+Args parse(std::vector<std::string> argv_strings) {
+  argv_strings.insert(argv_strings.begin(), "bench_under_test");
+  std::vector<char*> argv;
+  argv.reserve(argv_strings.size());
+  for (auto& s : argv_strings) argv.push_back(s.data());
+  return parse_args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(BenchArgs, DefaultsWhenNoFlags) {
+  const Args args = parse({});
+  EXPECT_FALSE(args.csv);
+  EXPECT_FALSE(args.perf);
+  EXPECT_TRUE(args.trace_out.empty());
+}
+
+TEST(BenchArgs, ParsesValuesBothSpellings) {
+  const Args args = parse({"--reps", "3", "--seed=99", "--threads", "2",
+                           "--csv", "--trace-out=/tmp/t.jsonl"});
+  EXPECT_EQ(args.options.replications, 3u);
+  EXPECT_EQ(args.options.master_seed, 99u);
+  EXPECT_EQ(args.options.threads, 2u);
+  EXPECT_TRUE(args.csv);
+  EXPECT_EQ(args.trace_out, "/tmp/t.jsonl");
+}
+
+TEST(BenchArgsDeathTest, BooleanFlagRejectsInlineValue) {
+  EXPECT_EXIT(parse({"--csv=nonsense"}), ::testing::ExitedWithCode(2),
+              "--csv takes no value");
+  EXPECT_EXIT(parse({"--perf=1"}), ::testing::ExitedWithCode(2),
+              "--perf takes no value");
+}
+
+TEST(BenchArgsDeathTest, NonNumericNumbersRejected) {
+  EXPECT_EXIT(parse({"--reps", "abc"}), ::testing::ExitedWithCode(2),
+              "invalid value for --reps");
+  EXPECT_EXIT(parse({"--seed=12x"}), ::testing::ExitedWithCode(2),
+              "invalid value for --seed");
+  EXPECT_EXIT(parse({"--threads", "-4"}), ::testing::ExitedWithCode(2),
+              "invalid value for --threads");
+  EXPECT_EXIT(parse({"--reps", ""}), ::testing::ExitedWithCode(2),
+              "invalid value for --reps");
+  EXPECT_EXIT(parse({"--reps", "3.5"}), ::testing::ExitedWithCode(2),
+              "invalid value for --reps");
+}
+
+TEST(BenchArgsDeathTest, MissingValueRejected) {
+  EXPECT_EXIT(parse({"--reps"}), ::testing::ExitedWithCode(2),
+              "missing value for --reps");
+}
+
+TEST(BenchArgsDeathTest, UnknownFlagRejected) {
+  EXPECT_EXIT(parse({"--bogus"}), ::testing::ExitedWithCode(2),
+              "unknown argument");
+}
+
+}  // namespace
+}  // namespace epi::bench

@@ -108,6 +108,90 @@ TEST(BundleBuffer, MutationThroughFindSticks) {
   EXPECT_EQ(buffer.find(1)->ec, 42u);
 }
 
+TEST(BundleBuffer, OfferOrderUntransmittedFirstById) {
+  BundleBuffer buffer(10);
+  buffer.insert(copy_of(7));
+  buffer.insert(copy_of(2));
+  buffer.insert(copy_of(5));
+  const auto order = buffer.offer_order();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0].id, 2u);
+  EXPECT_EQ(order[1].id, 5u);
+  EXPECT_EQ(order[2].id, 7u);
+}
+
+TEST(BundleBuffer, OfferOrderTransmittedSinkBehindFresh) {
+  // Never-transmitted bundles (by id), then transmitted ones by least
+  // recent transmission — the paper's "newest copies first" offer rule.
+  BundleBuffer buffer(10);
+  for (BundleId id = 1; id <= 4; ++id) buffer.insert(copy_of(id));
+  buffer.mark_transmitted(1, 50.0);
+  buffer.mark_transmitted(3, 20.0);
+  const auto order = buffer.offer_order();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0].id, 2u);  // fresh
+  EXPECT_EQ(order[1].id, 4u);  // fresh
+  EXPECT_EQ(order[2].id, 3u);  // tx at 20
+  EXPECT_EQ(order[3].id, 1u);  // tx at 50
+}
+
+TEST(BundleBuffer, MarkTransmittedUpdatesCopyAndReorders) {
+  BundleBuffer buffer(10);
+  buffer.insert(copy_of(1));
+  buffer.insert(copy_of(2));
+  buffer.mark_transmitted(1, 10.0);
+  EXPECT_DOUBLE_EQ(buffer.find(1)->last_tx, 10.0);
+  EXPECT_TRUE(buffer.find(1)->ever_transmitted());
+  EXPECT_EQ(buffer.offer_order()[0].id, 2u);
+  // Re-transmission moves it to the back of the transmitted tier.
+  buffer.mark_transmitted(2, 5.0);
+  buffer.mark_transmitted(1, 30.0);
+  EXPECT_EQ(buffer.offer_order()[0].id, 2u);
+  EXPECT_EQ(buffer.offer_order()[1].id, 1u);
+}
+
+TEST(BundleBuffer, RemoveDropsOfferEntry) {
+  BundleBuffer buffer(10);
+  buffer.insert(copy_of(1));
+  buffer.insert(copy_of(2));
+  buffer.insert(copy_of(3));
+  buffer.remove(2);
+  const auto order = buffer.offer_order();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0].id, 1u);
+  EXPECT_EQ(order[1].id, 3u);
+}
+
+TEST(BundleBuffer, OfferOrderTracksEntries) {
+  // The offer order always covers exactly the buffered ids, through any
+  // insert / transmit / remove interleaving.
+  BundleBuffer buffer(8);
+  for (BundleId id = 1; id <= 8; ++id) buffer.insert(copy_of(id));
+  buffer.mark_transmitted(4, 1.0);
+  buffer.mark_transmitted(8, 2.0);
+  buffer.remove(4);
+  buffer.remove(1);
+  buffer.insert(copy_of(9));
+  ASSERT_EQ(buffer.offer_order().size(), buffer.size());
+  for (const auto& entry : buffer.offer_order()) {
+    const auto* copy = buffer.find(entry.id);
+    ASSERT_NE(copy, nullptr);
+    EXPECT_DOUBLE_EQ(entry.last_tx, copy->last_tx);
+  }
+  // Sorted: fresh tier by id, then transmitted tier by last_tx.
+  SimTime prev_tx = -1.0;
+  bool in_transmitted_tier = false;
+  for (const auto& entry : buffer.offer_order()) {
+    if (entry.last_tx >= 0.0) in_transmitted_tier = true;
+    if (in_transmitted_tier) {
+      EXPECT_GE(entry.last_tx, prev_tx);
+      prev_tx = entry.last_tx;
+    } else {
+      EXPECT_LT(entry.last_tx, 0.0);
+    }
+  }
+}
+
 TEST(StoredBundle, TransmissionFlag) {
   StoredBundle c = copy_of(1);
   EXPECT_FALSE(c.ever_transmitted());

@@ -132,6 +132,62 @@ TEST(EngineEdge, ZeroSlotContactStillExchangesControlPlane) {
   EXPECT_FALSE(engine.node(0).buffer().contains(1));
 }
 
+TEST(EngineEdge, SamplerCountExactOnDriftProneInterval) {
+  // 0.1 is not representable in binary; an accumulating `t += interval`
+  // sampler drifts and eventually gains or loses a sample against the
+  // horizon. Deriving sample k's time as k * interval from an integer index
+  // keeps the count exact: floor(horizon / interval) + 1.
+  auto config = small_config(1);
+  config.horizon = 100.0;
+  config.record_timeline = true;
+  config.sample_interval = 0.1;
+  const auto trace = make_trace({{0, 1, 0.0, 50.0}});
+  Engine engine(config, trace, make_protocol(config.protocol), 1);
+  engine.run();
+  EXPECT_EQ(engine.recorder().timeline().size(), 1001u);
+}
+
+TEST(EngineEdge, SamplerCountMatchesClosedForm) {
+  auto config = small_config(1);
+  config.horizon = 600'000.0;
+  config.record_timeline = true;
+  config.sample_interval = 1'000.0;
+  const auto trace = make_trace({{0, 1, 0.0, 50.0}});
+  Engine engine(config, trace, make_protocol(config.protocol), 1);
+  engine.run();
+  // floor(600000 / 1000) + 1 samples: t = 0, 1000, ..., 600000.
+  EXPECT_EQ(engine.recorder().timeline().size(), 601u);
+}
+
+TEST(EngineEdge, ContactStraddlingHorizonIsClamped) {
+  // A contact whose tail extends far past the horizon must not enqueue its
+  // out-of-range slots or its end event: every pending event fires within
+  // the horizon, and the queue holds live work only.
+  auto config = small_config(1);
+  config.horizon = 500.0;
+  const auto trace = make_trace({{0, 1, 400.0, 50'000.0}});  // 496 slots
+  Engine engine(config, trace, make_protocol(config.protocol), 1);
+  const auto run = engine.run();
+  EXPECT_LE(run.end_time, config.horizon);
+  // Lazy chaining + horizon clamping: a handful of pending events, never
+  // one per future slot.
+  EXPECT_LE(run.perf.peak_queue_depth, 8u);
+}
+
+TEST(EngineEdge, ExpiryPastHorizonNotScheduled) {
+  // fixed_ttl with a TTL beyond the horizon: the copy's expiry can never
+  // fire, so it must not sit in the queue.
+  auto config = small_config(1);
+  config.horizon = 1'000.0;
+  config.protocol.kind = ProtocolKind::kFixedTtl;
+  config.protocol.fixed_ttl = 50'000.0;
+  const auto trace = make_trace({{0, 1, 0.0, 350.0}});
+  Engine engine(config, trace, make_protocol(config.protocol), 1);
+  const auto run = engine.run();
+  EXPECT_EQ(run.drops_expired, 0u);
+  EXPECT_LE(run.perf.peak_queue_depth, 8u);
+}
+
 TEST(EngineEdge, EngineRunIsSingleShotButStateReadable) {
   auto config = small_config(1);
   const auto trace = make_trace({{0, 2, 0.0, 150.0}});

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 namespace epi::core {
@@ -113,6 +115,134 @@ TEST(EventQueue, ReschedulingAfterClearWorks) {
   q.schedule(2.0, [&] { fired = true; });
   q.pop().action();
   EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, ClassesOrderSameTimeEvents) {
+  // Lower classes fire first at the same instant, FIFO within a class —
+  // regardless of scheduling order.
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(1.0, EventClass::kNormal, [&] { fired.push_back(4); });
+  q.schedule(1.0, EventClass::kSampler, [&] { fired.push_back(2); });
+  q.schedule(1.0, EventClass::kFeeder, [&] { fired.push_back(0); });
+  q.schedule(1.0, EventClass::kFeeder, [&] { fired.push_back(1); });
+  q.schedule(1.0, EventClass::kSampler, [&] { fired.push_back(3); });
+  q.schedule(0.5, EventClass::kNormal, [&] { fired.push_back(-1); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, (std::vector<int>{-1, 0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ReservedRanksFixTieOrderAcrossLazyScheduling) {
+  // A reserved block keeps its FIFO position even when its events are
+  // scheduled much later than competing same-time events.
+  EventQueue q;
+  std::vector<char> fired;
+  const std::uint64_t base = q.reserve_ranks(2);
+  q.schedule(5.0, [&] { fired.push_back('c'); });  // rank base + 2
+  q.schedule_ranked(5.0, base + 1, [&] { fired.push_back('b'); });
+  q.schedule_ranked(5.0, base, [&] { fired.push_back('a'); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, (std::vector<char>{'a', 'b', 'c'}));
+}
+
+TEST(EventQueue, AdversarialInterleavedStress) {
+  // Model-checked random interleaving of schedule/cancel/pop/clear with a
+  // deliberately tiny time domain (maximum same-time ties). The reference
+  // model is the spec: earliest (time, schedule order) pops first.
+  struct ModelEvent {
+    SimTime time;
+    std::uint64_t order;
+    int tag;
+    EventHandle handle;
+  };
+  EventQueue q;
+  std::vector<ModelEvent> model;           // live events
+  std::vector<EventHandle> dead_handles;   // fired or cancelled
+  std::vector<int> fired;
+  int last_popped_tag = -1;
+  std::uint64_t order = 0;
+  int next_tag = 0;
+  std::uint64_t lcg = 12345;
+  const auto rnd = [&](std::uint64_t n) {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    return (lcg >> 33) % n;
+  };
+
+  for (int step = 0; step < 5'000; ++step) {
+    const auto op = rnd(100);
+    if (op < 55) {  // schedule, times drawn from just 8 instants
+      const SimTime t = 0.5 * static_cast<double>(rnd(8));
+      const int tag = next_tag++;
+      const EventHandle h =
+          q.schedule(t, [&, tag] { fired.push_back(tag); });
+      model.push_back(ModelEvent{t, order++, tag, h});
+    } else if (op < 70 && !model.empty()) {  // cancel a live event
+      const auto victim = rnd(model.size());
+      q.cancel(model[victim].handle);
+      dead_handles.push_back(model[victim].handle);
+      model.erase(model.begin() + static_cast<std::ptrdiff_t>(victim));
+    } else if (op < 75) {  // cancel stale / default handles: no-ops
+      q.cancel(EventHandle{});
+      if (!dead_handles.empty()) q.cancel(dead_handles[rnd(dead_handles.size())]);
+    } else if (op < 97 && !model.empty()) {  // pop: must match the model
+      const auto expected = std::min_element(
+          model.begin(), model.end(),
+          [](const ModelEvent& x, const ModelEvent& y) {
+            if (x.time != y.time) return x.time < y.time;
+            return x.order < y.order;
+          });
+      EXPECT_DOUBLE_EQ(q.next_time(), expected->time);
+      auto [time, action] = q.pop();
+      EXPECT_DOUBLE_EQ(time, expected->time);
+      action();
+      ASSERT_FALSE(fired.empty());
+      EXPECT_EQ(fired.back(), expected->tag);
+      EXPECT_GE(expected->tag, 0);
+      last_popped_tag = expected->tag;
+      dead_handles.push_back(expected->handle);
+      model.erase(expected);
+    } else if (op >= 97) {  // clear mid-run
+      for (const auto& e : model) dead_handles.push_back(e.handle);
+      q.clear();
+      model.clear();
+    }
+    ASSERT_EQ(q.size(), model.size());
+    ASSERT_EQ(q.empty(), model.empty());
+  }
+  (void)last_popped_tag;
+
+  // Drain what's left; FIFO tie order must hold to the end.
+  std::stable_sort(model.begin(), model.end(),
+                   [](const ModelEvent& x, const ModelEvent& y) {
+                     if (x.time != y.time) return x.time < y.time;
+                     return x.order < y.order;
+                   });
+  for (const auto& expected : model) {
+    auto [time, action] = q.pop();
+    EXPECT_DOUBLE_EQ(time, expected.time);
+    action();
+    EXPECT_EQ(fired.back(), expected.tag);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelAfterFireWithReusedSlotsIsNoop) {
+  // Fired events release their slots for reuse; a stale handle must never
+  // cancel the slot's new occupant.
+  EventQueue q;
+  std::vector<EventHandle> first_wave;
+  for (int i = 0; i < 8; ++i) {
+    first_wave.push_back(q.schedule(1.0, [] {}));
+  }
+  while (!q.empty()) q.pop().action();
+  int fired = 0;
+  for (int i = 0; i < 8; ++i) {
+    q.schedule(2.0, [&] { ++fired; });  // likely reuses the freed slots
+  }
+  for (const auto h : first_wave) q.cancel(h);  // all stale
+  EXPECT_EQ(q.size(), 8u);
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, 8);
 }
 
 TEST(EventQueue, ManyInterleavedOperations) {

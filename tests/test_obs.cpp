@@ -81,7 +81,8 @@ metrics::RunSummary run_two_node(obs::TraceSink* sink) {
   config.destination = 1;
   config.horizon = 5'000.0;
   config.protocol.kind = ProtocolKind::kPureEpidemic;
-  routing::Engine engine(config, two_node_trace(),
+  const mobility::ContactTrace trace = two_node_trace();  // must outlive run()
+  routing::Engine engine(config, trace,
                          routing::make_protocol(config.protocol), /*seed=*/7);
   engine.set_trace_sink(sink, /*replication=*/4);
   return engine.run();
