@@ -8,6 +8,11 @@
 //   --trace-out=FILE    stream one JSONL record per engine event to FILE
 //   --perf              live progress line on stderr + perf totals at the end
 //   --chrome-trace=FILE write per-replication spans (chrome://tracing format)
+//   --store DIR         persistent run store (default results/runstore):
+//                       cached runs are served without simulating, fresh
+//                       ones appended; Ctrl-C drains + saves, rerun resumes
+//   --no-store          disable the run store for this invocation
+//   --store-stats       print hit/miss/append counts at the end
 //
 // Flags taking a value accept both `--flag VALUE` and `--flag=VALUE`.
 #pragma once
@@ -23,9 +28,12 @@
 
 #include "exp/figures.hpp"
 #include "exp/report.hpp"
+#include "exp/sweep.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/jsonl_sink.hpp"
 #include "obs/progress.hpp"
+#include "store/interrupt.hpp"
+#include "store/run_store.hpp"
 
 namespace epi::bench {
 
@@ -35,6 +43,8 @@ struct Args {
   bool perf = false;
   std::string trace_out;   ///< empty = event tracing off
   std::string chrome_out;  ///< empty = chrome trace off
+  std::string store_dir = "results/runstore";  ///< empty = store off
+  bool store_stats = false;
 };
 
 /// Parses a full unsigned decimal value; exits 2 on anything else (empty,
@@ -97,11 +107,23 @@ inline Args parse_args(int argc, char** argv) {
       args.trace_out = next();
     } else if (arg == "--chrome-trace") {
       args.chrome_out = next();
+    } else if (arg == "--store") {
+      args.store_dir = next();
+      if (args.store_dir.empty()) {
+        std::cerr << "--store needs a directory (use --no-store to disable)\n";
+        std::exit(2);
+      }
+    } else if (arg == "--no-store") {
+      boolean();
+      args.store_dir.clear();
+    } else if (arg == "--store-stats") {
+      args.store_stats = boolean();
     } else if (arg == "--help" || arg == "-h") {
       boolean();
       std::cout << "usage: " << argv[0]
                 << " [--reps N] [--seed S] [--threads T] [--csv] [--perf]"
-                   " [--trace-out=FILE] [--chrome-trace=FILE]\n";
+                   " [--trace-out=FILE] [--chrome-trace=FILE]"
+                   " [--store=DIR] [--no-store] [--store-stats]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
@@ -117,9 +139,14 @@ struct Observability {
   std::unique_ptr<obs::JsonlSink> sink;
   std::unique_ptr<obs::ChromeTraceWriter> chrome;
   std::string chrome_out;
+  std::unique_ptr<store::RunStore> store;
+  std::unique_ptr<store::SigintDrain> sigint;
+  bool store_stats = false;
 
   /// Instantiates the sinks the flags ask for and points `args.options` at
   /// them. Throws std::runtime_error when an output file cannot be opened.
+  /// A store directory that cannot be opened only disables caching (with a
+  /// warning): a read-only checkout must not break the benches.
   void attach(Args& args) {
     if (!args.trace_out.empty()) {
       sink = std::make_unique<obs::JsonlSink>(args.trace_out);
@@ -131,6 +158,17 @@ struct Observability {
       chrome_out = args.chrome_out;
     }
     args.options.progress = args.perf;
+    store_stats = args.store_stats;
+    if (!args.store_dir.empty()) {
+      try {
+        store = std::make_unique<store::RunStore>(args.store_dir);
+        args.options.store = store.get();
+        // Ctrl-C now drains and saves instead of discarding finished runs.
+        sigint = std::make_unique<store::SigintDrain>();
+      } catch (const std::exception& e) {
+        std::cerr << "warning: run store disabled: " << e.what() << "\n";
+      }
+    }
   }
 
   /// Flushes file-backed outputs and reports where they went.
@@ -141,7 +179,25 @@ struct Observability {
           << " spans; open in chrome://tracing or ui.perfetto.dev)\n";
     }
     if (sink != nullptr) {
-      out << "event trace: " << sink->records() << " JSONL records\n";
+      out << "event trace: " << sink->records() << " JSONL records";
+      if (sink->truncated() > 0) {
+        out << " (" << sink->truncated() << " oversized record(s) dropped)";
+      }
+      out << "\n";
+    }
+    if (store != nullptr && store_stats) {
+      const store::RunStore::Stats s = store->stats();
+      // Every simulated run is appended on completion (and vice versa), so
+      // `appended` is the honest "simulated this invocation" count even when
+      // event tracing bypassed the cache lookups.
+      out << "[store] " << store->dir().string() << ": " << s.hits
+          << " cached, " << s.appended << " simulated, " << s.appended
+          << " appended; " << s.records << " records in " << s.segments
+          << " segment(s)";
+      if (s.corrupt_lines > 0) {
+        out << ", " << s.corrupt_lines << " corrupt line(s) skipped";
+      }
+      out << "\n";
     }
   }
 };
@@ -183,8 +239,8 @@ inline int figure_main(int argc, char** argv,
                            const exp::FigureOptions&)>& run,
                        std::string_view paper_claim) {
   Args args = parse_args(argc, argv);
+  Observability observability;
   try {
-    Observability observability;
     observability.attach(args);
     const exp::Figure figure = run(args.options);
     exp::print_figure(std::cout, figure);
@@ -195,6 +251,16 @@ inline int figure_main(int argc, char** argv,
     if (args.perf) print_perf(std::cout, figure);
     observability.finish(std::cout);
     std::cout << "\npaper shape: " << paper_claim << "\n\n";
+  } catch (const exp::SweepInterrupted&) {
+    // The drain already persisted every completed run; rerunning the same
+    // command serves those from the store and computes only the rest.
+    if (observability.store != nullptr) observability.store->flush();
+    std::cerr << "\ninterrupted: completed runs saved to "
+              << (observability.store != nullptr
+                      ? observability.store->dir().string()
+                      : std::string("(no store)"))
+              << "; rerun the same command to resume\n";
+    return 130;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -10,10 +10,12 @@
 
 int main(int argc, char** argv) {
   using namespace epi;
-  const bench::Args args = bench::parse_args(argc, argv);
+  bench::Args args = bench::parse_args(argc, argv);
   const std::filesystem::path dir = "results";
+  bench::Observability observability;
   try {
     std::filesystem::create_directories(dir);
+    observability.attach(args);
 
     const std::pair<const char*,
                     exp::Figure (*)(const exp::FigureOptions&)>
@@ -49,9 +51,18 @@ int main(int argc, char** argv) {
       exp::print_figure_json(json_out, figure);
       std::cout << "wrote " << json_path.string() << "\n";
     }
+    observability.finish(std::cout);
     std::cout << "\nall figure series exported (" << 2 * std::size(figures)
               << " files, " << args.options.replications
               << " replications each)\n\n";
+  } catch (const exp::SweepInterrupted&) {
+    if (observability.store != nullptr) observability.store->flush();
+    std::cerr << "\ninterrupted: completed runs saved to "
+              << (observability.store != nullptr
+                      ? observability.store->dir().string()
+                      : std::string("(no store)"))
+              << "; rerun the same command to resume\n";
+    return 130;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

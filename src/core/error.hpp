@@ -25,4 +25,10 @@ class TraceError : public Error {
   using Error::Error;
 };
 
+/// A run-store directory that cannot be created or written.
+class StoreError : public Error {
+ public:
+  using Error::Error;
+};
+
 }  // namespace epi

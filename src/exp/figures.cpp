@@ -96,6 +96,7 @@ Figure run_figure(std::string id, std::string title, Metric metric,
     spec.trace_sink = options.trace_sink;
     spec.chrome = options.chrome;
     spec.progress = progress.get();
+    spec.store = options.store;
 
     figure.labels.push_back(def.label);
     figure.results.push_back(

@@ -11,6 +11,10 @@
 #include "obs/chrome_trace.hpp"
 #include "obs/trace_sink.hpp"
 
+namespace epi::store {
+class RunStore;
+}
+
 namespace epi::exp {
 
 /// Knobs shared by all figure reproductions.
@@ -23,6 +27,9 @@ struct FigureOptions {
   obs::TraceSink* trace_sink = nullptr;      ///< event-level JSONL/etc. sink
   obs::ChromeTraceWriter* chrome = nullptr;  ///< per-replication spans
   bool progress = false;  ///< live `[figXX] n/m runs ...` line on stderr
+
+  /// Persistent run cache (non-owning, optional); see SweepSpec::store.
+  store::RunStore* store = nullptr;
 };
 
 // --- protocol parameter shorthands (the paper's configurations) -------------

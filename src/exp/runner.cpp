@@ -1,10 +1,13 @@
 #include "exp/runner.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "core/rng.hpp"
+#include "exp/scenario.hpp"
 #include "routing/engine.hpp"
 #include "routing/factory.hpp"
+#include "store/fingerprint.hpp"
 
 namespace epi::exp {
 
@@ -45,6 +48,113 @@ metrics::RunSummary run_single(const RunSpec& spec,
                          run_seed);
   engine.set_trace_sink(spec.trace_sink, spec.replication);
   return engine.run();
+}
+
+namespace {
+
+// max_digits10 rendering: the key must distinguish parameter values that
+// differ by a single ULP, because the simulation does.
+void kv(std::string& out, const char* name, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s=%.17g;", name, value);
+  out += buf;
+}
+
+void kv(std::string& out, const char* name, std::uint64_t value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s=%llu;", name,
+                static_cast<unsigned long long>(value));
+  out += buf;
+}
+
+}  // namespace
+
+std::string store_key(const ScenarioSpec& scenario, const RunSpec& run) {
+  std::string key = "schema=" + std::to_string(store::kSchemaVersion);
+
+  // Scenario: the active generator's full parameter block. The cosmetic
+  // `name` is deliberately excluded — the trace depends only on (kind,
+  // params, master_seed).
+  key += "|scenario=";
+  switch (scenario.kind) {
+    case MobilityKind::kHaggleTrace: {
+      const auto& p = scenario.haggle;
+      key += "haggle{";
+      kv(key, "nodes", std::uint64_t{p.node_count});
+      kv(key, "horizon", p.horizon);
+      kv(key, "ggap", p.median_gathering_gap);
+      kv(key, "gsig", p.gathering_gap_sigma);
+      kv(key, "amin", std::uint64_t{p.min_attendees});
+      kv(key, "amax", std::uint64_t{p.max_attendees});
+      kv(key, "jitter", p.arrival_jitter);
+      kv(key, "dwell", p.median_dwell);
+      kv(key, "dwsig", p.dwell_sigma);
+      kv(key, "pgap", p.median_pair_gap);
+      kv(key, "pgsig", p.pair_gap_sigma);
+      kv(key, "pdur", p.median_duration);
+      kv(key, "pdsig", p.duration_sigma);
+      kv(key, "minc", p.min_contact);
+      key += '}';
+      break;
+    }
+    case MobilityKind::kRwp: {
+      const auto& p = scenario.rwp;
+      key += "rwp{";
+      kv(key, "nodes", std::uint64_t{p.node_count});
+      kv(key, "horizon", p.horizon);
+      kv(key, "points", std::uint64_t{p.subscriber_points});
+      kv(key, "area", p.area_side_m);
+      kv(key, "pause", p.max_pause_s);
+      kv(key, "vmin", p.min_speed_mps);
+      kv(key, "vmax", p.max_speed_mps);
+      kv(key, "cmax", p.max_contact_s);
+      kv(key, "cmin", p.min_contact_s);
+      key += '}';
+      break;
+    }
+    case MobilityKind::kInterval: {
+      const auto& p = scenario.interval;
+      key += "interval{";
+      kv(key, "nodes", std::uint64_t{p.node_count});
+      kv(key, "enc", std::uint64_t{p.encounters_per_node});
+      kv(key, "imax", p.max_interval);
+      kv(key, "imin", p.min_interval);
+      kv(key, "dmin", p.min_duration);
+      kv(key, "dmax", p.max_duration);
+      key += '}';
+      break;
+    }
+  }
+
+  // Protocol: every field of ProtocolParams, read or not — a miss on an
+  // irrelevant field only costs a recompute, never a wrong cache hit.
+  const auto& pp = run.protocol;
+  key += "|protocol=";
+  key += to_string(pp.kind);
+  key += '{';
+  kv(key, "p", pp.p);
+  kv(key, "q", pp.q);
+  kv(key, "ttl", pp.fixed_ttl);
+  kv(key, "tmul", pp.ttl_multiplier);
+  kv(key, "tfb", pp.dynamic_ttl_fallback);
+  kv(key, "ect", std::uint64_t{pp.ec_threshold});
+  kv(key, "ecb", pp.ec_ttl_base);
+  kv(key, "ecs", pp.ec_ttl_step);
+  kv(key, "ecm", std::uint64_t{pp.ec_min_evict});
+  kv(key, "irpc", std::uint64_t{pp.immunity_records_per_contact});
+  kv(key, "spray", std::uint64_t{pp.spray_copies});
+  key += '}';
+
+  // Flow coordinates and engine constants.
+  key += '|';
+  kv(key, "load", std::uint64_t{run.load});
+  kv(key, "rep", std::uint64_t{run.replication});
+  kv(key, "seed", run.master_seed);
+  kv(key, "buf", std::uint64_t{run.buffer_capacity});
+  kv(key, "slot", run.slot_seconds);
+  kv(key, "horizon", run.horizon);
+  kv(key, "gap", run.session_gap);
+  return key;
 }
 
 }  // namespace epi::exp

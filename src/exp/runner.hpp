@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "core/config.hpp"
 #include "metrics/summary.hpp"
@@ -46,5 +47,16 @@ struct FlowEndpoints {
 /// Runs one simulation on the shared `trace` and returns its summary.
 [[nodiscard]] metrics::RunSummary run_single(
     const RunSpec& spec, const mobility::ContactTrace& trace);
+
+struct ScenarioSpec;
+
+/// Canonical run-store identity of one (scenario, run) pair: every field
+/// that determines the RunSummary — the active mobility generator's full
+/// parameter block, the protocol's full parameter block, the flow
+/// coordinates and the engine constants — serialized at max_digits10, plus
+/// store::kSchemaVersion. Two runs with equal keys produce bit-identical
+/// summaries; any parameter change, however small, changes the key.
+[[nodiscard]] std::string store_key(const ScenarioSpec& scenario,
+                                    const RunSpec& run);
 
 }  // namespace epi::exp

@@ -9,13 +9,27 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/error.hpp"
 #include "exp/scenario.hpp"
 #include "metrics/summary.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace_sink.hpp"
 
+namespace epi::store {
+class RunStore;
+}
+
 namespace epi::exp {
+
+/// Raised by run_sweep_on after a SIGINT drain (see store::SigintDrain):
+/// every in-flight run has finished and been persisted to the run store;
+/// runs that had not started were skipped and no aggregates were computed.
+/// Rerunning the same command resumes from the store.
+class SweepInterrupted : public Error {
+ public:
+  using Error::Error;
+};
 
 /// Load axis used by every figure: k in {5, 10, ..., 50}.
 [[nodiscard]] std::vector<std::uint32_t> paper_loads();
@@ -33,6 +47,14 @@ struct SweepSpec {
   obs::TraceSink* trace_sink = nullptr;        ///< per-event records
   obs::ProgressReporter* progress = nullptr;   ///< ticked per replication
   obs::ChromeTraceWriter* chrome = nullptr;    ///< one span per replication
+
+  /// Persistent result cache (non-owning, optional). When set, cached runs
+  /// are served without simulation and fresh runs are appended as they
+  /// complete. Cached and fresh summaries are bit-identical, so mixing them
+  /// is invisible in every figure. Exception: while `trace_sink` is set the
+  /// cache is not consulted (event traces require the events to happen),
+  /// though fresh results are still appended.
+  store::RunStore* store = nullptr;
 };
 
 struct SweepResult {

@@ -32,6 +32,25 @@ RunSummary summarize(const Recorder& recorder, std::uint32_t load,
   return s;
 }
 
+bool deterministic_equal(const RunSummary& a, const RunSummary& b) noexcept {
+  return a.load == b.load && a.seed == b.seed &&
+         a.delivery_ratio == b.delivery_ratio && a.complete == b.complete &&
+         a.completion_time == b.completion_time &&
+         a.mean_bundle_delay == b.mean_bundle_delay &&
+         a.buffer_occupancy == b.buffer_occupancy &&
+         a.duplication_rate == b.duplication_rate &&
+         a.bundle_transmissions == b.bundle_transmissions &&
+         a.control_records == b.control_records && a.contacts == b.contacts &&
+         a.drops_expired == b.drops_expired &&
+         a.drops_evicted == b.drops_evicted &&
+         a.drops_immunized == b.drops_immunized && a.end_time == b.end_time &&
+         a.flow_delivery == b.flow_delivery &&
+         a.perf.events_processed == b.perf.events_processed &&
+         a.perf.peak_queue_depth == b.perf.peak_queue_depth &&
+         a.perf.transfers == b.perf.transfers &&
+         a.perf.contacts == b.perf.contacts;
+}
+
 double Aggregate::ci95_half_width() const {
   if (count < 2) return 0.0;
   // Two-sided 97.5% Student-t quantiles for small samples; the tail decays

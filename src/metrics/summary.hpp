@@ -50,6 +50,15 @@ struct RunSummary {
                                    std::uint32_t load, std::uint64_t seed,
                                    SimTime horizon);
 
+/// True when every simulation-determined field of the two summaries is
+/// bit-identical — doubles compared exactly, never by tolerance. The
+/// deterministic perf counters (events, peak queue, transfers, contacts)
+/// are included; perf.wall_seconds is the one excluded field, being wall
+/// clock. This is the run store's core invariant: a cached summary must be
+/// deterministic_equal to the fresh run it stands in for.
+[[nodiscard]] bool deterministic_equal(const RunSummary& a,
+                                       const RunSummary& b) noexcept;
+
 /// Mean / spread of one scalar across replications.
 struct Aggregate {
   double mean = 0.0;

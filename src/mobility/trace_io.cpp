@@ -40,6 +40,10 @@ ContactTrace read_trace(std::istream& in) {
     std::string extra;
     if (fields >> extra) fail(line_no, "unexpected trailing field: " + extra);
     if (a < 0 || b < 0) fail(line_no, "negative node id");
+    // kInvalidNode is the sentinel "no node"; a trace id at or above it
+    // would silently truncate in the NodeId cast below.
+    constexpr long long kMaxNodeId = static_cast<long long>(kInvalidNode) - 1;
+    if (a > kMaxNodeId || b > kMaxNodeId) fail(line_no, "node id out of range");
     if (a == b) fail(line_no, "contact joins a node to itself");
     if (start < 0.0) fail(line_no, "negative start time");
     if (end <= start) fail(line_no, "end must be after start");

@@ -41,6 +41,7 @@ void JsonlSink::emit(const TraceEvent& event) {
   // One snprintf per record keeps emit() allocation-free and locale-proof;
   // the longest record (every optional field present) fits comfortably.
   char line[256];
+  bool truncated = false;
   int n = std::snprintf(line, sizeof(line),
                         R"({"t":%.10g,"ev":"%.*s","protocol":"%.*s",)"
                         R"("load":%u,"rep":%u)",
@@ -49,12 +50,16 @@ void JsonlSink::emit(const TraceEvent& event) {
                         to_string(event.kind).data(),
                         static_cast<int>(event.protocol.size()),
                         event.protocol.data(), event.load, event.replication);
+  if (n < 0 || static_cast<std::size_t>(n) >= sizeof(line)) truncated = true;
   const auto append = [&](const char* fmt, auto... args) {
-    if (n < 0 || static_cast<std::size_t>(n) >= sizeof(line)) return;
+    if (truncated) return;
     const std::size_t room = sizeof(line) - static_cast<std::size_t>(n);
     const int m = std::snprintf(line + n, room, fmt, args...);
-    if (m < 0) return;
-    n += std::min(m, static_cast<int>(room) - 1);
+    if (m < 0 || static_cast<std::size_t>(m) >= room) {
+      truncated = true;
+      return;
+    }
+    n += m;
   };
   if (event.a != kInvalidNode) append(R"(,"a":%u)", event.a);
   if (event.b != kInvalidNode) append(R"(,"b":%u)", event.b);
@@ -69,7 +74,12 @@ void JsonlSink::emit(const TraceEvent& event) {
   }
   append("}\n");
 
-  if (n <= 0) return;
+  if (truncated || n <= 0) {
+    // A partial line is worse than a missing one: drop and count it.
+    std::lock_guard lock(mutex_);
+    ++truncated_;
+    return;
+  }
 
   std::lock_guard lock(mutex_);
   out_->write(line, n);

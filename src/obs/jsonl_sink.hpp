@@ -33,11 +33,17 @@ class JsonlSink final : public TraceSink {
   /// Number of records written so far.
   [[nodiscard]] std::uint64_t records() const noexcept { return records_; }
 
+  /// Number of records dropped because they exceeded the line buffer. A
+  /// truncated JSON line would poison downstream parsers, so oversized
+  /// records are counted here instead of written.
+  [[nodiscard]] std::uint64_t truncated() const noexcept { return truncated_; }
+
  private:
   std::ofstream file_;     // only used by the path constructor
   std::ostream* out_;      // points at file_ or the caller's stream
   std::mutex mutex_;
   std::uint64_t records_ = 0;
+  std::uint64_t truncated_ = 0;
 };
 
 }  // namespace epi::obs

@@ -45,6 +45,19 @@ void ProgressReporter::tick(std::uint64_t events_processed) {
   print_line(/*final=*/false);
 }
 
+void ProgressReporter::tick_cached() {
+  std::lock_guard lock(mutex_);
+  ++completed_;
+  ++cached_;
+  const auto now = std::chrono::steady_clock::now();
+  if (completed_ < total_ &&
+      now - last_print_ < std::chrono::milliseconds(100)) {
+    return;
+  }
+  last_print_ = now;
+  print_line(/*final=*/false);
+}
+
 void ProgressReporter::finish() {
   std::lock_guard lock(mutex_);
   if (finished_) return;
@@ -55,6 +68,11 @@ void ProgressReporter::finish() {
 std::size_t ProgressReporter::completed() const {
   std::lock_guard lock(mutex_);
   return completed_;
+}
+
+std::size_t ProgressReporter::cached() const {
+  std::lock_guard lock(mutex_);
+  return cached_;
 }
 
 std::uint64_t ProgressReporter::total_events() const {
@@ -68,21 +86,28 @@ void ProgressReporter::print_line(bool final) {
           .count();
   const double rate =
       elapsed > 0.0 ? static_cast<double>(events_) / elapsed : 0.0;
-  char line[160];
+  char cached_note[32] = "";
+  if (cached_ > 0) {
+    std::snprintf(cached_note, sizeof(cached_note), " (%zu cached)", cached_);
+  }
+  char line[192];
   if (final) {
     std::snprintf(line, sizeof(line),
-                  "\r[%s] %zu/%zu runs, %s ev/s, %.1fs total          \n",
-                  label_.c_str(), completed_, total_,
+                  "\r[%s] %zu/%zu runs%s, %s ev/s, %.1fs total          \n",
+                  label_.c_str(), completed_, total_, cached_note,
                   humanize_rate(rate).c_str(), elapsed);
   } else {
+    // Pace from simulated runs only: cached replays are near-instant and
+    // would otherwise make the ETA collapse toward zero on resume.
+    const std::size_t simulated = completed_ - cached_;
     const double eta =
-        completed_ > 0
-            ? elapsed / static_cast<double>(completed_) *
+        simulated > 0
+            ? elapsed / static_cast<double>(simulated) *
                   static_cast<double>(total_ - completed_)
             : 0.0;
     std::snprintf(line, sizeof(line),
-                  "\r[%s] %zu/%zu runs, %s ev/s, ETA %.0fs   ",
-                  label_.c_str(), completed_, total_,
+                  "\r[%s] %zu/%zu runs%s, %s ev/s, ETA %.0fs   ",
+                  label_.c_str(), completed_, total_, cached_note,
                   humanize_rate(rate).c_str(), std::ceil(eta));
   }
   out_ << line;

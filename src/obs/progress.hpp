@@ -34,10 +34,17 @@ class ProgressReporter {
   /// One replication finished, having processed `events_processed` events.
   void tick(std::uint64_t events_processed);
 
+  /// One replication was served from the run store without simulating.
+  /// Counts toward `completed` but not toward the event rate, and the ETA
+  /// is computed over actually-simulated runs only, so it stays honest when
+  /// a resumed sweep starts by replaying a large cached prefix.
+  void tick_cached();
+
   /// Prints the final line (idempotent; also called by the destructor).
   void finish();
 
   [[nodiscard]] std::size_t completed() const;
+  [[nodiscard]] std::size_t cached() const;
   [[nodiscard]] std::uint64_t total_events() const;
 
  private:
@@ -48,6 +55,7 @@ class ProgressReporter {
   std::ostream& out_;
   mutable std::mutex mutex_;
   std::size_t completed_ = 0;
+  std::size_t cached_ = 0;
   std::uint64_t events_ = 0;
   std::chrono::steady_clock::time_point start_;
   std::chrono::steady_clock::time_point last_print_;

@@ -1,0 +1,27 @@
+#include "store/fingerprint.hpp"
+
+#include <array>
+
+namespace epi::store {
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string fingerprint_hex(std::string_view key) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::uint64_t h = fnv1a64(key);
+  std::array<char, 16> out;
+  for (std::size_t i = 16; i-- > 0;) {
+    out[i] = kHex[h & 0xf];
+    h >>= 4;
+  }
+  return std::string(out.data(), out.size());
+}
+
+}  // namespace epi::store

@@ -1,0 +1,34 @@
+// Fingerprint: the stable identity of a cached run.
+//
+// A run's outcome is fully determined by its configuration — the mobility
+// generator's parameters, the protocol's parameters, the flow coordinates
+// (load, replication, master seed) and the engine constants (buffer
+// capacity, slot length, session gap, horizon). The store keys each
+// RunSummary by a *canonical key string* spelling out every one of those
+// fields at full precision, plus a schema version that is bumped whenever
+// engine semantics change in a way that invalidates old results.
+//
+// The key string is the identity (lookups compare it byte-for-byte, so hash
+// collisions are harmless); the 64-bit FNV-1a fingerprint is a compact
+// handle used for display and as a fast index.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace epi::store {
+
+/// Bump when a simulation-semantics change makes previously cached
+/// summaries wrong for the same key string (e.g. a metric definition
+/// change). Purely additive engine changes that keep results bit-identical
+/// do not require a bump.
+inline constexpr std::uint32_t kSchemaVersion = 1;
+
+/// 64-bit FNV-1a over `bytes` (stable across platforms and builds).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// Lower-case 16-hex-digit rendering of fnv1a64(key).
+[[nodiscard]] std::string fingerprint_hex(std::string_view key);
+
+}  // namespace epi::store

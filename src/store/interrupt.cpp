@@ -1,0 +1,38 @@
+#include "store/interrupt.hpp"
+
+#include <csignal>
+
+#include <unistd.h>
+
+namespace epi::store {
+namespace {
+
+volatile std::sig_atomic_t g_interrupted = 0;
+void (*g_previous)(int) = SIG_DFL;
+
+void on_sigint(int) {
+  if (g_interrupted != 0) {
+    // Second Ctrl-C: the user wants out *now*. _exit is async-signal-safe;
+    // 130 = 128 + SIGINT, the conventional interrupted-exit status.
+    _exit(130);
+  }
+  g_interrupted = 1;
+  // Async-signal-safe breadcrumb so a quiet drain does not look like a hang.
+  static const char msg[] =
+      "\n[store] interrupt: draining in-flight runs (Ctrl-C again to abort "
+      "hard)\n";
+  const auto n = write(STDERR_FILENO, msg, sizeof(msg) - 1);
+  (void)n;
+}
+
+}  // namespace
+
+SigintDrain::SigintDrain() { g_previous = std::signal(SIGINT, on_sigint); }
+
+SigintDrain::~SigintDrain() { std::signal(SIGINT, g_previous); }
+
+bool SigintDrain::interrupted() noexcept { return g_interrupted != 0; }
+
+void SigintDrain::reset() noexcept { g_interrupted = 0; }
+
+}  // namespace epi::store

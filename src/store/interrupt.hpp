@@ -1,0 +1,33 @@
+// SigintDrain: cooperative Ctrl-C handling for resumable sweeps.
+//
+// While a guard is alive, the first SIGINT sets a flag instead of killing
+// the process: the sweep loop skips runs that have not started, lets
+// in-flight runs finish (each is appended to the run store as it
+// completes), flushes the store and raises SweepInterrupted — so the
+// process exits cleanly and a rerun of the same command resumes from the
+// store. A second SIGINT hard-exits immediately (the escape hatch when a
+// drain takes too long).
+//
+// The handler itself only writes a sig_atomic_t flag — fully async-signal
+// safe. Guards do not nest; the one caller is the bench CLI scaffolding.
+#pragma once
+
+namespace epi::store {
+
+class SigintDrain {
+ public:
+  /// Installs the drain handler (saving the previous disposition).
+  SigintDrain();
+  /// Restores the previous handler.
+  ~SigintDrain();
+  SigintDrain(const SigintDrain&) = delete;
+  SigintDrain& operator=(const SigintDrain&) = delete;
+
+  /// True once SIGINT has been received (process-wide).
+  [[nodiscard]] static bool interrupted() noexcept;
+
+  /// Clears the flag (tests; or a CLI that wants to survive the drain).
+  static void reset() noexcept;
+};
+
+}  // namespace epi::store

@@ -1,0 +1,513 @@
+#include "store/run_store.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+#include <system_error>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/error.hpp"
+#include "store/fingerprint.hpp"
+
+namespace epi::store {
+namespace {
+
+// --- record encoding ----------------------------------------------------------
+//
+// One flat JSON object per line. The writer below and the reader further down
+// are the only parties to the format; both are strict, and the reader treats
+// any deviation as a corrupt line (skipped and counted, never fatal).
+
+/// Appends a double with round-trip precision. %.17g is max_digits10 for
+/// IEEE-754 binary64: strtod() restores the exact bit pattern.
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+/// JSON string escape for the key field (keys are ASCII we generate, but a
+/// trace path or scenario name could smuggle in quotes or backslashes).
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string encode_record(const std::string& key,
+                          const metrics::RunSummary& s) {
+  std::string out;
+  out.reserve(640);
+  out += "{\"schema\":";
+  append_u64(out, kSchemaVersion);
+  out += ",\"fp\":\"";
+  out += fingerprint_hex(key);
+  out += "\",\"key\":";
+  append_json_string(out, key);
+  const auto field_u64 = [&](const char* name, std::uint64_t v) {
+    out += ",\"";
+    out += name;
+    out += "\":";
+    append_u64(out, v);
+  };
+  const auto field_double = [&](const char* name, double v) {
+    out += ",\"";
+    out += name;
+    out += "\":";
+    append_double(out, v);
+  };
+  field_u64("load", s.load);
+  field_u64("seed", s.seed);
+  field_double("delivery_ratio", s.delivery_ratio);
+  out += ",\"complete\":";
+  out += s.complete ? "true" : "false";
+  field_double("completion_time", s.completion_time);
+  field_double("mean_bundle_delay", s.mean_bundle_delay);
+  field_double("buffer_occupancy", s.buffer_occupancy);
+  field_double("duplication_rate", s.duplication_rate);
+  field_u64("bundle_transmissions", s.bundle_transmissions);
+  field_u64("control_records", s.control_records);
+  field_u64("contacts", s.contacts);
+  field_u64("drops_expired", s.drops_expired);
+  field_u64("drops_evicted", s.drops_evicted);
+  field_u64("drops_immunized", s.drops_immunized);
+  field_double("end_time", s.end_time);
+  out += ",\"flow_delivery\":[";
+  for (std::size_t i = 0; i < s.flow_delivery.size(); ++i) {
+    if (i > 0) out += ',';
+    append_double(out, s.flow_delivery[i]);
+  }
+  out += ']';
+  field_double("perf_wall_seconds", s.perf.wall_seconds);
+  field_u64("perf_events_processed", s.perf.events_processed);
+  field_u64("perf_peak_queue_depth", s.perf.peak_queue_depth);
+  field_u64("perf_transfers", s.perf.transfers);
+  field_u64("perf_contacts", s.perf.contacts);
+  out += "}\n";
+  return out;
+}
+
+// --- record decoding ----------------------------------------------------------
+
+/// Minimal parser for the flat records encode_record() writes. Throws
+/// StoreError on any malformation; the caller turns that into a skipped
+/// line. Unknown fields are ignored so future additive fields stay
+/// readable by old builds.
+class RecordParser {
+ public:
+  explicit RecordParser(std::string_view line) : in_(line) {}
+
+  /// Parses the line into (key, summary). Returns false when the record's
+  /// schema version is not ours (a valid line we must not reuse).
+  bool parse(std::string& key, metrics::RunSummary& s) {
+    expect('{');
+    bool schema_ok = true;
+    bool saw_key = false;
+    bool first = true;
+    while (true) {
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        break;
+      }
+      if (!first) expect(',');
+      first = false;
+      const std::string name = parse_string();
+      expect(':');
+      if (name == "schema") {
+        schema_ok = parse_u64() == kSchemaVersion;
+      } else if (name == "key") {
+        key = parse_string();
+        saw_key = true;
+      } else if (name == "fp") {
+        (void)parse_string();  // derived from key; not trusted
+      } else if (name == "load") {
+        s.load = narrow_u32(parse_u64());
+      } else if (name == "seed") {
+        s.seed = parse_u64();
+      } else if (name == "delivery_ratio") {
+        s.delivery_ratio = parse_double();
+      } else if (name == "complete") {
+        s.complete = parse_bool();
+      } else if (name == "completion_time") {
+        s.completion_time = parse_double();
+      } else if (name == "mean_bundle_delay") {
+        s.mean_bundle_delay = parse_double();
+      } else if (name == "buffer_occupancy") {
+        s.buffer_occupancy = parse_double();
+      } else if (name == "duplication_rate") {
+        s.duplication_rate = parse_double();
+      } else if (name == "bundle_transmissions") {
+        s.bundle_transmissions = parse_u64();
+      } else if (name == "control_records") {
+        s.control_records = parse_u64();
+      } else if (name == "contacts") {
+        s.contacts = parse_u64();
+      } else if (name == "drops_expired") {
+        s.drops_expired = parse_u64();
+      } else if (name == "drops_evicted") {
+        s.drops_evicted = parse_u64();
+      } else if (name == "drops_immunized") {
+        s.drops_immunized = parse_u64();
+      } else if (name == "end_time") {
+        s.end_time = parse_double();
+      } else if (name == "flow_delivery") {
+        s.flow_delivery = parse_double_array();
+      } else if (name == "perf_wall_seconds") {
+        s.perf.wall_seconds = parse_double();
+      } else if (name == "perf_events_processed") {
+        s.perf.events_processed = parse_u64();
+      } else if (name == "perf_peak_queue_depth") {
+        s.perf.peak_queue_depth = parse_u64();
+      } else if (name == "perf_transfers") {
+        s.perf.transfers = parse_u64();
+      } else if (name == "perf_contacts") {
+        s.perf.contacts = parse_u64();
+      } else {
+        skip_value();  // forward compatibility
+      }
+    }
+    skip_ws();
+    if (pos_ != in_.size()) corrupt("trailing bytes after record");
+    if (!saw_key) corrupt("record without key");
+    return schema_ok;
+  }
+
+ private:
+  [[noreturn]] static void corrupt(const char* why) {
+    throw StoreError(std::string("corrupt record: ") + why);
+  }
+
+  char peek() const {
+    if (pos_ >= in_.size()) corrupt("unexpected end of line");
+    return in_[pos_];
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (peek() != c) corrupt("unexpected character");
+    ++pos_;
+  }
+
+  void skip_ws() {
+    while (pos_ < in_.size() &&
+           (in_[pos_] == ' ' || in_[pos_] == '\t' || in_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > in_.size()) corrupt("bad \\u escape");
+          unsigned code = 0;
+          const auto [p, ec] = std::from_chars(
+              in_.data() + pos_, in_.data() + pos_ + 4, code, 16);
+          if (ec != std::errc{} || p != in_.data() + pos_ + 4 || code > 0x7f) {
+            corrupt("bad \\u escape");
+          }
+          out += static_cast<char>(code);
+          pos_ += 4;
+          break;
+        }
+        default: corrupt("unknown escape");
+      }
+    }
+  }
+
+  std::string_view number_token() {
+    skip_ws();
+    const std::size_t begin = pos_;
+    while (pos_ < in_.size()) {
+      const char c = in_[pos_];
+      if ((c >= '0' && c <= '9') || c == '+' || c == '-' || c == '.' ||
+          c == 'e' || c == 'E' || c == 'i' || c == 'n' || c == 'f' ||
+          c == 'a') {  // inf / nan spellings from %g
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (begin == pos_) corrupt("expected a number");
+    return in_.substr(begin, pos_ - begin);
+  }
+
+  double parse_double() {
+    const std::string token(number_token());
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) corrupt("bad double");
+    return v;
+  }
+
+  std::uint64_t parse_u64() {
+    const std::string_view token = number_token();
+    std::uint64_t v = 0;
+    const auto [p, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), v);
+    if (ec != std::errc{} || p != token.data() + token.size()) {
+      corrupt("bad integer");
+    }
+    return v;
+  }
+
+  static std::uint32_t narrow_u32(std::uint64_t v) {
+    if (v > 0xffffffffULL) corrupt("integer out of range");
+    return static_cast<std::uint32_t>(v);
+  }
+
+  bool parse_bool() {
+    skip_ws();
+    if (in_.substr(pos_).starts_with("true")) {
+      pos_ += 4;
+      return true;
+    }
+    if (in_.substr(pos_).starts_with("false")) {
+      pos_ += 5;
+      return false;
+    }
+    corrupt("expected a boolean");
+  }
+
+  std::vector<double> parse_double_array() {
+    expect('[');
+    std::vector<double> out;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      out.push_back(parse_double());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return out;
+      if (c != ',') corrupt("bad array separator");
+    }
+  }
+
+  /// Skips an unknown scalar or flat array value (forward compatibility).
+  void skip_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '"') {
+      (void)parse_string();
+    } else if (c == '[') {
+      (void)parse_double_array();
+    } else if (c == 't' || c == 'f') {
+      (void)parse_bool();
+    } else {
+      (void)number_token();
+    }
+  }
+
+  std::string_view in_;
+  std::size_t pos_ = 0;
+};
+
+bool is_segment_file(const std::filesystem::path& p) {
+  const std::string name = p.filename().string();
+  return name.starts_with("seg-") && name.ends_with(".jsonl");
+}
+
+}  // namespace
+
+RunStore::RunStore(std::filesystem::path dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    throw StoreError("cannot create run store directory " + dir_.string() +
+                     ": " + ec.message());
+  }
+  load_segments();
+}
+
+RunStore::~RunStore() { flush(); }
+
+void RunStore::load_segments() {
+  std::vector<std::filesystem::path> segments;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.is_regular_file() && is_segment_file(entry.path())) {
+      segments.push_back(entry.path());
+    }
+  }
+  // Name order == creation order (zero-padded index first), so later
+  // segments win on duplicate keys.
+  std::sort(segments.begin(), segments.end());
+  stats_.segments = segments.size();
+
+  for (const auto& path : segments) {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      try {
+        std::string key;
+        metrics::RunSummary summary;
+        if (RecordParser(line).parse(key, summary)) {
+          index_.insert_or_assign(std::move(key), std::move(summary));
+        }
+        // A foreign schema version parses fine but is never served.
+      } catch (const StoreError&) {
+        // A killed writer leaves at most one torn line at a segment's tail;
+        // anything else unreadable is equally just a missing cache entry.
+        ++stats_.corrupt_lines;
+      }
+    }
+  }
+  stats_.records = index_.size();
+}
+
+void RunStore::open_active_segment() {
+  // One segment per writing process: an index one past the largest on disk,
+  // made collision-proof across concurrent openers by the pid suffix.
+  std::size_t next = 1;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (!entry.is_regular_file() || !is_segment_file(entry.path())) continue;
+    const std::string name = entry.path().filename().string();
+    std::size_t index = 0;
+    const char* begin = name.c_str() + 4;  // past "seg-"
+    const auto [p, ec] = std::from_chars(begin, name.c_str() + name.size(),
+                                         index);
+    (void)p;
+    if (ec == std::errc{} && index >= next) next = index + 1;
+  }
+  char name[64];
+  std::snprintf(name, sizeof(name), "seg-%05zu-%ld.jsonl", next,
+                static_cast<long>(::getpid()));
+  active_path_ = dir_ / name;
+  active_.open(active_path_, std::ios::app);
+  if (!active_) {
+    throw StoreError("cannot open run store segment " +
+                     active_path_.string());
+  }
+  ++stats_.segments;
+}
+
+std::optional<metrics::RunSummary> RunStore::find(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void RunStore::put(const std::string& key,
+                   const metrics::RunSummary& summary) {
+  const std::string record = encode_record(key, summary);
+  std::lock_guard lock(mutex_);
+  if (!active_.is_open()) open_active_segment();
+  active_ << record;
+  // Flush to the OS per record: a killed process loses at most the line
+  // being written (and reload tolerates that torn tail).
+  active_.flush();
+  index_.insert_or_assign(key, summary);
+  ++stats_.appended;
+  stats_.records = index_.size();
+}
+
+void RunStore::flush() {
+  std::lock_guard lock(mutex_);
+  if (active_.is_open()) active_.flush();
+}
+
+void RunStore::compact() {
+  std::lock_guard lock(mutex_);
+  if (active_.is_open()) {
+    active_.flush();
+    active_.close();
+  }
+
+  std::vector<std::filesystem::path> old_segments;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.is_regular_file() && is_segment_file(entry.path())) {
+      old_segments.push_back(entry.path());
+    }
+  }
+
+  // Write everything into a tmp file, then atomically publish it as the next
+  // segment. A crash before the rename leaves the old segments untouched; a
+  // crash after it leaves duplicates, which reload deduplicates.
+  const std::filesystem::path tmp = dir_ / "compact.tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw StoreError("cannot write " + tmp.string());
+    for (const auto& [key, summary] : index_) {
+      out << encode_record(key, summary);
+    }
+    out.flush();
+    if (!out) throw StoreError("failed writing " + tmp.string());
+  }
+  std::size_t next = 1;
+  for (const auto& seg : old_segments) {
+    const std::string name = seg.filename().string();
+    std::size_t index = 0;
+    const auto [p, ec] = std::from_chars(
+        name.c_str() + 4, name.c_str() + name.size(), index);
+    (void)p;
+    if (ec == std::errc{} && index >= next) next = index + 1;
+  }
+  char name[64];
+  std::snprintf(name, sizeof(name), "seg-%05zu-%ld.jsonl", next,
+                static_cast<long>(::getpid()));
+  std::filesystem::rename(tmp, dir_ / name);
+  for (const auto& seg : old_segments) {
+    std::error_code ec;
+    std::filesystem::remove(seg, ec);  // best effort; duplicates are benign
+  }
+  stats_.segments = 1;
+}
+
+RunStore::Stats RunStore::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace epi::store

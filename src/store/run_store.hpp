@@ -1,0 +1,91 @@
+// RunStore: a persistent, content-addressed cache of RunSummary values.
+//
+// Layout: a directory of append-only JSONL segment files (`seg-*.jsonl`),
+// one JSON record per completed run:
+//
+//   {"schema":1,"fp":"9c0f...","key":"schema=1|scenario=...","load":25,...}
+//
+// Durability model:
+//   * put() appends one line and flushes it to the OS, so a killed process
+//     (SIGKILL, OOM, power-button) loses at most the record being written;
+//   * reload tolerates a corrupt or truncated final line — and, defensively,
+//     corrupt lines anywhere — by skipping them (counted in stats);
+//   * compact() rewrites all live records into a single fresh segment via
+//     the tmp+rename idiom, so a crash mid-compaction never loses data
+//     (worst case: old segments survive next to the new one; duplicate
+//     records are idempotent because cached results are bit-identical).
+//
+// Every numeric field is serialized with max_digits10 precision, so a
+// summary read back from disk is bit-identical to the one written — the
+// invariant that lets sweeps mix cached and fresh runs freely.
+//
+// Concurrency: find()/put()/stats() are thread-safe (one mutex); a store is
+// meant to be owned by one process at a time, but concurrent processes on
+// POSIX degrade gracefully because each process appends to its own segment.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "metrics/summary.hpp"
+
+namespace epi::store {
+
+class RunStore {
+ public:
+  /// Opens (creating if needed) the store rooted at `dir` and loads every
+  /// segment. Throws StoreError when the directory cannot be created.
+  explicit RunStore(std::filesystem::path dir);
+
+  RunStore(const RunStore&) = delete;
+  RunStore& operator=(const RunStore&) = delete;
+  ~RunStore();
+
+  /// Cached summary for `key`, or nullopt. Counts a hit or a miss.
+  [[nodiscard]] std::optional<metrics::RunSummary> find(
+      const std::string& key);
+
+  /// Caches `summary` under `key`: updates the in-memory index and durably
+  /// appends one record to the active segment (opened lazily on first put).
+  void put(const std::string& key, const metrics::RunSummary& summary);
+
+  /// Flushes the active segment to the OS (put() already flushes per
+  /// record; this is a cheap no-op barrier for end-of-sweep callers).
+  void flush();
+
+  /// Rewrites every live record into one fresh segment (tmp+rename), then
+  /// removes the old segments. Call when segment count grows unwieldy.
+  void compact();
+
+  struct Stats {
+    std::size_t records = 0;        ///< live (deduplicated) records
+    std::size_t segments = 0;       ///< segment files on disk at open
+    std::size_t corrupt_lines = 0;  ///< lines skipped on load
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t appended = 0;       ///< records written by this process
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] const std::filesystem::path& dir() const noexcept {
+    return dir_;
+  }
+
+ private:
+  void load_segments();
+  void open_active_segment();  // callers hold mutex_
+
+  std::filesystem::path dir_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, metrics::RunSummary> index_;
+  std::ofstream active_;       // lazily opened append stream
+  std::filesystem::path active_path_;
+  Stats stats_;
+};
+
+}  // namespace epi::store

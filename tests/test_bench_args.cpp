@@ -38,6 +38,39 @@ TEST(BenchArgs, ParsesValuesBothSpellings) {
   EXPECT_EQ(args.trace_out, "/tmp/t.jsonl");
 }
 
+TEST(BenchArgs, StoreDefaultsOnAtResultsRunstore) {
+  const Args args = parse({});
+  EXPECT_EQ(args.store_dir, "results/runstore");
+  EXPECT_FALSE(args.store_stats);
+}
+
+TEST(BenchArgs, StoreFlagsParseBothSpellings) {
+  const Args args = parse({"--store", "/tmp/mystore", "--store-stats"});
+  EXPECT_EQ(args.store_dir, "/tmp/mystore");
+  EXPECT_TRUE(args.store_stats);
+  const Args inline_form = parse({"--store=/tmp/other"});
+  EXPECT_EQ(inline_form.store_dir, "/tmp/other");
+}
+
+TEST(BenchArgs, NoStoreClearsTheDirectory) {
+  const Args args = parse({"--no-store"});
+  EXPECT_TRUE(args.store_dir.empty());
+  // Order matters: the later flag wins either way.
+  EXPECT_TRUE(parse({"--store=/tmp/s", "--no-store"}).store_dir.empty());
+  EXPECT_EQ(parse({"--no-store", "--store=/tmp/s"}).store_dir, "/tmp/s");
+}
+
+TEST(BenchArgsDeathTest, StoreFlagRejectsEmptyAndMissingValues) {
+  EXPECT_EXIT(parse({"--store="}), ::testing::ExitedWithCode(2),
+              "--store needs a directory");
+  EXPECT_EXIT(parse({"--store"}), ::testing::ExitedWithCode(2),
+              "missing value for --store");
+  EXPECT_EXIT(parse({"--no-store=1"}), ::testing::ExitedWithCode(2),
+              "--no-store takes no value");
+  EXPECT_EXIT(parse({"--store-stats=yes"}), ::testing::ExitedWithCode(2),
+              "--store-stats takes no value");
+}
+
 TEST(BenchArgsDeathTest, BooleanFlagRejectsInlineValue) {
   EXPECT_EXIT(parse({"--csv=nonsense"}), ::testing::ExitedWithCode(2),
               "--csv takes no value");

@@ -138,6 +138,55 @@ TEST(JsonlSink, NullSinkAddsNothingAndDoesNotPerturbTheRun) {
   EXPECT_EQ(traced.perf.peak_queue_depth, untraced.perf.peak_queue_depth);
 }
 
+TEST(JsonlSink, DropsAndCountsOversizedRecords) {
+  std::ostringstream out;
+  obs::JsonlSink sink(out);
+
+  // A protocol name longer than the 256-byte line buffer cannot fit; the
+  // sink must drop the whole record (a truncated JSON line would poison
+  // downstream parsers) and count it.
+  const std::string huge(400, 'x');
+  obs::TraceEvent big;
+  big.kind = obs::EventKind::kCreated;
+  big.t = 1.0;
+  big.protocol = huge;
+  sink.emit(big);
+  EXPECT_EQ(sink.records(), 0u);
+  EXPECT_EQ(sink.truncated(), 1u);
+  EXPECT_TRUE(lines_of(out.str()).empty());
+
+  // An overflow in an appended optional field (not just the prefix) is also
+  // caught: 195 pad chars leave the 251-byte prefix inside the 256-byte
+  // buffer, so the ,"a":1 append is what overflows.
+  const std::string nearly(195, 'y');
+  obs::TraceEvent edge;
+  edge.kind = obs::EventKind::kTransferred;
+  edge.t = 2.0;
+  edge.protocol = nearly;
+  edge.a = 1;
+  edge.b = 2;
+  edge.bundle = 3;
+  sink.emit(edge);
+  EXPECT_EQ(sink.records(), 0u);
+  EXPECT_EQ(sink.truncated(), 2u);
+
+  // The sink keeps working: the next normal record is written whole.
+  obs::TraceEvent ok;
+  ok.kind = obs::EventKind::kDelivered;
+  ok.t = 3.0;
+  ok.protocol = "pure_epidemic";
+  ok.a = 0;
+  ok.b = 1;
+  ok.bundle = 7;
+  sink.emit(ok);
+  EXPECT_EQ(sink.records(), 1u);
+  EXPECT_EQ(sink.truncated(), 2u);
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_TRUE(looks_like_flat_json(lines[0])) << lines[0];
+  EXPECT_NE(lines[0].find("\"ev\":\"delivered\""), std::string::npos);
+}
+
 TEST(PerfCounters, PopulatedAndInternallyConsistent) {
   const metrics::RunSummary summary = run_two_node(nullptr);
   EXPECT_GT(summary.perf.events_processed, 0u);

@@ -1,0 +1,496 @@
+// Persistent run store: fingerprint stability, bit-exact round-trips,
+// corrupt-tail tolerance, sweep resume (the crash-safety contract) and the
+// SIGINT drain.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
+#include "metrics/summary.hpp"
+#include "mobility/contact_trace.hpp"
+#include "obs/jsonl_sink.hpp"
+#include "obs/progress.hpp"
+#include "store/fingerprint.hpp"
+#include "store/interrupt.hpp"
+#include "store/run_store.hpp"
+
+namespace epi {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fresh empty directory under the test temp root.
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("epi_store_" + name);
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::vector<fs::path> segment_files(const fs::path& dir) {
+  std::vector<fs::path> segments;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string n = entry.path().filename().string();
+    if (n.starts_with("seg-") && n.ends_with(".jsonl")) {
+      segments.push_back(entry.path());
+    }
+  }
+  return segments;
+}
+
+/// A summary stuffed with values that have no short decimal form, to prove
+/// the serializer's max_digits10 round-trip claim.
+metrics::RunSummary gnarly_summary() {
+  metrics::RunSummary s;
+  s.load = 25;
+  s.seed = 0xdeadbeefcafef00dULL;
+  s.delivery_ratio = 1.0 / 3.0;
+  s.complete = false;
+  s.completion_time = 523263.4279304677;
+  s.mean_bundle_delay = 0.1 + 0.2;  // 0.30000000000000004
+  s.buffer_occupancy = 6374.9893693076565;
+  s.duplication_rate = std::numeric_limits<double>::denorm_min();
+  s.bundle_transmissions = 123456789;
+  s.control_records = 42;
+  s.contacts = 99;
+  s.drops_expired = 1;
+  s.drops_evicted = 2;
+  s.drops_immunized = 3;
+  s.end_time = 599994.70329111791;
+  s.flow_delivery = {0.0, 1.0 / 7.0, std::nextafter(1.0, 0.0)};
+  s.perf.wall_seconds = 0.012345678901234567;
+  s.perf.events_processed = 1'000'000'007;
+  s.perf.peak_queue_depth = 8191;
+  s.perf.transfers = 777;
+  s.perf.contacts = 99;
+  return s;
+}
+
+// --- fingerprint --------------------------------------------------------------
+
+TEST(Fingerprint, MatchesFnv1aTestVectors) {
+  // Standard 64-bit FNV-1a vectors: offset basis for "", and "a".
+  EXPECT_EQ(store::fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(store::fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(store::fingerprint_hex(""), "cbf29ce484222325");
+  EXPECT_EQ(store::fingerprint_hex("a"), "af63dc4c8601ec8c");
+}
+
+TEST(Fingerprint, SixteenLowercaseHexDigits) {
+  const std::string fp = store::fingerprint_hex("schema=1|anything");
+  ASSERT_EQ(fp.size(), 16u);
+  for (const char c : fp) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << fp;
+  }
+}
+
+TEST(Fingerprint, DistinctInputsDistinctOutputs) {
+  EXPECT_NE(store::fingerprint_hex("load=5;"), store::fingerprint_hex("load=6;"));
+  EXPECT_NE(store::fingerprint_hex("ab"), store::fingerprint_hex("ba"));
+}
+
+// --- store_key ----------------------------------------------------------------
+
+exp::RunSpec base_run_spec() {
+  exp::RunSpec run;
+  run.protocol.kind = ProtocolKind::kFixedTtl;
+  run.load = 25;
+  run.replication = 3;
+  run.master_seed = 42;
+  run.horizon = exp::trace_scenario().horizon();
+  return run;
+}
+
+TEST(StoreKey, StableForIdenticalInputs) {
+  const exp::ScenarioSpec scenario = exp::trace_scenario();
+  EXPECT_EQ(exp::store_key(scenario, base_run_spec()),
+            exp::store_key(scenario, base_run_spec()));
+}
+
+TEST(StoreKey, CoversEveryCacheRelevantField) {
+  const exp::ScenarioSpec scenario = exp::trace_scenario();
+  const std::string base = exp::store_key(scenario, base_run_spec());
+
+  // Every field the simulation depends on must change the key.
+  exp::RunSpec run = base_run_spec();
+  run.load = 30;
+  EXPECT_NE(exp::store_key(scenario, run), base);
+  run = base_run_spec();
+  run.replication = 4;
+  EXPECT_NE(exp::store_key(scenario, run), base);
+  run = base_run_spec();
+  run.master_seed = 43;
+  EXPECT_NE(exp::store_key(scenario, run), base);
+  run = base_run_spec();
+  run.buffer_capacity += 1;
+  EXPECT_NE(exp::store_key(scenario, run), base);
+  run = base_run_spec();
+  run.horizon += 1.0;
+  EXPECT_NE(exp::store_key(scenario, run), base);
+  run = base_run_spec();
+  run.session_gap += 1.0;
+  EXPECT_NE(exp::store_key(scenario, run), base);
+  run = base_run_spec();
+  run.protocol.p = 0.123;
+  EXPECT_NE(exp::store_key(scenario, run), base);
+  run = base_run_spec();
+  run.protocol.kind = ProtocolKind::kPureEpidemic;
+  EXPECT_NE(exp::store_key(scenario, run), base);
+
+  // Scenario knobs are part of the identity too...
+  exp::ScenarioSpec other = exp::trace_scenario();
+  other.haggle.node_count += 1;
+  EXPECT_NE(exp::store_key(other, base_run_spec()), base);
+  // ...but the display name is cosmetic and must NOT be.
+  exp::ScenarioSpec renamed = exp::trace_scenario();
+  renamed.name = "same physics, different label";
+  EXPECT_EQ(exp::store_key(renamed, base_run_spec()), base);
+
+  // Distinct mobility models can never collide.
+  EXPECT_NE(exp::store_key(exp::rwp_scenario(), base_run_spec()), base);
+}
+
+TEST(StoreKey, EmbedsSchemaVersion) {
+  const std::string key =
+      exp::store_key(exp::trace_scenario(), base_run_spec());
+  EXPECT_EQ(key.find("schema=" + std::to_string(store::kSchemaVersion)), 0u);
+}
+
+// --- RunStore persistence -----------------------------------------------------
+
+TEST(RunStore, RoundTripsEveryFieldBitIdentically) {
+  const fs::path dir = fresh_dir("roundtrip");
+  const metrics::RunSummary original = gnarly_summary();
+  {
+    store::RunStore store(dir);
+    store.put("key-a", original);
+  }
+  store::RunStore reopened(dir);
+  const auto loaded = reopened.find("key-a");
+  ASSERT_TRUE(loaded.has_value());
+
+  // Exact equality — no EXPECT_NEAR anywhere. This is the invariant that
+  // makes cached and fresh sweep results interchangeable.
+  EXPECT_EQ(loaded->load, original.load);
+  EXPECT_EQ(loaded->seed, original.seed);
+  EXPECT_EQ(loaded->delivery_ratio, original.delivery_ratio);
+  EXPECT_EQ(loaded->complete, original.complete);
+  EXPECT_EQ(loaded->completion_time, original.completion_time);
+  EXPECT_EQ(loaded->mean_bundle_delay, original.mean_bundle_delay);
+  EXPECT_EQ(loaded->buffer_occupancy, original.buffer_occupancy);
+  EXPECT_EQ(loaded->duplication_rate, original.duplication_rate);
+  EXPECT_EQ(loaded->bundle_transmissions, original.bundle_transmissions);
+  EXPECT_EQ(loaded->control_records, original.control_records);
+  EXPECT_EQ(loaded->contacts, original.contacts);
+  EXPECT_EQ(loaded->drops_expired, original.drops_expired);
+  EXPECT_EQ(loaded->drops_evicted, original.drops_evicted);
+  EXPECT_EQ(loaded->drops_immunized, original.drops_immunized);
+  EXPECT_EQ(loaded->end_time, original.end_time);
+  EXPECT_EQ(loaded->flow_delivery, original.flow_delivery);
+  EXPECT_EQ(loaded->perf.wall_seconds, original.perf.wall_seconds);
+  EXPECT_EQ(loaded->perf.events_processed, original.perf.events_processed);
+  EXPECT_EQ(loaded->perf.peak_queue_depth, original.perf.peak_queue_depth);
+  EXPECT_EQ(loaded->perf.transfers, original.perf.transfers);
+  EXPECT_EQ(loaded->perf.contacts, original.perf.contacts);
+  EXPECT_TRUE(metrics::deterministic_equal(*loaded, original));
+}
+
+TEST(RunStore, KeysWithJsonMetacharactersSurvive) {
+  const fs::path dir = fresh_dir("escape");
+  const std::string key = "quote\" backslash\\ newline\n tab\t bell\x07 end";
+  {
+    store::RunStore store(dir);
+    store.put(key, gnarly_summary());
+  }
+  store::RunStore reopened(dir);
+  EXPECT_TRUE(reopened.find(key).has_value());
+}
+
+TEST(RunStore, CountsHitsAndMisses) {
+  const fs::path dir = fresh_dir("stats");
+  store::RunStore store(dir);
+  EXPECT_FALSE(store.find("absent").has_value());
+  store.put("present", gnarly_summary());
+  EXPECT_TRUE(store.find("present").has_value());
+  const auto s = store.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.appended, 1u);
+  EXPECT_EQ(s.records, 1u);
+}
+
+TEST(RunStore, LaterPutWinsAcrossReload) {
+  const fs::path dir = fresh_dir("rewrite");
+  metrics::RunSummary v1 = gnarly_summary();
+  metrics::RunSummary v2 = gnarly_summary();
+  v2.delivery_ratio = 0.75;
+  {
+    store::RunStore store(dir);
+    store.put("key", v1);
+    store.put("key", v2);
+  }
+  store::RunStore reopened(dir);
+  const auto loaded = reopened.find("key");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->delivery_ratio, 0.75);
+  EXPECT_EQ(reopened.stats().records, 1u);
+}
+
+TEST(RunStore, ToleratesTornTailAndGarbageLines) {
+  const fs::path dir = fresh_dir("corrupt");
+  {
+    store::RunStore store(dir);
+    store.put("key-1", gnarly_summary());
+    store.put("key-2", gnarly_summary());
+  }
+  // Simulate a writer killed mid-append: a torn (truncated) final line plus
+  // some outright garbage.
+  const auto segments = segment_files(dir);
+  ASSERT_EQ(segments.size(), 1u);
+  {
+    std::ofstream out(segments[0], std::ios::app);
+    out << "not json at all\n";
+    out << R"({"schema":1,"key":"torn","load":5,"delivery_ra)";  // no newline
+  }
+  store::RunStore reopened(dir);
+  EXPECT_TRUE(reopened.find("key-1").has_value());
+  EXPECT_TRUE(reopened.find("key-2").has_value());
+  EXPECT_FALSE(reopened.find("torn").has_value());
+  const auto s = reopened.stats();
+  EXPECT_EQ(s.records, 2u);
+  EXPECT_EQ(s.corrupt_lines, 2u);
+}
+
+TEST(RunStore, ForeignSchemaVersionIsIgnoredNotCorrupt) {
+  const fs::path dir = fresh_dir("schema");
+  {
+    store::RunStore store(dir);
+    store.put("mine", gnarly_summary());
+  }
+  const auto segments = segment_files(dir);
+  ASSERT_EQ(segments.size(), 1u);
+  {
+    std::ofstream out(segments[0], std::ios::app);
+    out << R"({"schema":999,"key":"future","load":5})" << "\n";
+  }
+  store::RunStore reopened(dir);
+  EXPECT_TRUE(reopened.find("mine").has_value());
+  // A record from a future schema is valid JSON we refuse to serve — but it
+  // is not corruption.
+  EXPECT_FALSE(reopened.find("future").has_value());
+  EXPECT_EQ(reopened.stats().corrupt_lines, 0u);
+}
+
+TEST(RunStore, CompactMergesSegmentsLosslessly) {
+  const fs::path dir = fresh_dir("compact");
+  {
+    store::RunStore store(dir);
+    store.put("key-1", gnarly_summary());
+  }
+  {
+    store::RunStore store(dir);  // second process -> second segment
+    store.put("key-2", gnarly_summary());
+    EXPECT_EQ(segment_files(dir).size(), 2u);
+    store.compact();
+  }
+  EXPECT_EQ(segment_files(dir).size(), 1u);
+  store::RunStore reopened(dir);
+  EXPECT_TRUE(reopened.find("key-1").has_value());
+  EXPECT_TRUE(reopened.find("key-2").has_value());
+  EXPECT_EQ(reopened.stats().records, 2u);
+}
+
+// --- sweep integration --------------------------------------------------------
+
+exp::SweepSpec store_sweep_spec(store::RunStore* store) {
+  exp::SweepSpec spec;
+  spec.scenario = exp::trace_scenario();
+  spec.protocol.kind = ProtocolKind::kFixedTtl;
+  spec.loads = {5, 10};
+  spec.replications = 2;
+  spec.threads = 2;
+  spec.store = store;
+  return spec;
+}
+
+void expect_sweeps_deterministic_equal(const exp::SweepResult& a,
+                                       const exp::SweepResult& b) {
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t li = 0; li < a.runs.size(); ++li) {
+    ASSERT_EQ(a.runs[li].size(), b.runs[li].size());
+    for (std::size_t r = 0; r < a.runs[li].size(); ++r) {
+      EXPECT_TRUE(metrics::deterministic_equal(a.runs[li][r], b.runs[li][r]))
+          << "load index " << li << ", replication " << r;
+    }
+  }
+}
+
+TEST(RunStoreSweep, CachedRerunDoesZeroSimulationAndMatchesBitIdentically) {
+  const fs::path dir = fresh_dir("sweep_rerun");
+  const mobility::ContactTrace trace =
+      exp::build_contact_trace(exp::trace_scenario(), 42);
+
+  // Reference: the same sweep with no store at all.
+  const exp::SweepResult reference =
+      run_sweep_on(store_sweep_spec(nullptr), trace);
+
+  {
+    store::RunStore store(dir);
+    const exp::SweepResult fresh =
+        run_sweep_on(store_sweep_spec(&store), trace);
+    expect_sweeps_deterministic_equal(reference, fresh);
+    EXPECT_EQ(store.stats().appended, 4u);  // 2 loads x 2 replications
+    EXPECT_EQ(store.stats().hits, 0u);
+  }
+
+  // Rerun against a reopened store: everything served from disk, nothing
+  // simulated, results bit-identical to the from-scratch reference.
+  store::RunStore reopened(dir);
+  const exp::SweepResult cached =
+      run_sweep_on(store_sweep_spec(&reopened), trace);
+  expect_sweeps_deterministic_equal(reference, cached);
+  const auto s = reopened.stats();
+  EXPECT_EQ(s.hits, 4u);
+  EXPECT_EQ(s.misses, 0u);
+  EXPECT_EQ(s.appended, 0u);
+}
+
+TEST(RunStoreSweep, PartialStoreResumesOnlyMissingRuns) {
+  const fs::path dir = fresh_dir("sweep_resume");
+  const mobility::ContactTrace trace =
+      exp::build_contact_trace(exp::trace_scenario(), 42);
+  const exp::SweepResult reference =
+      run_sweep_on(store_sweep_spec(nullptr), trace);
+
+  // First run covers only load 5 — as if the process was killed before
+  // load 10 started.
+  {
+    store::RunStore store(dir);
+    exp::SweepSpec partial = store_sweep_spec(&store);
+    partial.loads = {5};
+    (void)run_sweep_on(partial, trace);
+    EXPECT_EQ(store.stats().appended, 2u);
+  }
+
+  // The resume computes exactly the missing half and still matches the
+  // reference bit-for-bit.
+  store::RunStore resumed(dir);
+  const exp::SweepResult result =
+      run_sweep_on(store_sweep_spec(&resumed), trace);
+  expect_sweeps_deterministic_equal(reference, result);
+  const auto s = resumed.stats();
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.appended, 2u);
+}
+
+TEST(RunStoreSweep, TruncatedSegmentJustRecomputes) {
+  const fs::path dir = fresh_dir("sweep_truncated");
+  const mobility::ContactTrace trace =
+      exp::build_contact_trace(exp::trace_scenario(), 42);
+  const exp::SweepResult reference =
+      run_sweep_on(store_sweep_spec(nullptr), trace);
+  {
+    store::RunStore store(dir);
+    (void)run_sweep_on(store_sweep_spec(&store), trace);
+  }
+  // Chop the segment mid-record (a crash mid-write of the final line).
+  const auto segments = segment_files(dir);
+  ASSERT_EQ(segments.size(), 1u);
+  const auto size = fs::file_size(segments[0]);
+  fs::resize_file(segments[0], size - 40);
+
+  store::RunStore damaged(dir);
+  EXPECT_EQ(damaged.stats().corrupt_lines, 1u);
+  EXPECT_EQ(damaged.stats().records, 3u);
+  const exp::SweepResult result =
+      run_sweep_on(store_sweep_spec(&damaged), trace);
+  expect_sweeps_deterministic_equal(reference, result);
+  EXPECT_EQ(damaged.stats().hits, 3u);
+  EXPECT_EQ(damaged.stats().appended, 1u);  // only the lost record
+}
+
+TEST(RunStoreSweep, EventTracingBypassesLookupButStillAppends) {
+  const fs::path dir = fresh_dir("sweep_tracing");
+  const mobility::ContactTrace trace =
+      exp::build_contact_trace(exp::trace_scenario(), 42);
+  {
+    store::RunStore store(dir);
+    (void)run_sweep_on(store_sweep_spec(&store), trace);  // fully populate
+  }
+  store::RunStore reopened(dir);
+  std::ostringstream out;
+  obs::JsonlSink sink(out);
+  exp::SweepSpec spec = store_sweep_spec(&reopened);
+  spec.trace_sink = &sink;
+  (void)run_sweep_on(spec, trace);
+  // Cache was full, but the events must still happen: no lookups served,
+  // every run simulated and re-appended, trace records emitted.
+  EXPECT_GT(sink.records(), 0u);
+  EXPECT_EQ(reopened.stats().hits, 0u);
+  EXPECT_EQ(reopened.stats().appended, 4u);
+}
+
+TEST(RunStoreSweep, SigintDrainThrowsAndRerunResumes) {
+  const fs::path dir = fresh_dir("sweep_sigint");
+  const mobility::ContactTrace trace =
+      exp::build_contact_trace(exp::trace_scenario(), 42);
+  const exp::SweepResult reference =
+      run_sweep_on(store_sweep_spec(nullptr), trace);
+
+  // Populate half the cache, then simulate Ctrl-C arriving before the next
+  // sweep's parallel phase: cached runs are served, pending ones skipped,
+  // and the sweep surfaces SweepInterrupted after flushing.
+  {
+    store::RunStore store(dir);
+    exp::SweepSpec partial = store_sweep_spec(&store);
+    partial.loads = {5};
+    (void)run_sweep_on(partial, trace);
+
+    store::SigintDrain drain;
+    ASSERT_FALSE(store::SigintDrain::interrupted());
+    std::raise(SIGINT);
+    ASSERT_TRUE(store::SigintDrain::interrupted());
+    EXPECT_THROW((void)run_sweep_on(store_sweep_spec(&store), trace),
+                 exp::SweepInterrupted);
+    store::SigintDrain::reset();
+    ASSERT_FALSE(store::SigintDrain::interrupted());
+  }
+
+  // The rerun completes: load-5 runs come from the store, load-10 runs are
+  // computed now, and the merged result matches the reference exactly.
+  store::RunStore resumed(dir);
+  const exp::SweepResult result =
+      run_sweep_on(store_sweep_spec(&resumed), trace);
+  expect_sweeps_deterministic_equal(reference, result);
+  EXPECT_EQ(resumed.stats().hits, 2u);
+  EXPECT_EQ(resumed.stats().appended, 2u);
+}
+
+TEST(ProgressReporter, CachedTicksKeepEtaHonest) {
+  std::ostringstream out;
+  obs::ProgressReporter progress("figXX", 4, out);
+  progress.tick_cached();
+  progress.tick_cached();
+  progress.tick(1'000);
+  progress.tick(1'000);
+  EXPECT_EQ(progress.completed(), 4u);
+  EXPECT_EQ(progress.cached(), 2u);
+  progress.finish();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("4/4 runs"), std::string::npos);
+  EXPECT_NE(text.find("2 cached"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace epi

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "core/error.hpp"
@@ -45,6 +46,31 @@ TEST(TraceIo, RejectsNegativeNodeId) {
   EXPECT_THROW(read_trace(in), TraceError);
 }
 
+TEST(TraceIo, RejectsOutOfRangeNodeId) {
+  // 4294967295 == kInvalidNode: reserved sentinel, must not parse.
+  std::istringstream in("4294967295 1 10 20\n");
+  EXPECT_THROW(read_trace(in), TraceError);
+  std::istringstream in2("0 99999999999 10 20\n");
+  EXPECT_THROW(read_trace(in2), TraceError);
+  try {
+    std::istringstream in3("4294967295 1 10 20\n");
+    (void)read_trace(in3);
+    FAIL() << "expected TraceError";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("node id out of range"),
+              std::string::npos);
+  }
+}
+
+TEST(TraceIo, AcceptsLargestValidNodeId) {
+  // kInvalidNode - 1 is the largest representable id.
+  std::istringstream in("4294967294 1 10 20\n");
+  const ContactTrace trace = read_trace(in);
+  ASSERT_EQ(trace.size(), 1u);
+  // ContactTrace normalises the endpoint order, so check both.
+  EXPECT_EQ(std::max(trace[0].a, trace[0].b), 4294967294u);
+}
+
 TEST(TraceIo, RejectsSelfContact) {
   std::istringstream in("4 4 10 20\n");
   EXPECT_THROW(read_trace(in), TraceError);
@@ -85,6 +111,40 @@ TEST(TraceIo, RoundTripPreservesContacts) {
     EXPECT_EQ(parsed[i].b, original[i].b);
     EXPECT_NEAR(parsed[i].start, original[i].start, 1e-6);
     EXPECT_NEAR(parsed[i].end, original[i].end, 1e-6);
+  }
+}
+
+TEST(TraceIo, RoundTripIsExact) {
+  // write_trace uses max_digits10, so every double must restore
+  // bit-identically — including times with no short decimal form.
+  std::vector<Contact> contacts{
+      {0, 1, 0.1, 523263.4279304677},
+      {1, 2, 1.0 / 3.0, 599994.70329111791},
+      {2, 3, 6374.9893693076565, 22319.238820141316},
+  };
+  const ContactTrace original(std::move(contacts));
+  std::stringstream buffer;
+  write_trace(buffer, original, "exactness test");
+  const ContactTrace parsed = read_trace(buffer);
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].start, original[i].start) << "contact " << i;
+    EXPECT_EQ(parsed[i].end, original[i].end) << "contact " << i;
+  }
+}
+
+TEST(TraceIo, GeneratedTraceRoundTripIsExact) {
+  SyntheticHaggleParams params;
+  params.horizon = 50'000.0;
+  const ContactTrace original = generate_synthetic_haggle(params, 11);
+  ASSERT_GT(original.size(), 0u);
+  std::stringstream buffer;
+  write_trace(buffer, original);
+  const ContactTrace parsed = read_trace(buffer);
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].start, original[i].start) << "contact " << i;
+    EXPECT_EQ(parsed[i].end, original[i].end) << "contact " << i;
   }
 }
 
