@@ -43,13 +43,22 @@ constexpr const char* kRwpProtocols[] = {
     "pure_epidemic", "encounter_count", "immunity",
     "spray_and_wait", "direct_delivery",
 };
+// Large-N suite: the protocols whose contact path leans on the exchange
+// sets (i-lists, anti-packets) plus the pure baseline. The cumulative-table
+// protocol is absent by necessity: it is defined for a single flow only.
+constexpr const char* kLargeProtocols[] = {
+    "pure_epidemic", "immunity", "pq_epidemic",
+};
 
 template <std::size_t N>
 void run_suite(std::vector<CaseResult>& results, std::string_view scenario_name,
                const epi::exp::ScenarioSpec& scenario,
                const epi::mobility::ContactTrace& trace,
-               const char* const (&protocols)[N], std::uint32_t reps) {
+               const char* const (&protocols)[N], std::uint32_t reps,
+               const std::vector<epi::FlowSpec>& flows = {}) {
   using clock = std::chrono::steady_clock;
+  std::uint32_t total_load = 0;
+  for (const auto& f : flows) total_load += f.load;
   for (const char* protocol : protocols) {
     CaseResult r;
     r.name = std::string(scenario_name) + "/" + protocol;
@@ -57,7 +66,8 @@ void run_suite(std::vector<CaseResult>& results, std::string_view scenario_name,
     for (std::uint32_t rep = 0; rep < reps; ++rep) {
       epi::exp::RunSpec spec;
       spec.protocol.kind = epi::protocol_from_string(protocol);
-      spec.load = 25;
+      spec.load = flows.empty() ? 25 : total_load;
+      spec.flows = flows;
       spec.replication = 1;  // fixed: every rep times the identical run
       spec.horizon = scenario.horizon();
       spec.session_gap = scenario.session_gap;
@@ -162,6 +172,14 @@ int main(int argc, char** argv) {
   const auto rwp = epi::exp::build_contact_trace(rwp_spec, 42);
   run_suite(results, "trace", trace_spec, trace, kTraceProtocols, reps);
   run_suite(results, "rwp", rwp_spec, rwp, kRwpProtocols, reps);
+  // Large-N stress entries (multi-flow; see exp::large_scenario): the cases
+  // where per-contact exchange-set costs dominate instead of hiding.
+  for (const std::uint32_t n : {128u, 512u}) {
+    const auto spec = epi::exp::large_scenario(n);
+    const auto large_trace = epi::exp::build_contact_trace(spec, 42);
+    run_suite(results, spec.name, spec, large_trace, kLargeProtocols, reps,
+              epi::exp::large_flows(n, 8, 16));
+  }
   write_json(out, results, reps);
   std::printf("wrote %zu benchmarks to %s\n", results.size(), out.c_str());
   return 0;

@@ -97,20 +97,27 @@ constexpr const char* kRwpProtocols[] = {
     "pure_epidemic", "encounter_count", "immunity",
     "spray_and_wait", "direct_delivery",
 };
+constexpr const char* kLargeProtocols[] = {
+    "pure_epidemic", "immunity", "pq_epidemic",
+};
 
 /// One end-to-end simulation — the unit of work the sweeps parallelise.
 /// Reports both ns/run and engine events/s (the sweep throughput metric).
 template <std::size_t N>
 void full_run(benchmark::State& state, const epi::exp::ScenarioSpec& scenario,
               const epi::mobility::ContactTrace& trace,
-              const char* const (&protocols)[N]) {
+              const char* const (&protocols)[N],
+              const std::vector<epi::FlowSpec>& flows = {}) {
   const char* protocol = protocols[static_cast<std::size_t>(state.range(0))];
+  std::uint32_t total_load = 0;
+  for (const auto& f : flows) total_load += f.load;
   std::uint32_t rep = 0;
   std::uint64_t events = 0;
   for (auto _ : state) {
     epi::exp::RunSpec spec;
     spec.protocol.kind = epi::protocol_from_string(protocol);
-    spec.load = 25;
+    spec.load = flows.empty() ? 25 : total_load;
+    spec.flows = flows;
     spec.replication = ++rep;
     spec.horizon = scenario.horizon();
     spec.session_gap = scenario.session_gap;
@@ -135,6 +142,24 @@ void BM_FullRunRwp(benchmark::State& state) {
   full_run(state, scenario, trace, kRwpProtocols);
 }
 BENCHMARK(BM_FullRunRwp)->DenseRange(0, 4);
+
+// Large-N stress runs (multi-flow RWP; see exp::large_scenario): the
+// scenarios where exchange-set costs dominate the contact path.
+void BM_FullRunLarge128(benchmark::State& state) {
+  static const auto scenario = epi::exp::large_scenario(128);
+  static const auto trace = epi::exp::build_contact_trace(scenario, 42);
+  static const auto flows = epi::exp::large_flows(128, 8, 16);
+  full_run(state, scenario, trace, kLargeProtocols, flows);
+}
+BENCHMARK(BM_FullRunLarge128)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+
+void BM_FullRunLarge512(benchmark::State& state) {
+  static const auto scenario = epi::exp::large_scenario(512);
+  static const auto trace = epi::exp::build_contact_trace(scenario, 42);
+  static const auto flows = epi::exp::large_flows(512, 8, 16);
+  full_run(state, scenario, trace, kLargeProtocols, flows);
+}
+BENCHMARK(BM_FullRunLarge512)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

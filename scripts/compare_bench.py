@@ -18,7 +18,14 @@ Two kinds of checks, per benchmark name present in both files:
   machine for A/B work; across machines prefer --counters-only, or a
   generous tolerance.
 
-Exit status: 0 clean, 1 regression or counter mismatch, 2 usage/input error.
+Benchmarks present only in the fresh file are *new* cases: they are listed
+for the record but exempt from every gate (a PR adding coverage must not
+fail its own gate for lack of a baseline). Benchmarks present only in the
+baseline have *disappeared* — that is a hard failure: coverage silently
+shrinking is exactly what a regression gate exists to catch.
+
+Exit status: 0 clean, 1 regression / counter mismatch / disappeared case,
+2 usage/input error.
 """
 
 import argparse
@@ -59,12 +66,16 @@ def main():
     common = [name for name in baseline if name in fresh]
     if not common:
         sys.exit("error: no common benchmarks between the two files")
-    missing = sorted(set(baseline) - set(fresh))
-    if missing:
-        print(f"warning: {len(missing)} baseline case(s) absent from fresh "
-              f"run: {', '.join(missing)}")
+    new = sorted(set(fresh) - set(baseline))
+    if new:
+        print(f"note: {len(new)} new case(s) without a baseline (exempt "
+              f"from gates): {', '.join(new)}")
 
     failures = []
+    for name in sorted(set(baseline) - set(fresh)):
+        failures.append(
+            f"{name}: present in baseline but missing from fresh run "
+            f"(benchmark coverage must not shrink)")
     for name in common:
         b, f = baseline[name], fresh[name]
         if not args.time_only:

@@ -1,17 +1,6 @@
 #include "dtn/immunity.hpp"
 
-#include <algorithm>
-#include <vector>
-
 namespace epi::dtn {
-
-std::size_t ImmunityList::merge_limited(const ImmunityList& other,
-                                        std::size_t max_records) {
-  const std::vector<BundleId> missing = other.ids_.difference(ids_);
-  const std::size_t moved = std::min(missing.size(), max_records);
-  for (std::size_t i = 0; i < moved; ++i) ids_.insert(missing[i]);
-  return moved;
-}
 
 BundleId DeliveredPrefixTracker::record(BundleId id) {
   delivered_.insert(id);

@@ -34,9 +34,15 @@ class ImmunityList {
   /// Bounded merge: immunity tables are unit-sized messages, so a contact
   /// can only carry so many. Transfers at most `max_records` missing records
   /// (lowest ids first, the order the destination generated them); returns
-  /// how many moved.
+  /// how many moved. Pure word ops on the dense-id bitsets — the per-contact
+  /// path allocates nothing.
   std::size_t merge_limited(const ImmunityList& other,
-                            std::size_t max_records);
+                            std::size_t max_records) {
+    return ids_.merge_limited(other.ids_, max_records);
+  }
+
+  /// Pre-sizes the bitset for ids up to `max_id` (see SummaryVector::reserve).
+  void reserve(BundleId max_id) { ids_.reserve(max_id); }
 
   [[nodiscard]] const SummaryVector& ids() const noexcept { return ids_; }
 
@@ -74,6 +80,9 @@ class DeliveredPrefixTracker {
   BundleId record(BundleId id);
 
   [[nodiscard]] BundleId horizon() const noexcept { return h_; }
+
+  /// Pre-sizes the delivered bitset for ids up to `max_id`.
+  void reserve(BundleId max_id) { delivered_.reserve(max_id); }
 
  private:
   SummaryVector delivered_;

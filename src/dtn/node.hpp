@@ -24,6 +24,16 @@ class DtnNode {
   [[nodiscard]] BundleBuffer& buffer() noexcept { return buffer_; }
   [[nodiscard]] const BundleBuffer& buffer() const noexcept { return buffer_; }
 
+  /// Pre-sizes every dense-id exchange set (delivered record, i-list,
+  /// prefix tracker) for bundle ids up to `max_id`, so inserts and merges on
+  /// the contact path never grow word storage. The engine calls this once at
+  /// construction with the run's total load.
+  void reserve_bundle_ids(BundleId max_id) {
+    delivered_.reserve(max_id);
+    prefix_.reserve(max_id);
+    ilist_.reserve(max_id);
+  }
+
   // --- encounter history (dynamic TTL, Algo 1) ------------------------------
 
   /// Called at each contact start this node participates in. Contacts that

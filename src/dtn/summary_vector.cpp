@@ -1,30 +1,61 @@
 #include "dtn/summary_vector.hpp"
 
-#include <algorithm>
-
 namespace epi::dtn {
 
 std::vector<BundleId> SummaryVector::difference(
     const SummaryVector& other) const {
   std::vector<BundleId> out;
-  for (const BundleId id : ids_) {
-    if (!other.contains(id)) out.push_back(id);
-  }
-  std::sort(out.begin(), out.end());
+  for_each_difference(other, [&](BundleId id) { out.push_back(id); });
   return out;
 }
 
 std::size_t SummaryVector::merge(const SummaryVector& other) {
-  std::size_t added = 0;
-  for (const BundleId id : other.ids_) {
-    if (ids_.insert(id).second) ++added;
+  if (words_.size() < other.words_.size()) {
+    words_.resize(other.words_.size(), 0);
   }
+  std::size_t added = 0;
+  for (std::size_t w = 0; w < other.words_.size(); ++w) {
+    const std::uint64_t fresh = other.words_[w] & ~words_[w];
+    added += static_cast<std::size_t>(std::popcount(fresh));
+    words_[w] |= fresh;
+  }
+  size_ += added;
   return added;
 }
 
+std::size_t SummaryVector::merge_limited(const SummaryVector& other,
+                                         std::size_t max_records) {
+  if (max_records == 0) return 0;
+  if (words_.size() < other.words_.size()) {
+    words_.resize(other.words_.size(), 0);
+  }
+  std::size_t moved = 0;
+  for (std::size_t w = 0; w < other.words_.size() && moved < max_records;
+       ++w) {
+    std::uint64_t missing = other.words_[w] & ~words_[w];
+    if (missing == 0) continue;
+    const auto count = static_cast<std::size_t>(std::popcount(missing));
+    if (moved + count <= max_records) {
+      words_[w] |= missing;
+      moved += count;
+    } else {
+      // Budget runs out inside this word: absorb lowest bits one by one.
+      while (moved < max_records) {
+        const std::uint64_t lowest = missing & (0 - missing);
+        words_[w] |= lowest;
+        missing ^= lowest;
+        ++moved;
+      }
+    }
+  }
+  size_ += moved;
+  return moved;
+}
+
 std::vector<BundleId> SummaryVector::sorted() const {
-  std::vector<BundleId> out(ids_.begin(), ids_.end());
-  std::sort(out.begin(), out.end());
+  std::vector<BundleId> out;
+  out.reserve(size_);
+  for_each([&](BundleId id) { out.push_back(id); });
   return out;
 }
 

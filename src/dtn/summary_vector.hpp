@@ -2,10 +2,22 @@
 //
 // Pure epidemic (Vahdat & Becker) has each node advertise the ids it holds so
 // an encounter only transfers the set difference. We reuse the same structure
-// for i-lists and anti-packet sets.
+// for i-lists, anti-packet sets and the delivered record.
+//
+// Representation: a resizable word-packed bit vector keyed on the dense
+// BundleId space. The engine numbers all bundles of a run sequentially from
+// 1, so the universe of a run is [1, total_load] and a bitset of
+// ceil(max_id / 64) words holds any exchange set. Set difference and
+// union-merge — the per-contact operations — collapse to AND-NOT / OR over a
+// handful of words, and iteration yields ids in ascending order by
+// construction (bit order == id order), which is exactly the engine's
+// deterministic offer order. See DESIGN.md "dense-id exchange sets".
 #pragma once
 
-#include <unordered_set>
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "core/types.hpp"
@@ -17,19 +29,69 @@ class SummaryVector {
   SummaryVector() = default;
 
   /// Returns true when the id was newly inserted.
-  bool insert(BundleId id) { return ids_.insert(id).second; }
-
-  /// Returns true when the id was present and removed.
-  bool erase(BundleId id) { return ids_.erase(id) > 0; }
-
-  [[nodiscard]] bool contains(BundleId id) const {
-    return ids_.contains(id);
+  bool insert(BundleId id) {
+    const std::size_t w = word_index(id);
+    if (w >= words_.size()) words_.resize(w + 1, 0);
+    const std::uint64_t mask = bit_mask(id);
+    if ((words_[w] & mask) != 0) return false;
+    words_[w] |= mask;
+    ++size_;
+    return true;
   }
-  [[nodiscard]] std::size_t size() const noexcept { return ids_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return ids_.empty(); }
 
-  /// Ids present in *this* but not in `other`, in ascending id order (the
-  /// deterministic offer order of the engine).
+  /// Returns true when the id was present and removed. Erasing an id that
+  /// was never inserted (including one beyond the highest word) is a no-op.
+  bool erase(BundleId id) {
+    const std::size_t w = word_index(id);
+    if (w >= words_.size()) return false;
+    const std::uint64_t mask = bit_mask(id);
+    if ((words_[w] & mask) == 0) return false;
+    words_[w] &= ~mask;
+    --size_;
+    return true;
+  }
+
+  [[nodiscard]] bool contains(BundleId id) const noexcept {
+    const std::size_t w = word_index(id);
+    return w < words_.size() && (words_[w] & bit_mask(id)) != 0;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Pre-sizes the word storage for ids up to `max_id`, so later inserts and
+  /// merges on the contact path never reallocate. The engine calls this once
+  /// per node with the run's total load.
+  void reserve(BundleId max_id) { words_.reserve(word_index(max_id) + 1); }
+
+  /// Applies `fn` to every id in ascending order. `fn` may return void, or
+  /// bool with false meaning "stop iterating".
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      if (!visit_word(words_[w], w, fn)) return;
+    }
+  }
+
+  /// Applies `fn` to every id present in *this* but not in `other`, in
+  /// ascending id order (the deterministic offer order of the engine),
+  /// without materialising a vector. `fn` may return void, or bool with
+  /// false meaning "stop". Each word is snapshotted before its bits are
+  /// visited, so `fn` may insert the visited ids into `other` (the
+  /// bounded i-list merge does exactly that).
+  template <typename Fn>
+  void for_each_difference(const SummaryVector& other, Fn&& fn) const {
+    const std::size_t shared = std::min(words_.size(), other.words_.size());
+    for (std::size_t w = 0; w < shared; ++w) {
+      if (!visit_word(words_[w] & ~other.words_[w], w, fn)) return;
+    }
+    for (std::size_t w = shared; w < words_.size(); ++w) {
+      if (!visit_word(words_[w], w, fn)) return;
+    }
+  }
+
+  /// Ids present in *this* but not in `other`, in ascending id order. Thin
+  /// allocating wrapper over for_each_difference() for tests and reports;
+  /// the contact path uses the in-place iteration.
   [[nodiscard]] std::vector<BundleId> difference(
       const SummaryVector& other) const;
 
@@ -37,13 +99,50 @@ class SummaryVector {
   /// new (== records that had to be transferred, for overhead accounting).
   std::size_t merge(const SummaryVector& other);
 
+  /// Bounded union-merge: absorbs at most `max_records` ids missing from
+  /// this set, lowest ids first (the order the destination generated them).
+  /// Returns how many were absorbed — the signaling cost of the exchange.
+  std::size_t merge_limited(const SummaryVector& other,
+                            std::size_t max_records);
+
   /// Ascending snapshot, mostly for tests and reports.
   [[nodiscard]] std::vector<BundleId> sorted() const;
 
-  void clear() { ids_.clear(); }
+  /// Empties the set but keeps the word storage (and its capacity).
+  void clear() {
+    std::fill(words_.begin(), words_.end(), 0);
+    size_ = 0;
+  }
 
  private:
-  std::unordered_set<BundleId> ids_;
+  static constexpr std::size_t kWordBits = 64;
+
+  static std::size_t word_index(BundleId id) noexcept {
+    return static_cast<std::size_t>(id) / kWordBits;
+  }
+  static std::uint64_t bit_mask(BundleId id) noexcept {
+    return std::uint64_t{1} << (static_cast<std::size_t>(id) % kWordBits);
+  }
+
+  /// Visits the set bits of one (possibly masked) word in ascending order.
+  /// Returns false when `fn` requested a stop.
+  template <typename Fn>
+  static bool visit_word(std::uint64_t word, std::size_t word_pos, Fn&& fn) {
+    while (word != 0) {
+      const auto bit = static_cast<std::size_t>(std::countr_zero(word));
+      word &= word - 1;  // clear the visited bit
+      const auto id = static_cast<BundleId>(word_pos * kWordBits + bit);
+      if constexpr (std::is_invocable_r_v<bool, Fn&, BundleId>) {
+        if (!fn(id)) return false;
+      } else {
+        fn(id);
+      }
+    }
+    return true;
+  }
+
+  std::vector<std::uint64_t> words_;  ///< bit i of word w == id w*64+i
+  std::size_t size_ = 0;              ///< population count, kept incrementally
 };
 
 }  // namespace epi::dtn

@@ -31,10 +31,14 @@ metrics::RunSummary run_single(const RunSpec& spec,
   config.slot_seconds = spec.slot_seconds;
   config.horizon = spec.horizon;
   config.load = spec.load;
-  const FlowEndpoints flow = pick_endpoints(
-      spec.master_seed, spec.load, spec.replication, config.node_count);
-  config.source = flow.source;
-  config.destination = flow.destination;
+  if (spec.flows.empty()) {
+    const FlowEndpoints flow = pick_endpoints(
+        spec.master_seed, spec.load, spec.replication, config.node_count);
+    config.source = flow.source;
+    config.destination = flow.destination;
+  } else {
+    config.flows = spec.flows;  // pinned workload; endpoints not randomized
+  }
   config.encounter_session_gap = spec.session_gap;
   config.protocol = spec.protocol;
 
@@ -144,6 +148,20 @@ std::string store_key(const ScenarioSpec& scenario, const RunSpec& run) {
   kv(key, "irpc", std::uint64_t{pp.immunity_records_per_contact});
   kv(key, "spray", std::uint64_t{pp.spray_copies});
   key += '}';
+
+  // Explicit flow workloads (large-N benches): every endpoint and per-flow
+  // load joins the key. Absent for the legacy single randomized flow, so all
+  // pre-existing keys are byte-identical to what older builds computed.
+  if (!run.flows.empty()) {
+    key += "|flows=[";
+    for (const FlowSpec& f : run.flows) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%u>%u:%u;", f.source, f.destination,
+                    f.load);
+      key += buf;
+    }
+    key += ']';
+  }
 
   // Flow coordinates and engine constants.
   key += '|';

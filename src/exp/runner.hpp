@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/config.hpp"
 #include "metrics/summary.hpp"
@@ -27,6 +28,13 @@ struct RunSpec {
   SimTime slot_seconds = defaults::kSlotSeconds;
   SimTime horizon = defaults::kTraceHorizon;
   SimTime session_gap = 1'800.0;  ///< see SimulationConfig
+
+  /// Optional explicit multi-flow workload. Empty (the default) means the
+  /// paper's single randomized flow: endpoints from pick_endpoints(), `load`
+  /// bundles. Non-empty pins the flows verbatim (e.g. the large-N scenario's
+  /// spread flows); `load` is then only a seed/reporting coordinate and
+  /// should be set to the total load.
+  std::vector<FlowSpec> flows;
 
   /// Optional event-level trace sink (non-owning; nullptr = tracing off).
   /// Records are stamped with this spec's replication index.

@@ -48,6 +48,35 @@ ScenarioSpec rwp_scenario() {
   return spec;  // defaults mirror the paper's subscriber-point setup
 }
 
+ScenarioSpec large_scenario(std::uint32_t node_count) {
+  ScenarioSpec spec;
+  spec.name = "large" + std::to_string(node_count);
+  spec.kind = MobilityKind::kRwp;
+  spec.rwp.node_count = node_count;
+  spec.rwp.subscriber_points = 96;  // validator cap: "< 100" points per km^2
+  spec.rwp.horizon = 100'000.0;     // bench-sized; contact volume scales ~N^2/points
+  return spec;
+}
+
+std::vector<FlowSpec> large_flows(std::uint32_t node_count,
+                                  std::uint32_t flow_count,
+                                  std::uint32_t load_per_flow) {
+  std::vector<FlowSpec> flows;
+  flows.reserve(flow_count);
+  for (std::uint32_t f = 0; f < flow_count; ++f) {
+    FlowSpec flow;
+    flow.source = static_cast<NodeId>(
+        (static_cast<std::uint64_t>(f) * node_count) / flow_count);
+    flow.destination = static_cast<NodeId>(node_count - 1 - flow.source);
+    if (flow.destination == flow.source) {
+      flow.destination = (flow.source + 1) % node_count;
+    }
+    flow.load = load_per_flow;
+    flows.push_back(flow);
+  }
+  return flows;
+}
+
 ScenarioSpec interval_scenario(SimTime max_interval) {
   ScenarioSpec spec;
   spec.name = "interval" + std::to_string(static_cast<long>(max_interval));

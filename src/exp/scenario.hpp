@@ -12,7 +12,9 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
+#include "core/config.hpp"
 #include "mobility/contact_trace.hpp"
 #include "mobility/interval_scenario.hpp"
 #include "mobility/rwp.hpp"
@@ -52,6 +54,21 @@ struct ScenarioSpec {
 [[nodiscard]] ScenarioSpec trace_scenario();
 [[nodiscard]] ScenarioSpec rwp_scenario();
 [[nodiscard]] ScenarioSpec interval_scenario(SimTime max_interval);
+
+/// Large-N stress scenario (ROADMAP "production scale"): subscriber-point
+/// RWP with `node_count` nodes on the paper's 1 km^2 point grid, horizon
+/// shortened so one run stays bench-sized. The paper's 12-node setups hide
+/// O(set-size) costs in the anti-entropy exchange; this makes them visible.
+[[nodiscard]] ScenarioSpec large_scenario(std::uint32_t node_count);
+
+/// The canonical multi-flow workload paired with large_scenario():
+/// `flow_count` unicast flows of `load_per_flow` bundles each, endpoints
+/// spread deterministically across the node range (source f*N/F, destination
+/// mirrored). Bundle ids stay dense: the engine numbers all flows' bundles
+/// from one sequence.
+[[nodiscard]] std::vector<FlowSpec> large_flows(std::uint32_t node_count,
+                                                std::uint32_t flow_count,
+                                                std::uint32_t load_per_flow);
 
 /// Materialises the scenario's contact process (deterministic in `seed`).
 [[nodiscard]] mobility::ContactTrace build_contact_trace(

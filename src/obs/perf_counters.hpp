@@ -19,6 +19,15 @@ struct PerfCounters {
   std::uint64_t transfers = 0;          ///< bundle transmissions
   std::uint64_t contacts = 0;           ///< contacts processed
 
+  // Contact-path allocation accounting: each use of an engine-owned scratch
+  // buffer is booked as a reuse (its capacity sufficed — no heap traffic) or
+  // an alloc (it had to grow). A warmed-up run reports scratch_allocs == 0;
+  // tests assert this. Like wall_seconds, these describe the implementation
+  // rather than the simulated system, so they are excluded from
+  // deterministic_equal() and from the run-store encoding.
+  std::uint64_t scratch_reuses = 0;     ///< scratch borrows served in place
+  std::uint64_t scratch_allocs = 0;     ///< scratch borrows that had to grow
+
   [[nodiscard]] double events_per_second() const noexcept {
     return wall_seconds > 0.0
                ? static_cast<double>(events_processed) / wall_seconds

@@ -1,7 +1,5 @@
 #include "routing/anti_packet_base.hpp"
 
-#include <vector>
-
 #include "routing/engine.hpp"
 
 namespace epi::routing {
@@ -64,11 +62,14 @@ bool AntiPacketBase::make_room(Engine& engine, dtn::DtnNode& receiver,
 void AntiPacketBase::apply_records(Engine& engine, dtn::DtnNode& node,
                                    SimTime now) {
   if (policy_ != PurgePolicy::kEager) return;
-  std::vector<BundleId> doomed;
+  // Collect-then-purge into the engine's scratch (purging mid-iteration
+  // would shuffle buffer storage under the loop). The borrow is capacity-
+  // bounded by the buffer, so no per-contact allocation.
+  auto lease = engine.scratch_ids();
   for (const auto& entry : node.buffer().entries()) {
-    if (node.ilist().immune(entry.id)) doomed.push_back(entry.id);
+    if (node.ilist().immune(entry.id)) lease.ids().push_back(entry.id);
   }
-  for (const BundleId id : doomed) {
+  for (const BundleId id : lease.ids()) {
     engine.purge(node, id, dtn::RemoveReason::kImmunized, now);
   }
 }

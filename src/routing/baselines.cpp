@@ -1,7 +1,6 @@
 #include "routing/baselines.hpp"
 
 #include <cassert>
-#include <vector>
 
 #include "routing/engine.hpp"
 
@@ -12,11 +11,11 @@ namespace {
 /// destination (learned from the peer's summary vector at contact start).
 void drop_copies_consumed_by_peer(Engine& engine, dtn::DtnNode& holder,
                                   const dtn::DtnNode& peer, SimTime now) {
-  std::vector<BundleId> doomed;
+  auto lease = engine.scratch_ids();  // collect-then-purge, allocation-free
   for (const auto& entry : holder.buffer().entries()) {
-    if (peer.has_delivered(entry.id)) doomed.push_back(entry.id);
+    if (peer.has_delivered(entry.id)) lease.ids().push_back(entry.id);
   }
-  for (const BundleId id : doomed) {
+  for (const BundleId id : lease.ids()) {
     engine.purge(holder, id, dtn::RemoveReason::kConsumed, now);
   }
 }

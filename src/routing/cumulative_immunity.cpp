@@ -1,7 +1,5 @@
 #include "routing/cumulative_immunity.hpp"
 
-#include <vector>
-
 #include "routing/engine.hpp"
 
 namespace epi::routing {
@@ -39,11 +37,14 @@ void CumulativeImmunityEpidemic::offer_table(Engine& engine,
                                              BundleId table, SimTime now) {
   if (!node.cumulative().adopt(table)) return;
 
-  std::vector<BundleId> doomed;
+  // Collect-then-purge via the engine's scratch lease: purging while
+  // iterating would shuffle buffer storage under the loop, and a fresh
+  // vector here would allocate on every table adoption.
+  auto lease = engine.scratch_ids();
   for (const auto& entry : node.buffer().entries()) {
-    if (node.cumulative().immune(entry.id)) doomed.push_back(entry.id);
+    if (node.cumulative().immune(entry.id)) lease.ids().push_back(entry.id);
   }
-  for (const BundleId id : doomed) {
+  for (const BundleId id : lease.ids()) {
     engine.purge(node, id, dtn::RemoveReason::kImmunized, now);
   }
 }

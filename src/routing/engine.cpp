@@ -38,7 +38,17 @@ Engine::Engine(SimulationConfig config, const mobility::ContactTrace& trace,
   }
   bundles_.resize(static_cast<std::size_t>(total_load_) + 1);
 
+  // Pre-size every per-node dense-id bitset for the full id range 1..load:
+  // contact-path inserts and merges then never grow word storage.
+  for (auto& n : nodes_) {
+    n->reserve_bundle_ids(static_cast<BundleId>(total_load_));
+  }
+
+  // Both contact-path scratch buffers are bounded by the buffer capacity (an
+  // offer scan or purge sweep visits at most one buffer's worth of ids), so
+  // reserving it here makes the steady-state contact path allocation-free.
   offer_scratch_.reserve(config_.buffer_capacity);
+  purge_scratch_.reserve(config_.buffer_capacity);
 
   // Contacts are fed lazily from a cursor over the sorted trace: only the
   // next start instant is ever pending, instead of one event per contact up
@@ -96,6 +106,8 @@ metrics::RunSummary Engine::run() {
   summary.perf.peak_queue_depth = sim_.peak_pending();
   summary.perf.transfers = recorder_.bundle_transmissions();
   summary.perf.contacts = recorder_.contacts();
+  summary.perf.scratch_reuses = scratch_reuses_;
+  summary.perf.scratch_allocs = scratch_allocs_;
   summary.flow_delivery.reserve(flows_.size());
   for (std::size_t f = 0; f < flows_.size(); ++f) {
     summary.flow_delivery.push_back(
@@ -106,8 +118,19 @@ metrics::RunSummary Engine::run() {
 }
 
 void Engine::start_contact(const mobility::Contact& contact) {
-  const SessionId id = next_session_++;
-  Session& session = sessions_.emplace(id, Session{id, contact}).first->second;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(session_slots_.size());
+    assert(slot <= kSessionSlotMask && "session slot pool overflow");
+    session_slots_.emplace_back();
+  }
+  Session& session = session_slots_[slot];
+  session.id = (next_session_++ << kSessionSlotBits) | slot;
+  session.contact = contact;
+  const SessionId id = session.id;
   recorder_.on_contact();
   if (sink_ != nullptr) {
     trace([&](obs::TraceEvent& ev) {
@@ -170,14 +193,14 @@ void Engine::schedule_contact_step(const Session& session,
 }
 
 void Engine::run_slot(SessionId session, std::uint32_t slot_index) {
-  const auto it = sessions_.find(session);
-  if (it == sessions_.end()) return;  // contact already torn down
-  const mobility::Contact& contact = it->second.contact;
+  Session* live = find_session(session);
+  if (live == nullptr) return;  // contact already torn down
+  const mobility::Contact contact = live->contact;  // copy: pool may grow
   const SimTime now = sim_.now();
 
   // Chain the next step before transferring; its reserved rank already fixes
   // the same-time tie order, this just keeps the queue primed.
-  schedule_contact_step(it->second, slot_index + 1);
+  schedule_contact_step(*live, slot_index + 1);
 
   // "The node with the lower ID will send first"; directions alternate so
   // both sides get slots. If the designated sender has nothing to offer the
@@ -197,18 +220,19 @@ void Engine::run_slot(SessionId session, std::uint32_t slot_index) {
 }
 
 void Engine::end_contact(SessionId session) {
-  const auto it = sessions_.find(session);
-  if (it == sessions_.end()) return;
+  Session* live = find_session(session);
+  if (live == nullptr) return;
   protocol_->on_contact_end(*this, session, sim_.now());
   if (sink_ != nullptr) {
-    const mobility::Contact& contact = it->second.contact;
+    const mobility::Contact& contact = live->contact;
     trace([&](obs::TraceEvent& ev) {
       ev.kind = obs::EventKind::kContactDown;
       ev.a = contact.a;
       ev.b = contact.b;
     });
   }
-  sessions_.erase(it);
+  live->id = 0;  // free the slot; stale event handles no longer match
+  free_slots_.push_back(static_cast<std::uint32_t>(session & kSessionSlotMask));
 }
 
 bool Engine::try_transfer(SessionId session, dtn::DtnNode& sender,
@@ -219,9 +243,15 @@ bool Engine::try_transfer(SessionId session, dtn::DtnNode& sender,
   // buffer maintains the order incrementally, so no per-slot sort; the ids
   // are copied out because a transfer can grow the sender's buffer through
   // the source-refill path (store_copy -> purge -> try_inject).
+  const std::size_t offer_capacity = offer_scratch_.capacity();
   offer_scratch_.clear();
   for (const auto& entry : sender.buffer().offer_order()) {
     offer_scratch_.push_back(entry.id);
+  }
+  if (offer_scratch_.capacity() == offer_capacity) {
+    ++scratch_reuses_;
+  } else {
+    ++scratch_allocs_;
   }
 
   bool receiver_rejected_for_space = false;

@@ -22,7 +22,6 @@
 #include <cassert>
 #include <memory>
 #include <span>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -96,7 +95,50 @@ class Engine {
     }
   }
 
+  /// Borrow of the engine-owned contact-path id scratch: cleared on claim,
+  /// released on destruction. Protocol hooks collect purge victims here
+  /// instead of allocating a vector per contact; the release books the
+  /// borrow into PerfCounters as a reuse (capacity sufficed) or a fresh
+  /// allocation (the vector had to grow). One borrow at a time (asserted):
+  /// the collect-then-purge loops never nest across hooks.
+  class ScratchLease {
+   public:
+    ScratchLease(const ScratchLease&) = delete;
+    ScratchLease& operator=(const ScratchLease&) = delete;
+    ~ScratchLease() {
+      engine_.scratch_busy_ = false;
+      if (ids_.capacity() == claimed_capacity_) {
+        ++engine_.scratch_reuses_;
+      } else {
+        ++engine_.scratch_allocs_;
+      }
+    }
+    [[nodiscard]] std::vector<BundleId>& ids() noexcept { return ids_; }
+
+   private:
+    friend class Engine;
+    ScratchLease(Engine& engine, std::vector<BundleId>& ids)
+        : engine_(engine), ids_(ids), claimed_capacity_(ids.capacity()) {
+      assert(!engine_.scratch_busy_ && "nested contact-path scratch borrow");
+      engine_.scratch_busy_ = true;
+      ids_.clear();
+    }
+    Engine& engine_;
+    std::vector<BundleId>& ids_;
+    std::size_t claimed_capacity_;
+  };
+
+  /// Borrows the contact-path scratch (pre-sized to the buffer capacity, the
+  /// most ids any purge sweep can collect, so steady state never allocates).
+  [[nodiscard]] ScratchLease scratch_ids() {
+    return ScratchLease(*this, purge_scratch_);
+  }
+
  private:
+  /// A live contact session in the slot pool. `id` doubles as the occupancy
+  /// marker: 0 is a free slot, and a session's packed id (see
+  /// kSessionSlotBits) never equals a stale handle's, so events that outlive
+  /// their contact fall through find_session() harmlessly.
   struct Session {
     SessionId id = 0;
     mobility::Contact contact;
@@ -106,6 +148,23 @@ class Engine {
     /// whole contact up front.
     std::uint64_t base_rank = 0;
   };
+
+  /// A SessionId packs (sequence << kSessionSlotBits) | pool slot: the slot
+  /// gives O(1) allocation-free lookup, the unique sequence makes reuse of a
+  /// slot detectable (the run_slot/end_contact events of a torn-down contact
+  /// must not touch its slot's next tenant).
+  static constexpr std::uint32_t kSessionSlotBits = 20;
+  static constexpr std::uint64_t kSessionSlotMask =
+      (std::uint64_t{1} << kSessionSlotBits) - 1;
+
+  /// The live session with this exact id, or nullptr when the contact was
+  /// already torn down (or the slot re-let to a newer contact).
+  [[nodiscard]] Session* find_session(SessionId id) noexcept {
+    const auto slot = static_cast<std::size_t>(id & kSessionSlotMask);
+    if (slot >= session_slots_.size()) return nullptr;
+    Session& session = session_slots_[slot];
+    return session.id == id ? &session : nullptr;
+  }
 
   /// Builds one TraceEvent (run coordinates pre-filled) and emits it.
   /// Callers guard with `sink_ != nullptr` so the disabled path stays a
@@ -183,9 +242,18 @@ class Engine {
   std::uint64_t sample_index_ = 0;  ///< next timeline sample number
 
   std::vector<BundleId> offer_scratch_;  ///< reused by try_transfer
+  std::vector<BundleId> purge_scratch_;  ///< leased out via scratch_ids()
+  bool scratch_busy_ = false;
+  std::uint64_t scratch_reuses_ = 0;
+  std::uint64_t scratch_allocs_ = 0;
 
-  std::unordered_map<SessionId, Session> sessions_;
-  SessionId next_session_ = 1;
+  /// Contact session pool: slot-indexed, with freed slots recycled LIFO.
+  /// Steady state (concurrent contacts at their high-water mark) allocates
+  /// nothing per contact — unlike the former unordered_map, which paid one
+  /// node allocation per emplace.
+  std::vector<Session> session_slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint64_t next_session_ = 1;  ///< sequence part of packed SessionIds
 
   std::vector<FlowSpec> flows_;
   std::vector<std::uint32_t> injected_;        // per flow

@@ -23,17 +23,33 @@ bool PqEpidemic::may_offer(Engine& engine, SessionId session,
 
   const CoinKey key =
       (static_cast<std::uint64_t>(sender.id()) << 32) | copy.id;
-  auto& session_coins = coins_[session];
-  if (const auto it = session_coins.find(key); it != session_coins.end()) {
-    return it->second;
+  SessionCoins& table = *session_coins(session, /*create=*/true);
+  for (const auto& [seen, allowed] : table.coins) {
+    if (seen == key) return allowed;
   }
   const bool allowed = engine.rng().chance(prob);
-  session_coins.emplace(key, allowed);
+  table.coins.emplace_back(key, allowed);
   return allowed;
 }
 
 void PqEpidemic::on_contact_end(Engine&, SessionId session, SimTime) {
-  coins_.erase(session);
+  if (SessionCoins* table = session_coins(session, /*create=*/false)) {
+    table->session = 0;     // recycle the entry...
+    table->coins.clear();   // ...keeping its coin capacity
+  }
+}
+
+PqEpidemic::SessionCoins* PqEpidemic::session_coins(SessionId session,
+                                                    bool create) {
+  SessionCoins* free_entry = nullptr;
+  for (auto& entry : coins_) {
+    if (entry.session == session) return &entry;
+    if (entry.session == 0 && free_entry == nullptr) free_entry = &entry;
+  }
+  if (!create) return nullptr;
+  if (free_entry == nullptr) free_entry = &coins_.emplace_back();
+  free_entry->session = session;
+  return free_entry;
 }
 
 }  // namespace epi::routing

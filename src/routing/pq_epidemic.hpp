@@ -9,7 +9,8 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "routing/anti_packet_base.hpp"
 
@@ -41,8 +42,21 @@ class PqEpidemic final : public AntiPacketBase {
   double q_;
 
   // Memoized per-encounter coins: session -> (sender, bundle) -> allowed.
+  // Stored as a pooled flat table instead of nested hash maps: entries whose
+  // session cleared to 0 are recycled (keeping their coin capacity), so the
+  // steady-state contact path allocates nothing. Linear scans are fine — the
+  // concurrent-session count is small and a session holds at most two
+  // buffers' worth of coins.
   using CoinKey = std::uint64_t;  // (sender << 32) | bundle
-  std::unordered_map<SessionId, std::unordered_map<CoinKey, bool>> coins_;
+  struct SessionCoins {
+    SessionId session = 0;  // 0 = free entry, ready for reuse
+    std::vector<std::pair<CoinKey, bool>> coins;
+  };
+  /// The coin table of `session`, creating (preferring a recycled entry)
+  /// when absent and `create` is set; nullptr when absent otherwise.
+  [[nodiscard]] SessionCoins* session_coins(SessionId session, bool create);
+
+  std::vector<SessionCoins> coins_;
 };
 
 }  // namespace epi::routing

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <unordered_set>
+#include <vector>
+
 namespace epi::dtn {
 namespace {
 
@@ -71,6 +77,136 @@ TEST(SummaryVector, Clear) {
   v.clear();
   EXPECT_TRUE(v.empty());
   EXPECT_FALSE(v.contains(1));
+}
+
+// --- word-boundary behaviour (bit 63 of word 0 vs bits 0/1 of word 1) -------
+
+TEST(SummaryVector, MergeCountsAcrossWordBoundaries) {
+  SummaryVector a;
+  SummaryVector b;
+  a.insert(63);
+  for (const BundleId id : {63u, 64u, 65u}) b.insert(id);
+  EXPECT_EQ(a.merge(b), 2u);  // 64 and 65 straddle into the second word
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.sorted(), (std::vector<BundleId>{63, 64, 65}));
+  EXPECT_EQ(a.merge(b), 0u);  // idempotent across the boundary too
+
+  // Merging a longer vector into a shorter one must grow word storage.
+  SummaryVector c;
+  c.insert(1);
+  EXPECT_EQ(c.merge(b), 3u);
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_TRUE(c.contains(65));
+}
+
+TEST(SummaryVector, MergeLimitedStopsInsideAWord) {
+  SummaryVector from;
+  for (const BundleId id : {62u, 63u, 64u, 65u, 66u}) from.insert(id);
+  SummaryVector to;
+  // Budget 3 must take exactly the three lowest missing ids, ending
+  // mid-way through the second word.
+  EXPECT_EQ(to.merge_limited(from, 3), 3u);
+  EXPECT_EQ(to.sorted(), (std::vector<BundleId>{62, 63, 64}));
+  // The next bounded merge resumes where the budget ran out.
+  EXPECT_EQ(to.merge_limited(from, 3), 2u);
+  EXPECT_EQ(to.sorted(), from.sorted());
+  EXPECT_EQ(to.merge_limited(from, 3), 0u);
+  EXPECT_EQ(SummaryVector{}.merge_limited(from, 0), 0u);
+}
+
+TEST(SummaryVector, EraseOfAbsentIds) {
+  SummaryVector v;
+  v.insert(5);
+  EXPECT_FALSE(v.erase(6));     // same word, bit not set
+  EXPECT_FALSE(v.erase(1000));  // beyond allocated words entirely
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_TRUE(v.contains(5));
+  EXPECT_FALSE(SummaryVector{}.erase(1));
+}
+
+TEST(SummaryVector, ForEachDifferenceVisitsAscendingAndCanStop) {
+  SummaryVector a;
+  SummaryVector b;
+  for (const BundleId id : {1u, 63u, 64u, 200u}) a.insert(id);
+  b.insert(63);
+  std::vector<BundleId> seen;
+  a.for_each_difference(b, [&](BundleId id) { seen.push_back(id); });
+  EXPECT_EQ(seen, (std::vector<BundleId>{1, 64, 200}));
+
+  seen.clear();
+  a.for_each_difference(b, [&](BundleId id) {
+    seen.push_back(id);
+    return seen.size() < 2;  // stop after two ids
+  });
+  EXPECT_EQ(seen, (std::vector<BundleId>{1, 64}));
+}
+
+// --- differential property test vs a reference model ------------------------
+
+// Randomized operation sequences executed against both the bitset and a
+// std::unordered_set reference; every queryable aspect must agree at every
+// step. Seeds are fixed: failures reproduce exactly.
+TEST(SummaryVector, DifferentialAgainstReferenceModel) {
+  for (std::uint32_t seed = 1; seed <= 8; ++seed) {
+    std::mt19937 rng(seed);
+    // Mixed id range: dense low ids plus a sparse tail crossing many words.
+    std::uniform_int_distribution<BundleId> pick_id(1, 400);
+    std::uniform_int_distribution<int> pick_op(0, 5);
+
+    SummaryVector v;
+    SummaryVector other;
+    std::unordered_set<BundleId> model;
+    std::unordered_set<BundleId> other_model;
+
+    const auto sorted_of = [](const std::unordered_set<BundleId>& s) {
+      std::vector<BundleId> out(s.begin(), s.end());
+      std::sort(out.begin(), out.end());
+      return out;
+    };
+
+    for (int step = 0; step < 2000; ++step) {
+      const BundleId id = pick_id(rng);
+      switch (pick_op(rng)) {
+        case 0:
+          ASSERT_EQ(v.insert(id), model.insert(id).second);
+          break;
+        case 1:
+          ASSERT_EQ(v.erase(id), model.erase(id) > 0);
+          break;
+        case 2:
+          ASSERT_EQ(v.contains(id), model.contains(id));
+          break;
+        case 3:
+          other.insert(id);
+          other_model.insert(id);
+          break;
+        case 4: {  // difference against the second set, both directions
+          std::vector<BundleId> expect;
+          for (const BundleId x : sorted_of(model)) {
+            if (!other_model.contains(x)) expect.push_back(x);
+          }
+          ASSERT_EQ(v.difference(other), expect);
+          break;
+        }
+        case 5: {  // merge the second set in; count must be the novel ids
+          std::size_t expect_added = 0;
+          for (const BundleId x : other_model) {
+            if (model.insert(x).second) ++expect_added;
+          }
+          ASSERT_EQ(v.merge(other), expect_added);
+          break;
+        }
+      }
+      ASSERT_EQ(v.size(), model.size());
+    }
+
+    // Final full-state agreement, including ascending iteration order.
+    ASSERT_EQ(v.sorted(), sorted_of(model));
+    std::vector<BundleId> iterated;
+    v.for_each([&](BundleId id2) { iterated.push_back(id2); });
+    ASSERT_EQ(iterated, sorted_of(model));
+    ASSERT_TRUE(std::is_sorted(iterated.begin(), iterated.end()));
+  }
 }
 
 }  // namespace
