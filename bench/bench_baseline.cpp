@@ -21,8 +21,10 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "exp/builders.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
+#include "fault/plan.hpp"
 
 namespace {
 
@@ -33,6 +35,11 @@ struct CaseResult {
   std::uint64_t events_processed = 0;
   std::uint64_t peak_queue_depth = 0;
   std::uint64_t transfers = 0;
+  // Deterministic fault counters (all zero for the fault-free suites).
+  std::uint64_t slots_lost = 0;
+  std::uint64_t down_slots = 0;
+  std::uint64_t control_dropped = 0;
+  std::uint64_t contacts_truncated = 0;
 };
 
 constexpr const char* kTraceProtocols[] = {
@@ -55,22 +62,27 @@ void run_suite(std::vector<CaseResult>& results, std::string_view scenario_name,
                const epi::exp::ScenarioSpec& scenario,
                const epi::mobility::ContactTrace& trace,
                const char* const (&protocols)[N], std::uint32_t reps,
-               const std::vector<epi::FlowSpec>& flows = {}) {
+               const std::vector<epi::FlowSpec>& flows = {},
+               const epi::fault::FaultPlan& fault = {}) {
   using clock = std::chrono::steady_clock;
   std::uint32_t total_load = 0;
   for (const auto& f : flows) total_load += f.load;
   for (const char* protocol : protocols) {
     CaseResult r;
     r.name = std::string(scenario_name) + "/" + protocol;
+    epi::ProtocolParams params;
+    params.kind = epi::protocol_from_string(protocol);
+    const epi::exp::RunSpec spec =
+        epi::exp::RunSpecBuilder()
+            .protocol(params)
+            .scenario(scenario)
+            .load(flows.empty() ? 25 : total_load)
+            .flows(flows)
+            .replication(1)  // fixed: every rep times the identical run
+            .fault(fault)
+            .build();
     double best_seconds = std::numeric_limits<double>::infinity();
     for (std::uint32_t rep = 0; rep < reps; ++rep) {
-      epi::exp::RunSpec spec;
-      spec.protocol.kind = epi::protocol_from_string(protocol);
-      spec.load = flows.empty() ? 25 : total_load;
-      spec.flows = flows;
-      spec.replication = 1;  // fixed: every rep times the identical run
-      spec.horizon = scenario.horizon();
-      spec.session_gap = scenario.session_gap;
       const auto t0 = clock::now();
       const auto summary = epi::exp::run_single(spec, trace);
       const double seconds =
@@ -80,8 +92,14 @@ void run_suite(std::vector<CaseResult>& results, std::string_view scenario_name,
         r.events_processed = summary.perf.events_processed;
         r.peak_queue_depth = summary.perf.peak_queue_depth;
         r.transfers = summary.perf.transfers;
+        r.slots_lost = summary.perf.slots_lost;
+        r.down_slots = summary.perf.down_slots;
+        r.control_dropped = summary.perf.control_dropped;
+        r.contacts_truncated = summary.perf.contacts_truncated;
       } else if (summary.perf.events_processed != r.events_processed ||
-                 summary.perf.transfers != r.transfers) {
+                 summary.perf.transfers != r.transfers ||
+                 summary.perf.slots_lost != r.slots_lost ||
+                 summary.perf.contacts_truncated != r.contacts_truncated) {
         std::fprintf(stderr, "non-deterministic repetition in %s\n",
                      r.name.c_str());
         std::exit(1);
@@ -111,11 +129,17 @@ void write_json(const std::string& path, const std::vector<CaseResult>& results,
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"ns_per_run\": %.0f, "
                  "\"events_per_sec\": %.0f, \"events_processed\": %llu, "
-                 "\"peak_queue_depth\": %llu, \"transfers\": %llu}%s\n",
+                 "\"peak_queue_depth\": %llu, \"transfers\": %llu, "
+                 "\"slots_lost\": %llu, \"down_slots\": %llu, "
+                 "\"control_dropped\": %llu, \"contacts_truncated\": %llu}%s\n",
                  r.name.c_str(), r.ns_per_run, r.events_per_sec,
                  static_cast<unsigned long long>(r.events_processed),
                  static_cast<unsigned long long>(r.peak_queue_depth),
                  static_cast<unsigned long long>(r.transfers),
+                 static_cast<unsigned long long>(r.slots_lost),
+                 static_cast<unsigned long long>(r.down_slots),
+                 static_cast<unsigned long long>(r.control_dropped),
+                 static_cast<unsigned long long>(r.contacts_truncated),
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -172,6 +196,20 @@ int main(int argc, char** argv) {
   const auto rwp = epi::exp::build_contact_trace(rwp_spec, 42);
   run_suite(results, "trace", trace_spec, trace, kTraceProtocols, reps);
   run_suite(results, "rwp", rwp_spec, rwp, kRwpProtocols, reps);
+  // Robustness suite: the same protocol families under a composite fault
+  // plan (transfer loss + truncation + duty cycling + control loss). The
+  // repetition check above doubles as a fault-determinism gate, and the
+  // fault counters land in the JSON for compare_bench.py to pin.
+  const epi::fault::FaultPlan fault_plan = epi::fault::FaultPlanBuilder()
+                                               .slot_loss(0.2)
+                                               .truncation(0.1)
+                                               .duty_cycle(0.25, 7'200.0)
+                                               .control_loss(0.2)
+                                               .build();
+  run_suite(results, "trace+fault", trace_spec, trace, kTraceProtocols, reps,
+            {}, fault_plan);
+  run_suite(results, "rwp+fault", rwp_spec, rwp, kRwpProtocols, reps, {},
+            fault_plan);
   // Large-N stress entries (multi-flow; see exp::large_scenario): the cases
   // where per-contact exchange-set costs dominate instead of hiding.
   for (const std::uint32_t n : {128u, 512u}) {

@@ -25,6 +25,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "exp/figures.hpp"
 #include "exp/report.hpp"
@@ -65,6 +66,7 @@ inline T parse_unsigned(std::string_view flag, std::string_view value) {
 
 inline Args parse_args(int argc, char** argv) {
   Args args;
+  std::vector<std::string_view> seen;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     // Split `--flag=VALUE` into flag and inline value.
@@ -75,6 +77,15 @@ inline Args parse_args(int argc, char** argv) {
       arg = arg.substr(0, eq);
       has_inline = true;
     }
+    // A repeated flag is a hard error, not a silent last-one-wins: the two
+    // occurrences usually carry different values, and guessing which one the
+    // user meant mis-runs a potentially hours-long sweep.
+    if (std::find(seen.begin(), seen.end(), arg) != seen.end()) {
+      std::cerr << "duplicate flag " << arg
+                << ": each flag may be given at most once\n";
+      std::exit(2);
+    }
+    seen.push_back(arg);
     const auto next = [&]() -> std::string {
       if (has_inline) return std::string(inline_value);
       if (i + 1 >= argc) {
@@ -266,6 +277,12 @@ inline int figure_main(int argc, char** argv,
     return 1;
   }
   return 0;
+}
+
+/// Registry-driven figure bench: same output, claim sourced from the
+/// FigureSpec. The legacy bench_figXX binaries are thin wrappers over this.
+inline int figure_main(int argc, char** argv, const exp::FigureSpec& spec) {
+  return figure_main(argc, argv, spec.run, spec.paper_claim);
 }
 
 }  // namespace epi::bench

@@ -1,6 +1,5 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  return epi::bench::figure_main(argc, argv, epi::exp::run_fig07,
-                                 "delay grows fastest for EC and slowest for P-Q as load rises (trace file)");
+  return epi::bench::figure_main(argc, argv, *epi::exp::find_figure("fig07"));
 }

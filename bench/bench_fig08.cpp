@@ -1,6 +1,5 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  return epi::bench::figure_main(argc, argv, epi::exp::run_fig08,
-                                 "EC has the worst delay; fixed TTL sits above immunity; P-Q is best (RWP)");
+  return epi::bench::figure_main(argc, argv, *epi::exp::find_figure("fig08"));
 }

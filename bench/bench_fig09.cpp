@@ -1,6 +1,5 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  return epi::bench::figure_main(argc, argv, epi::exp::run_fig09,
-                                 "EC has the lowest duplication rate; immunity exceeds 60%; P-Q is high (trace file)");
+  return epi::bench::figure_main(argc, argv, *epi::exp::find_figure("fig09"));
 }

@@ -1,6 +1,5 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  return epi::bench::figure_main(argc, argv, epi::exp::run_fig10,
-                                 "EC lowest, immunity/P-Q highest duplication rate (RWP)");
+  return epi::bench::figure_main(argc, argv, *epi::exp::find_figure("fig10"));
 }

@@ -1,6 +1,5 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  return epi::bench::figure_main(argc, argv, epi::exp::run_fig11,
-                                 "P-Q consumes the most buffer (>80% past load 10); immunity ~10% below it; TTL lowest (trace file)");
+  return epi::bench::figure_main(argc, argv, *epi::exp::find_figure("fig11"));
 }

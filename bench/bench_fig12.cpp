@@ -1,6 +1,5 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  return epi::bench::figure_main(argc, argv, epi::exp::run_fig12,
-                                 "same ordering as the trace: P-Q highest, then EC, immunity, TTL lowest (RWP)");
+  return epi::bench::figure_main(argc, argv, *epi::exp::find_figure("fig12"));
 }

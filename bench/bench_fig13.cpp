@@ -1,6 +1,5 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  return epi::bench::figure_main(argc, argv, epi::exp::run_fig13,
-                                 "both EC and TTL delivery ratios fall as load rises; TTL falls further (trace file)");
+  return epi::bench::figure_main(argc, argv, *epi::exp::find_figure("fig13"));
 }

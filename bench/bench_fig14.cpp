@@ -1,6 +1,5 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  return epi::bench::figure_main(argc, argv, epi::exp::run_fig14,
-                                 "TTL=300 delivers markedly less when encounter intervals stretch from 400 to 2000 s");
+  return epi::bench::figure_main(argc, argv, *epi::exp::find_figure("fig14"));
 }

@@ -1,6 +1,5 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  return epi::bench::figure_main(argc, argv, epi::exp::run_fig15,
-                                 "dynamic TTL beats fixed TTL at both interval settings; EC+TTL >= EC; immunity ~ cumulative (RWP + interval)");
+  return epi::bench::figure_main(argc, argv, *epi::exp::find_figure("fig15"));
 }

@@ -1,6 +1,5 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  return epi::bench::figure_main(argc, argv, epi::exp::run_fig16,
-                                 "dynamic TTL beats TTL=300 by >20%; EC+TTL clearly above EC at high load; immunity variants ~100% (trace file)");
+  return epi::bench::figure_main(argc, argv, *epi::exp::find_figure("fig16"));
 }

@@ -1,6 +1,5 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  return epi::bench::figure_main(argc, argv, epi::exp::run_fig17,
-                                 "dynamic TTL buffers more than fixed but stays moderate; EC+TTL below EC; cumulative below immunity (RWP + interval)");
+  return epi::bench::figure_main(argc, argv, *epi::exp::find_figure("fig17"));
 }

@@ -1,6 +1,5 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  return epi::bench::figure_main(argc, argv, epi::exp::run_fig18,
-                                 "EC highest buffer occupancy; EC+TTL ~20% below; cumulative below immunity; TTL lowest (trace file)");
+  return epi::bench::figure_main(argc, argv, *epi::exp::find_figure("fig18"));
 }

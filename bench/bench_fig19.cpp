@@ -1,6 +1,5 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  return epi::bench::figure_main(argc, argv, epi::exp::run_fig19,
-                                 "dynamic TTL duplicates slightly more than fixed; EC+TTL >= EC past load 30; cumulative below immunity (RWP + interval)");
+  return epi::bench::figure_main(argc, argv, *epi::exp::find_figure("fig19"));
 }

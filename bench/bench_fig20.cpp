@@ -1,6 +1,5 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  return epi::bench::figure_main(argc, argv, epi::exp::run_fig20,
-                                 "same orderings as RWP: enhancements duplicate slightly more, cumulative immunity less (trace file)");
+  return epi::bench::figure_main(argc, argv, *epi::exp::find_figure("fig20"));
 }

@@ -1,0 +1,60 @@
+// bench_figure: one driver for every registered figure.
+//
+//   bench_figure --list                 enumerate figure ids and claims
+//   bench_figure --fig 07 [flags...]    reproduce one figure; remaining
+//                                       flags are the shared bench flags
+//                                       (see bench_common.hpp)
+//
+// `--fig fig07`, `--fig 07` and `--fig 7` are equivalent; robustness sweeps
+// use their full ids (e.g. --fig robust_trace_delivery). Output is byte-
+// identical to the legacy bench_figXX binary of the same figure.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using epi::exp::FigureSpec;
+
+  // Peel off the driver's own flags; everything else goes to parse_args
+  // (which hard-errors on anything it does not know).
+  std::string fig;
+  bool list = false;
+  std::vector<char*> rest{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--fig") {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for --fig\n";
+        return 2;
+      }
+      fig = argv[++i];
+    } else if (arg.starts_with("--fig=")) {
+      fig = arg.substr(6);
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+
+  if (list) {
+    for (const FigureSpec& spec : epi::exp::figure_registry()) {
+      std::printf("%-22s %s%s\n", spec.id,
+                  spec.paper_figure ? "" : "[extra] ", spec.paper_claim);
+    }
+    return 0;
+  }
+  if (fig.empty()) {
+    std::cerr << "usage: " << argv[0]
+              << " --fig ID [bench flags...] | --list\n";
+    return 2;
+  }
+  const FigureSpec* spec = epi::exp::find_figure(fig);
+  if (spec == nullptr) {
+    std::cerr << "unknown figure '" << fig << "' (run --list for the ids)\n";
+    return 2;
+  }
+  return epi::bench::figure_main(static_cast<int>(rest.size()), rest.data(),
+                                 *spec);
+}

@@ -1,10 +1,14 @@
 #include "exp/figures.hpp"
 
+#include <charconv>
+#include <cstdio>
 #include <iomanip>
 #include <map>
 #include <memory>
 #include <ostream>
+#include <utility>
 
+#include "exp/builders.hpp"
 #include "exp/runner.hpp"
 #include "exp/sweep.hpp"
 #include "exp/thread_pool.hpp"
@@ -269,6 +273,224 @@ Figure run_overhead(const FigureOptions& o, bool rwp) {
       {{"Immunity", scenario, immunity_params()},
        {"CumImmunity", scenario, cumulative_immunity_params()}},
       o);
+}
+
+// --- robustness sweeps ----------------------------------------------------------
+
+namespace {
+
+/// Loss axis of every robustness figure, in percent.
+std::vector<std::uint32_t> loss_percents() {
+  std::vector<std::uint32_t> percents;
+  for (std::uint32_t p = 0; p <= 40; p += 5) percents.push_back(p);
+  return percents;
+}
+
+const char* metric_slug(Metric metric) noexcept {
+  switch (metric) {
+    case Metric::kDeliveryRatio: return "delivery";
+    case Metric::kDelay: return "delay";
+    case Metric::kDuplicationRate: return "dup";
+    default: return "metric";
+  }
+}
+
+}  // namespace
+
+Figure run_robustness(const FigureOptions& o, Metric metric, bool rwp) {
+  const ScenarioSpec scenario =
+      ScenarioSpecBuilder(rwp ? rwp_scenario() : trace_scenario()).build();
+  const mobility::ContactTrace trace =
+      build_contact_trace(scenario, o.master_seed);
+
+  // All protocol families: the SV-A originals plus every SV-B enhancement.
+  struct Def {
+    const char* label;
+    ProtocolParams params;
+  };
+  const std::vector<Def> defs{
+      {"P-Q epidemic", pq_params(1.0, 1.0)},
+      {"TTL=300", fixed_ttl_params()},
+      {"dynamic TTL", dynamic_ttl_params()},
+      {"EC", ec_params()},
+      {"EC+TTL", ec_ttl_params()},
+      {"Immunity", immunity_params()},
+      {"CumImmunity", cumulative_immunity_params()},
+  };
+  const std::vector<std::uint32_t> percents = loss_percents();
+
+  Figure figure;
+  figure.id = std::string("robust_") + scenario.name + "_" +
+              metric_slug(metric);
+  figure.title = std::string(metric_name(metric)) +
+                 " vs transfer/control loss rate (" + scenario.name +
+                 ", load " + std::to_string(kRobustnessLoad) + ")";
+  figure.metric = metric;
+  figure.axis = "loss %";
+
+  std::unique_ptr<obs::ProgressReporter> progress;
+  if (o.progress) {
+    progress = std::make_unique<obs::ProgressReporter>(
+        figure.id, defs.size() * percents.size() * o.replications);
+  }
+
+  for (const auto& def : defs) {
+    // One sweep per loss point (the sweep machinery's axis is load, pinned
+    // here to kRobustnessLoad); the points concatenate into one series whose
+    // `loads` carry the loss percentages.
+    SweepResult series;
+    series.scenario_name = scenario.name;
+    series.protocol = def.params;
+    for (const std::uint32_t percent : percents) {
+      SweepSpec spec;
+      spec.scenario = scenario;
+      spec.protocol = def.params;
+      spec.loads = {kRobustnessLoad};
+      spec.replications = o.replications;
+      spec.master_seed = o.master_seed;
+      spec.threads = o.threads;
+      spec.fault = fault::FaultPlanBuilder()
+                       .slot_loss(percent / 100.0)
+                       .control_loss(percent / 100.0)
+                       .build();
+      spec.trace_sink = o.trace_sink;
+      spec.chrome = o.chrome;
+      spec.progress = progress.get();
+      spec.store = o.store;
+      SweepResult point = run_sweep_on(spec, trace);
+      series.loads.push_back(percent);
+      series.points.push_back(std::move(point.points.front()));
+      series.runs.push_back(std::move(point.runs.front()));
+    }
+    figure.labels.push_back(def.label);
+    figure.results.push_back(std::move(series));
+  }
+  return figure;
+}
+
+// --- figure registry ------------------------------------------------------------
+
+namespace {
+
+Figure robust(const FigureOptions& o, Metric metric, bool rwp) {
+  return run_robustness(o, metric, rwp);
+}
+
+constexpr FigureSpec kRegistry[] = {
+    {"fig07",
+     "delay grows fastest for EC and slowest for P-Q as load rises (trace "
+     "file)",
+     run_fig07, true},
+    {"fig08",
+     "EC has the worst delay; fixed TTL sits above immunity; P-Q is best "
+     "(RWP)",
+     run_fig08, true},
+    {"fig09",
+     "EC has the lowest duplication rate; immunity exceeds 60%; P-Q is high "
+     "(trace file)",
+     run_fig09, true},
+    {"fig10", "EC lowest, immunity/P-Q highest duplication rate (RWP)",
+     run_fig10, true},
+    {"fig11",
+     "P-Q consumes the most buffer (>80% past load 10); immunity ~10% below "
+     "it; TTL lowest (trace file)",
+     run_fig11, true},
+    {"fig12",
+     "same ordering as the trace: P-Q highest, then EC, immunity, TTL lowest "
+     "(RWP)",
+     run_fig12, true},
+    {"fig13",
+     "both EC and TTL delivery ratios fall as load rises; TTL falls further "
+     "(trace file)",
+     run_fig13, true},
+    {"fig14",
+     "TTL=300 delivers markedly less when encounter intervals stretch from "
+     "400 to 2000 s",
+     run_fig14, true},
+    {"fig15",
+     "dynamic TTL beats fixed TTL at both interval settings; EC+TTL >= EC; "
+     "immunity ~ cumulative (RWP + interval)",
+     run_fig15, true},
+    {"fig16",
+     "dynamic TTL beats TTL=300 by >20%; EC+TTL clearly above EC at high "
+     "load; immunity variants ~100% (trace file)",
+     run_fig16, true},
+    {"fig17",
+     "dynamic TTL buffers more than fixed but stays moderate; EC+TTL below "
+     "EC; cumulative below immunity (RWP + interval)",
+     run_fig17, true},
+    {"fig18",
+     "EC highest buffer occupancy; EC+TTL ~20% below; cumulative below "
+     "immunity; TTL lowest (trace file)",
+     run_fig18, true},
+    {"fig19",
+     "dynamic TTL duplicates slightly more than fixed; EC+TTL >= EC past "
+     "load 30; cumulative below immunity (RWP + interval)",
+     run_fig19, true},
+    {"fig20",
+     "same orderings as RWP: enhancements duplicate slightly more, "
+     "cumulative immunity less (trace file)",
+     run_fig20, true},
+    {"robust_trace_delivery",
+     "TTL-limited variants lose delivery as loss rises; unlimited epidemic "
+     "variants absorb loss through replication redundancy (trace file)",
+     [](const FigureOptions& o) {
+       return robust(o, Metric::kDeliveryRatio, false);
+     },
+     false},
+    {"robust_trace_delay",
+     "delay rises with loss for every protocol family (trace file)",
+     [](const FigureOptions& o) { return robust(o, Metric::kDelay, false); },
+     false},
+    {"robust_trace_dup",
+     "duplication shrinks with loss (fewer slots succeed), but immunity "
+     "purging weakens faster as anti-packets are dropped (trace file)",
+     [](const FigureOptions& o) {
+       return robust(o, Metric::kDuplicationRate, false);
+     },
+     false},
+    {"robust_rwp_delivery",
+     "TTL-limited variants lose delivery as loss rises; unlimited epidemic "
+     "variants absorb loss through replication redundancy (RWP)",
+     [](const FigureOptions& o) {
+       return robust(o, Metric::kDeliveryRatio, true);
+     },
+     false},
+    {"robust_rwp_delay",
+     "delay rises with loss for every protocol family (RWP)",
+     [](const FigureOptions& o) { return robust(o, Metric::kDelay, true); },
+     false},
+    {"robust_rwp_dup",
+     "duplication shrinks with loss (fewer slots succeed), but immunity "
+     "purging weakens faster as anti-packets are dropped (RWP)",
+     [](const FigureOptions& o) {
+       return robust(o, Metric::kDuplicationRate, true);
+     },
+     false},
+};
+
+}  // namespace
+
+std::span<const FigureSpec> figure_registry() { return kRegistry; }
+
+const FigureSpec* find_figure(std::string_view query) {
+  // Bare figure numbers ("7", "07") normalize to the canonical "fig07".
+  std::string canonical(query);
+  if (!query.empty() &&
+      query.find_first_not_of("0123456789") == std::string_view::npos) {
+    unsigned number = 0;
+    const auto [ptr, ec] =
+        std::from_chars(query.data(), query.data() + query.size(), number);
+    if (ec == std::errc{} && ptr == query.data() + query.size()) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "fig%02u", number);
+      canonical = buf;
+    }
+  }
+  for (const FigureSpec& spec : figure_registry()) {
+    if (canonical == spec.id) return &spec;
+  }
+  return nullptr;
 }
 
 std::vector<Table2Row> run_table2(const FigureOptions& o) {

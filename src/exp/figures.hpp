@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "core/config.hpp"
 #include "exp/report.hpp"
@@ -80,6 +81,43 @@ struct SeriesDef {
 // Abstract claim: cumulative immunity needs an order of magnitude fewer
 // signaling messages than per-bundle immunity.
 [[nodiscard]] Figure run_overhead(const FigureOptions& o, bool rwp);
+
+// --- robustness sweeps ----------------------------------------------------------
+
+/// Bundle load every robustness run uses (mid-range of the paper's sweep, so
+/// loss effects are visible without saturating any protocol).
+inline constexpr std::uint32_t kRobustnessLoad = 25;
+
+/// One metric vs loss rate {0, 5, ..., 40} percent for every protocol
+/// family on one scenario. Each loss point applies the rate as both
+/// per-slot transfer loss and control-plane loss (see fault::FaultPlan), so
+/// the anti-packet/immunity schemes lose control state at the same rate the
+/// data plane loses slots. The returned Figure's x axis is the loss percent
+/// ("loss %"), not bundle load; load is pinned at kRobustnessLoad.
+[[nodiscard]] Figure run_robustness(const FigureOptions& o, Metric metric,
+                                    bool rwp);
+
+// --- figure registry ------------------------------------------------------------
+
+/// One registered figure: canonical id, the paper's qualitative shape claim
+/// (printed under the table for eyeball comparison), and the captureless
+/// runner that reproduces it. The registry is the single source of truth
+/// for `bench_figure --fig/--list`, the legacy bench_figXX wrappers, and
+/// bench_export.
+struct FigureSpec {
+  const char* id;           ///< "fig07", "robust_trace_delivery", ...
+  const char* paper_claim;  ///< expected shape, one line
+  Figure (*run)(const FigureOptions& options);
+  bool paper_figure;  ///< true for the paper's fig07..fig20 set
+};
+
+/// Every registered figure: the 14 paper figures first (paper order), then
+/// the robustness sweeps.
+[[nodiscard]] std::span<const FigureSpec> figure_registry();
+
+/// Registry lookup by canonical id ("fig07", "robust_rwp_delay") or bare
+/// figure number ("07", "7"). Returns nullptr when unknown.
+[[nodiscard]] const FigureSpec* find_figure(std::string_view query);
 
 // --- Table II -------------------------------------------------------------------
 

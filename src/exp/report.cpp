@@ -100,7 +100,7 @@ void print_figure(std::ostream& out, const Figure& figure) {
   out << "== " << figure.id << ": " << figure.title << " ==\n";
   out << "metric: " << metric_name(figure.metric) << "\n";
 
-  out << std::left << std::setw(kLoadWidth) << "load";
+  out << std::left << std::setw(kLoadWidth) << figure.axis;
   for (const auto& label : figure.labels) {
     out << std::right << std::setw(kColWidth)
         << (label.size() > kColWidth - 1
@@ -123,7 +123,7 @@ void print_figure(std::ostream& out, const Figure& figure) {
 }
 
 void print_figure_csv(std::ostream& out, const Figure& figure) {
-  out << "load";
+  out << figure.axis;
   for (const auto& label : figure.labels) out << ',' << label;
   out << '\n';
   if (figure.results.empty()) return;
@@ -160,6 +160,12 @@ void print_figure_json(std::ostream& out, const Figure& figure) {
   json_string(out, figure.title);
   out << ",\"metric\":";
   json_string(out, metric_name(figure.metric));
+  // The axis joins the document only when it departs from the default, so
+  // every pre-existing figure's JSON stays byte-identical.
+  if (figure.axis != "load") {
+    out << ",\"axis\":";
+    json_string(out, figure.axis);
+  }
   out << ",\"loads\":[";
   if (!figure.results.empty()) {
     const auto& loads = figure.results.front().loads;

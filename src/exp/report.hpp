@@ -39,6 +39,10 @@ struct Figure {
   std::string id;      ///< "fig07"
   std::string title;
   Metric metric = Metric::kDeliveryRatio;
+  /// Label of the x axis. The paper's figures sweep bundle load; the
+  /// robustness figures reuse the same machinery with a loss-rate axis
+  /// (SweepResult.loads then holds loss percentages).
+  std::string axis = "load";
   std::vector<std::string> labels;
   std::vector<SweepResult> results;
 

@@ -51,6 +51,14 @@ metrics::RunSummary run_single(const RunSpec& spec,
   routing::Engine engine(config, trace, routing::make_protocol(spec.protocol),
                          run_seed);
   engine.set_trace_sink(spec.trace_sink, spec.replication);
+  if (spec.fault.any()) {
+    spec.fault.validate();
+    // Fault streams derive from the run coordinates (not run_seed) so they
+    // are independent of the engine/protocol streams and identical at any
+    // thread count or sweep order.
+    engine.set_fault_injector(std::make_unique<fault::Injector>(
+        spec.fault, spec.master_seed, spec.load, spec.replication));
+  }
   return engine.run();
 }
 
@@ -172,6 +180,11 @@ std::string store_key(const ScenarioSpec& scenario, const RunSpec& run) {
   kv(key, "slot", run.slot_seconds);
   kv(key, "horizon", run.horizon);
   kv(key, "gap", run.session_gap);
+
+  // Fault plan: always serialized, active or not, so a plan change can
+  // never collide with a pre-fault key (schema v2 made the break anyway).
+  key += '|';
+  fault::append_key(key, run.fault);
   return key;
 }
 

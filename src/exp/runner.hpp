@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "fault/plan.hpp"
 #include "metrics/summary.hpp"
 #include "mobility/contact_trace.hpp"
 #include "obs/trace_sink.hpp"
@@ -35,6 +36,11 @@ struct RunSpec {
   /// spread flows); `load` is then only a seed/reporting coordinate and
   /// should be set to the total load.
   std::vector<FlowSpec> flows;
+
+  /// Impairments this run injects. The all-zero default injects nothing and
+  /// keeps results bit-identical to a run without the fault layer; an active
+  /// plan joins the run-store key (see fault::append_key).
+  fault::FaultPlan fault;
 
   /// Optional event-level trace sink (non-owning; nullptr = tracing off).
   /// Records are stamped with this spec's replication index.

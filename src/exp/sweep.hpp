@@ -11,6 +11,7 @@
 #include "core/config.hpp"
 #include "core/error.hpp"
 #include "exp/scenario.hpp"
+#include "fault/plan.hpp"
 #include "metrics/summary.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/progress.hpp"
@@ -42,6 +43,10 @@ struct SweepSpec {
   std::uint64_t master_seed = 42;
   std::uint32_t buffer_capacity = defaults::kBufferCapacity;
   unsigned threads = 0;  ///< 0 = hardware concurrency
+
+  /// Impairments applied to every run of the sweep (see fault::FaultPlan).
+  /// All-zero (the default) injects nothing.
+  fault::FaultPlan fault;
 
   // --- observability (all non-owning, all optional) -------------------------
   obs::TraceSink* trace_sink = nullptr;        ///< per-event records

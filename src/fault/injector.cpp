@@ -1,0 +1,67 @@
+#include "fault/injector.hpp"
+
+#include <cmath>
+
+namespace epi::fault {
+namespace {
+
+// Stream tags (ASCII mnemonics, disjoint from the engine's 'ENG' and the
+// runner's 'FLOW' tags): one per impairment model.
+constexpr std::uint64_t kTagTruncation = 0x46'54'52'55ULL;  // 'FTRU'
+constexpr std::uint64_t kTagControl = 0x46'43'54'4cULL;     // 'FCTL'
+constexpr std::uint64_t kTagSlot = 0x46'53'4c'54ULL;        // 'FSLT'
+constexpr std::uint64_t kTagDuty = 0x46'44'55'54ULL;        // 'FDUT'
+
+std::uint64_t pack(std::uint32_t load, std::uint32_t replication) noexcept {
+  return (std::uint64_t{load} << 32) | replication;
+}
+
+}  // namespace
+
+Injector::Injector(const FaultPlan& plan, std::uint64_t master_seed,
+                   std::uint32_t load, std::uint32_t replication)
+    : plan_(plan),
+      truncation_rng_(
+          Rng::derive(master_seed, kTagTruncation, pack(load, replication))),
+      control_rng_(
+          Rng::derive(master_seed, kTagControl, pack(load, replication))),
+      slot_rng_(Rng::derive(master_seed, kTagSlot, pack(load, replication))),
+      duty_seed_(SplitMix64(master_seed ^ kTagDuty).next() ^
+                 pack(load, replication)) {}
+
+bool Injector::truncate(mobility::Contact& contact) {
+  if (plan_.truncation_prob <= 0.0) return false;
+  if (!truncation_rng_.chance(plan_.truncation_prob)) return false;
+  // Keep a uniform fraction of the duration: the cut can land anywhere in
+  // the contact, including before the first slot completes (a contact that
+  // effectively delivers nothing). start is untouched — the encounter still
+  // begins; it just ends early, stranding the slots past the cut.
+  contact.end = contact.start + contact.duration() * truncation_rng_.uniform();
+  return true;
+}
+
+bool Injector::node_up(NodeId node, SimTime t) const {
+  if (plan_.duty_off_fraction <= 0.0) return true;
+  // Per-node phase: a hash of the node id under the duty seed, mapped to
+  // [0, period). Closed form — no stream state advances.
+  const std::uint64_t h =
+      SplitMix64(duty_seed_ ^ (0x9E3779B97F4A7C15ULL * (node + 1))).next();
+  const double phase = static_cast<double>(h >> 11) * 0x1.0p-53 *
+                       plan_.duty_period;
+  double pos = std::fmod(t - phase, plan_.duty_period);
+  if (pos < 0.0) pos += plan_.duty_period;
+  // The node is down during the first duty_off_fraction of its cycle.
+  return pos >= plan_.duty_off_fraction * plan_.duty_period;
+}
+
+bool Injector::drop_control() {
+  if (plan_.control_loss <= 0.0) return false;
+  return control_rng_.chance(plan_.control_loss);
+}
+
+bool Injector::lose_slot() {
+  if (plan_.slot_loss <= 0.0) return false;
+  return slot_rng_.chance(plan_.slot_loss);
+}
+
+}  // namespace epi::fault

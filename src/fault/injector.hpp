@@ -1,0 +1,68 @@
+// Injector: the deterministic draw source behind a FaultPlan.
+//
+// One Injector serves one run. Each impairment model owns an independent
+// xoshiro256** stream derived from (master_seed, model tag, load,
+// replication), so
+//
+//   * two replications never share fault draws,
+//   * the models never perturb each other (raising slot_loss does not move
+//     a single truncation draw), and
+//   * results are bit-identical at any thread count — the streams depend
+//     only on the run's coordinates, never on scheduling.
+//
+// Within a run the engine is single-threaded and consumes draws in event
+// order, which is itself deterministic; no draw is ever consumed for an
+// inactive model (probability zero short-circuits before the stream is
+// touched), so partially-active plans stay reproducible field by field.
+//
+// Node availability (duty-cycle churn) is a closed-form function of
+// (node id, time): each node's duty phase is a SplitMix64 hash of its id
+// under the duty stream seed. Queries consume nothing, so the engine may
+// probe availability as often or as rarely as it likes without shifting
+// any stream.
+#pragma once
+
+#include <cstdint>
+
+#include "core/rng.hpp"
+#include "core/types.hpp"
+#include "fault/plan.hpp"
+#include "mobility/contact.hpp"
+
+namespace epi::fault {
+
+class Injector {
+ public:
+  /// The plan must be validated (Injector assumes in-domain fields). The
+  /// remaining arguments are the run's coordinates — the same triple that
+  /// seeds the engine and the flow-endpoint derivation, so fault streams
+  /// are paired across protocols exactly like the flows are.
+  Injector(const FaultPlan& plan, std::uint64_t master_seed,
+           std::uint32_t load, std::uint32_t replication);
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+  /// Applies mid-contact truncation to `contact` in place: with probability
+  /// truncation_prob the duration shrinks to a uniform [0,1) fraction of
+  /// itself. Returns true when the contact was cut. Call exactly once per
+  /// started contact, in feed order.
+  bool truncate(mobility::Contact& contact);
+
+  /// Whether `node` is up at time `t` (closed form; no draws consumed).
+  [[nodiscard]] bool node_up(NodeId node, SimTime t) const;
+
+  /// Draws whether this contact's control-plane exchange is lost.
+  bool drop_control();
+
+  /// Draws whether this bundle slot fails.
+  bool lose_slot();
+
+ private:
+  FaultPlan plan_;
+  Rng truncation_rng_;
+  Rng control_rng_;
+  Rng slot_rng_;
+  std::uint64_t duty_seed_;
+};
+
+}  // namespace epi::fault

@@ -1,0 +1,86 @@
+#include "fault/plan.hpp"
+
+#include <cstdio>
+
+#include "core/error.hpp"
+
+namespace epi::fault {
+namespace {
+
+/// Rejects a probability outside [0, 1] with the offending field and value.
+void check_probability(const char* field, double p) {
+  if (p >= 0.0 && p <= 1.0) return;  // NaN fails this and is rejected too
+  char msg[128];
+  std::snprintf(msg, sizeof(msg),
+                "FaultPlan.%s must lie in [0,1], got %g", field, p);
+  throw ConfigError(msg);
+}
+
+}  // namespace
+
+void FaultPlan::validate() const {
+  check_probability("slot_loss", slot_loss);
+  check_probability("truncation_prob", truncation_prob);
+  check_probability("control_loss", control_loss);
+  if (!(duty_off_fraction >= 0.0 && duty_off_fraction < 1.0)) {
+    char msg[128];
+    std::snprintf(msg, sizeof(msg),
+                  "FaultPlan.duty_off_fraction must lie in [0,1) — a node "
+                  "that is never up cannot route, got %g",
+                  duty_off_fraction);
+    throw ConfigError(msg);
+  }
+  if (!(duty_period > 0.0)) {
+    char msg[128];
+    std::snprintf(msg, sizeof(msg),
+                  "FaultPlan.duty_period must be positive, got %g",
+                  duty_period);
+    throw ConfigError(msg);
+  }
+}
+
+void append_key(std::string& key, const FaultPlan& plan) {
+  // max_digits10 rendering, mirroring exp::store_key: the key must
+  // distinguish plans that differ by a single ULP, because the draws do.
+  const auto kv = [&key](const char* name, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s=%.17g;", name, value);
+    key += buf;
+  };
+  key += "fault{";
+  kv("sloss", plan.slot_loss);
+  kv("trunc", plan.truncation_prob);
+  kv("doff", plan.duty_off_fraction);
+  kv("dper", plan.duty_period);
+  kv("closs", plan.control_loss);
+  key += '}';
+}
+
+FaultPlanBuilder& FaultPlanBuilder::slot_loss(double p) {
+  plan_.slot_loss = p;
+  return *this;
+}
+
+FaultPlanBuilder& FaultPlanBuilder::truncation(double p) {
+  plan_.truncation_prob = p;
+  return *this;
+}
+
+FaultPlanBuilder& FaultPlanBuilder::duty_cycle(double off_fraction,
+                                               SimTime period) {
+  plan_.duty_off_fraction = off_fraction;
+  plan_.duty_period = period;
+  return *this;
+}
+
+FaultPlanBuilder& FaultPlanBuilder::control_loss(double p) {
+  plan_.control_loss = p;
+  return *this;
+}
+
+FaultPlan FaultPlanBuilder::build() const {
+  plan_.validate();
+  return plan_;
+}
+
+}  // namespace epi::fault

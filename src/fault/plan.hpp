@@ -1,0 +1,98 @@
+// FaultPlan: the declarative description of every impairment a run injects.
+//
+// The paper evaluates all protocols under ideal contacts: every scheduled
+// 100 s bundle slot succeeds, nodes never go down, and contacts end exactly
+// as the trace says. Real DTN deployments are dominated by partial and
+// failed transfers (arXiv:1805.10539, arXiv:1601.06345), and loss reorders
+// the protocol ranking — especially for the anti-packet/immunity schemes,
+// whose control state can itself be lost. A FaultPlan composes four
+// independent impairment models:
+//
+//   * per-slot Bernoulli transfer loss — a failed slot consumes its 100 s
+//     but delivers nothing;
+//   * mid-contact truncation — a truncated contact keeps only a uniform
+//     fraction of its duration, stranding the slots past the cut;
+//   * node duty-cycle churn — a down node neither forwards bundles nor
+//     emits anti-packets / immunity tables;
+//   * control-plane loss — the contact-start control exchange (anti-packets,
+//     i-lists, cumulative tables) is dropped independently of data slots.
+//
+// An all-zero plan (the default) injects nothing and is bit-identical to a
+// run without the fault layer: the engine then holds no injector, so no
+// fault stream is ever created or consumed. Every non-zero draw derives
+// from (master_seed, load, replication, model id) — see fault::Injector —
+// so faulted results are reproducible at any thread count.
+//
+// The plan is part of exp::RunSpec and joins the run-store key (see
+// fault::append_key), so cached and fresh faulted results stay comparable.
+#pragma once
+
+#include <string>
+
+#include "core/types.hpp"
+
+namespace epi::fault {
+
+struct FaultPlan {
+  /// P(a bundle slot fails): the slot's 100 s elapse, nothing is
+  /// transferred. Drawn once per slot from the slot-loss stream.
+  double slot_loss = 0.0;
+
+  /// P(a contact is truncated). A truncated contact keeps a uniform [0,1)
+  /// fraction of its duration; slots past the cut never happen. Drawn once
+  /// (plus one cut-point draw when truncated) per started contact.
+  double truncation_prob = 0.0;
+
+  /// Fraction of each duty period a node spends down. A down node neither
+  /// transfers in a slot nor takes part in the contact-start control
+  /// exchange. 0 = always up. Each node's duty phase is a closed-form hash
+  /// of its id, so availability queries consume no random draws.
+  double duty_off_fraction = 0.0;
+
+  /// Length of the duty cycle in seconds (used only when duty_off_fraction
+  /// is non-zero; must stay positive regardless so a plan is always valid).
+  SimTime duty_period = 7'200.0;
+
+  /// P(the contact-start control exchange is dropped), independent of the
+  /// data slots: anti-packets / i-lists / cumulative tables simply do not
+  /// cross during that contact. In-band control (the anti-packet handed
+  /// back at delivery) is not affected — it rides the delivery itself.
+  double control_loss = 0.0;
+
+  /// True when any impairment model is active. An inactive plan means the
+  /// engine skips fault wiring entirely (bit-identical to the pre-fault
+  /// engine).
+  [[nodiscard]] bool any() const noexcept {
+    return slot_loss > 0.0 || truncation_prob > 0.0 ||
+           duty_off_fraction > 0.0 || control_loss > 0.0;
+  }
+
+  /// Throws ConfigError when a field is outside its valid domain.
+  void validate() const;
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+};
+
+/// Appends the plan's run-store key fragment ("fault{...}", max_digits10
+/// rendering) to `key`. Every field joins, active or not: a plan change,
+/// however small, must change the key.
+void append_key(std::string& key, const FaultPlan& plan);
+
+/// Validating builder: rejects inconsistent values at build time with
+/// actionable messages instead of failing deep inside the engine.
+class FaultPlanBuilder {
+ public:
+  FaultPlanBuilder& slot_loss(double p);
+  FaultPlanBuilder& truncation(double p);
+  FaultPlanBuilder& duty_cycle(double off_fraction, SimTime period);
+  FaultPlanBuilder& control_loss(double p);
+
+  /// Validates and returns the plan. Throws ConfigError with the offending
+  /// field and value on any violation.
+  [[nodiscard]] FaultPlan build() const;
+
+ private:
+  FaultPlan plan_;
+};
+
+}  // namespace epi::fault

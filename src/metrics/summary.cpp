@@ -48,7 +48,11 @@ bool deterministic_equal(const RunSummary& a, const RunSummary& b) noexcept {
          a.perf.events_processed == b.perf.events_processed &&
          a.perf.peak_queue_depth == b.perf.peak_queue_depth &&
          a.perf.transfers == b.perf.transfers &&
-         a.perf.contacts == b.perf.contacts;
+         a.perf.contacts == b.perf.contacts &&
+         a.perf.slots_lost == b.perf.slots_lost &&
+         a.perf.down_slots == b.perf.down_slots &&
+         a.perf.control_dropped == b.perf.control_dropped &&
+         a.perf.contacts_truncated == b.perf.contacts_truncated;
 }
 
 double Aggregate::ci95_half_width() const {

@@ -16,6 +16,17 @@ std::string_view to_string(EventKind kind) noexcept {
     case EventKind::kRemoved: return "removed";
     case EventKind::kDelivered: return "delivered";
     case EventKind::kControl: return "control";
+    case EventKind::kFault: return "fault";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(FaultKind fault) noexcept {
+  switch (fault) {
+    case FaultKind::kSlotLoss: return "slot_loss";
+    case FaultKind::kDownSlot: return "down_slot";
+    case FaultKind::kControlDrop: return "control_drop";
+    case FaultKind::kTruncation: return "truncation";
   }
   return "unknown";
 }
@@ -67,6 +78,10 @@ void JsonlSink::emit(const TraceEvent& event) {
   if (event.kind == EventKind::kRemoved) {
     const std::string_view why = to_string(event.reason);
     append(R"(,"reason":"%.*s")", static_cast<int>(why.size()), why.data());
+  }
+  if (event.kind == EventKind::kFault) {
+    const std::string_view what = to_string(event.fault);
+    append(R"(,"fault":"%.*s")", static_cast<int>(what.size()), what.data());
   }
   if (event.kind == EventKind::kControl) {
     append(R"(,"count":%llu)",

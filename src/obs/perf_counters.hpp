@@ -19,6 +19,15 @@ struct PerfCounters {
   std::uint64_t transfers = 0;          ///< bundle transmissions
   std::uint64_t contacts = 0;           ///< contacts processed
 
+  // Injected-fault accounting (zero when no FaultPlan is active). These are
+  // deterministic — each fault draw derives from the run's coordinates, not
+  // from wall clock or thread schedule — so they participate in
+  // deterministic_equal() and in the run-store encoding.
+  std::uint64_t slots_lost = 0;          ///< bundle slots consumed by loss
+  std::uint64_t down_slots = 0;          ///< slots suppressed: endpoint down
+  std::uint64_t control_dropped = 0;     ///< contact-start exchanges dropped
+  std::uint64_t contacts_truncated = 0;  ///< contacts cut short mid-flight
+
   // Contact-path allocation accounting: each use of an engine-owned scratch
   // buffer is booked as a reuse (its capacity sufficed — no heap traffic) or
   // an alloc (it had to grow). A warmed-up run reports scratch_allocs == 0;

@@ -27,10 +27,20 @@ enum class EventKind : std::uint8_t {
   kRemoved,      ///< a copy left a buffer (a = holder; see reason)
   kDelivered,    ///< the destination consumed the bundle (a = sender, b = dst)
   kControl,      ///< control-plane records crossed the air (count)
+  kFault,        ///< an injected fault fired (a, b; see TraceEvent::fault)
+};
+
+/// Which impairment model produced a kFault event (see fault::FaultPlan).
+enum class FaultKind : std::uint8_t {
+  kSlotLoss,     ///< a bundle slot was consumed without a transfer
+  kDownSlot,     ///< a slot was suppressed because an endpoint was down
+  kControlDrop,  ///< a contact-start control exchange was dropped
+  kTruncation,   ///< a contact's duration was cut mid-flight
 };
 
 [[nodiscard]] std::string_view to_string(EventKind kind) noexcept;
 [[nodiscard]] std::string_view to_string(dtn::RemoveReason reason) noexcept;
+[[nodiscard]] std::string_view to_string(FaultKind fault) noexcept;
 
 /// One structured record of one engine event.
 struct TraceEvent {
@@ -44,6 +54,7 @@ struct TraceEvent {
   BundleId bundle = kInvalidBundle;  ///< kInvalidBundle when n/a
   dtn::RemoveReason reason = dtn::RemoveReason::kExpired;  ///< kRemoved only
   std::uint64_t count = 0;        ///< record count, kControl only
+  FaultKind fault = FaultKind::kSlotLoss;  ///< kFault only
 };
 
 /// Receives every engine event. Implementations attached to multi-threaded

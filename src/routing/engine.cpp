@@ -108,6 +108,10 @@ metrics::RunSummary Engine::run() {
   summary.perf.contacts = recorder_.contacts();
   summary.perf.scratch_reuses = scratch_reuses_;
   summary.perf.scratch_allocs = scratch_allocs_;
+  summary.perf.slots_lost = slots_lost_;
+  summary.perf.down_slots = down_slots_;
+  summary.perf.control_dropped = control_dropped_;
+  summary.perf.contacts_truncated = contacts_truncated_;
   summary.flow_delivery.reserve(flows_.size());
   for (std::size_t f = 0; f < flows_.size(); ++f) {
     summary.flow_delivery.push_back(
@@ -130,6 +134,12 @@ void Engine::start_contact(const mobility::Contact& contact) {
   Session& session = session_slots_[slot];
   session.id = (next_session_++ << kSessionSlotBits) | slot;
   session.contact = contact;
+  // Truncation fires before any slot is scheduled: the stored contact's end
+  // moves earlier, so the slot chain below naturally strands everything past
+  // the cut (including bundles mid-flight in the lost slots).
+  const bool truncated =
+      injector_ != nullptr && injector_->truncate(session.contact);
+  if (truncated) ++contacts_truncated_;
   const SessionId id = session.id;
   recorder_.on_contact();
   if (sink_ != nullptr) {
@@ -138,6 +148,14 @@ void Engine::start_contact(const mobility::Contact& contact) {
       ev.a = contact.a;
       ev.b = contact.b;
     });
+    if (truncated) {
+      trace([&](obs::TraceEvent& ev) {
+        ev.kind = obs::EventKind::kFault;
+        ev.fault = obs::FaultKind::kTruncation;
+        ev.a = contact.a;
+        ev.b = contact.b;
+      });
+    }
   }
 
   dtn::DtnNode& a = node(contact.a);
@@ -150,7 +168,29 @@ void Engine::start_contact(const mobility::Contact& contact) {
   a.bump_contact_count();
   b.bump_contact_count();
 
-  protocol_->on_contact_start(*this, id, a, b, now);
+  // Control-plane impairment: the contact-start exchange is suppressed when
+  // the control draw says drop or when either endpoint is duty-cycled down
+  // (a down node neither emits nor absorbs anti-packets / immunity tables).
+  // The draw is taken on every contact start — independent of duty state —
+  // so the control stream stays aligned to the contact sequence.
+  bool control_ok = true;
+  if (injector_ != nullptr) {
+    const bool dropped = injector_->drop_control();
+    if (dropped) {
+      ++control_dropped_;
+      if (sink_ != nullptr) {
+        trace([&](obs::TraceEvent& ev) {
+          ev.kind = obs::EventKind::kFault;
+          ev.fault = obs::FaultKind::kControlDrop;
+          ev.a = contact.a;
+          ev.b = contact.b;
+        });
+      }
+    }
+    control_ok = !dropped && injector_->node_up(contact.a, now) &&
+                 injector_->node_up(contact.b, now);
+  }
+  if (control_ok) protocol_->on_contact_start(*this, id, a, b, now);
 
   // The control exchange may have unblocked injection at the source (e.g.
   // P-Q learned an anti-packet and can now overwrite a vaccinated copy, EC
@@ -163,7 +203,7 @@ void Engine::start_contact(const mobility::Contact& contact) {
   // the former design scheduled every slot — so same-time ordering against
   // other events (e.g. TTL expiries landing on a slot boundary) is
   // unchanged.
-  const std::uint32_t slots = contact.slots(config_.slot_seconds);
+  const std::uint32_t slots = session.contact.slots(config_.slot_seconds);
   session.base_rank = sim_.reserve_ranks(std::uint64_t{slots} + 1);
   schedule_contact_step(session, 0);
 }
@@ -201,6 +241,38 @@ void Engine::run_slot(SessionId session, std::uint32_t slot_index) {
   // Chain the next step before transferring; its reserved rank already fixes
   // the same-time tie order, this just keeps the queue primed.
   schedule_contact_step(*live, slot_index + 1);
+
+  // Fault gates, cheapest first: a slot with a duty-cycled-down endpoint is
+  // suppressed without consuming a loss draw (down state is closed-form, so
+  // the slot-loss stream stays aligned to the up-slot sequence); an up slot
+  // can still be consumed by transfer loss — 100 s spent, nothing delivered.
+  if (injector_ != nullptr) {
+    if (!injector_->node_up(contact.a, now) ||
+        !injector_->node_up(contact.b, now)) {
+      ++down_slots_;
+      if (sink_ != nullptr) {
+        trace([&](obs::TraceEvent& ev) {
+          ev.kind = obs::EventKind::kFault;
+          ev.fault = obs::FaultKind::kDownSlot;
+          ev.a = contact.a;
+          ev.b = contact.b;
+        });
+      }
+      return;
+    }
+    if (injector_->lose_slot()) {
+      ++slots_lost_;
+      if (sink_ != nullptr) {
+        trace([&](obs::TraceEvent& ev) {
+          ev.kind = obs::EventKind::kFault;
+          ev.fault = obs::FaultKind::kSlotLoss;
+          ev.a = contact.a;
+          ev.b = contact.b;
+        });
+      }
+      return;
+    }
+  }
 
   // "The node with the lower ID will send first"; directions alternate so
   // both sides get slots. If the designated sender has nothing to offer the

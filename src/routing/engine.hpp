@@ -29,6 +29,7 @@
 #include "core/rng.hpp"
 #include "core/simulator.hpp"
 #include "dtn/node.hpp"
+#include "fault/injector.hpp"
 #include "metrics/recorder.hpp"
 #include "metrics/summary.hpp"
 #include "mobility/contact_trace.hpp"
@@ -58,6 +59,14 @@ class Engine {
                       std::uint32_t replication = 0) noexcept {
     sink_ = sink;
     replication_ = replication;
+  }
+
+  /// Attaches a fault injector (owned; may be nullptr to detach). Without
+  /// one — the default — no fault code path runs and no fault stream is
+  /// ever touched, so results are bit-identical to a build without the
+  /// fault layer. Call before run().
+  void set_fault_injector(std::unique_ptr<fault::Injector> injector) noexcept {
+    injector_ = std::move(injector);
   }
 
   // --- services used by Protocol implementations ----------------------------
@@ -267,6 +276,12 @@ class Engine {
 
   obs::TraceSink* sink_ = nullptr;  // non-owning; nullptr = tracing off
   std::uint32_t replication_ = 0;   // stamped into every trace record
+
+  std::unique_ptr<fault::Injector> injector_;  // nullptr = no faults
+  std::uint64_t slots_lost_ = 0;
+  std::uint64_t down_slots_ = 0;
+  std::uint64_t control_dropped_ = 0;
+  std::uint64_t contacts_truncated_ = 0;
 };
 
 }  // namespace epi::routing

@@ -23,7 +23,10 @@ namespace epi::store {
 /// summaries wrong for the same key string (e.g. a metric definition
 /// change). Purely additive engine changes that keep results bit-identical
 /// do not require a bump.
-inline constexpr std::uint32_t kSchemaVersion = 1;
+///
+/// v2: keys carry the fault-plan block and records carry the deterministic
+/// fault counters (perf_slots_lost et al.).
+inline constexpr std::uint32_t kSchemaVersion = 2;
 
 /// 64-bit FNV-1a over `bytes` (stable across platforms and builds).
 [[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes) noexcept;

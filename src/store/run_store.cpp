@@ -110,6 +110,10 @@ std::string encode_record(const std::string& key,
   field_u64("perf_peak_queue_depth", s.perf.peak_queue_depth);
   field_u64("perf_transfers", s.perf.transfers);
   field_u64("perf_contacts", s.perf.contacts);
+  field_u64("perf_slots_lost", s.perf.slots_lost);
+  field_u64("perf_down_slots", s.perf.down_slots);
+  field_u64("perf_control_dropped", s.perf.control_dropped);
+  field_u64("perf_contacts_truncated", s.perf.contacts_truncated);
   out += "}\n";
   return out;
 }
@@ -190,6 +194,14 @@ class RecordParser {
         s.perf.transfers = parse_u64();
       } else if (name == "perf_contacts") {
         s.perf.contacts = parse_u64();
+      } else if (name == "perf_slots_lost") {
+        s.perf.slots_lost = parse_u64();
+      } else if (name == "perf_down_slots") {
+        s.perf.down_slots = parse_u64();
+      } else if (name == "perf_control_dropped") {
+        s.perf.control_dropped = parse_u64();
+      } else if (name == "perf_contacts_truncated") {
+        s.perf.contacts_truncated = parse_u64();
       } else {
         skip_value();  // forward compatibility
       }

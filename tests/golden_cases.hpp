@@ -1,0 +1,99 @@
+// Golden determinism pins shared by test_golden (the bit-identity suite)
+// and test_fault (which asserts an all-zero FaultPlan reproduces every pin).
+// Full RunSummary values for 14 representative (scenario, protocol, load,
+// replication) cases, recorded at maximum precision. Any engine change that
+// shifts a simulation outcome — even by one ULP — fails against this table.
+// Engine-level perf counters (events_processed, peak_queue_depth) are
+// deliberately NOT pinned: they may change when the scheduling strategy
+// changes without affecting simulation results; `transfers` is pinned
+// because it mirrors the simulation metric.
+#pragma once
+
+#include <cstdint>
+
+namespace epi {
+
+struct GoldenCase {
+  const char* scenario;
+  const char* protocol;
+  std::uint32_t load;
+  std::uint32_t replication;
+  // RunSummary pins.
+  double delivery_ratio;
+  bool complete;
+  double completion_time;
+  double mean_bundle_delay;
+  double buffer_occupancy;
+  double duplication_rate;
+  std::uint64_t bundle_transmissions;
+  std::uint64_t control_records;
+  std::uint64_t contacts;
+  std::uint64_t drops_expired;
+  std::uint64_t drops_evicted;
+  std::uint64_t drops_immunized;
+  double end_time;
+  std::uint64_t transfers;
+};
+
+// clang-format off
+inline constexpr GoldenCase kGolden[] = {
+    {"trace", "pure_epidemic", 20, 1,
+     0.5, false, 524162, 18424.349726293171, 0.88907295413318244, 0.91666666666666663,
+     110, 0, 1147, 0, 0, 0, 524162,
+     110},
+    {"trace", "pq_epidemic", 40, 2,
+     1, true, 63728.558611701214, 10020.344095236942, 0.68362763504946367, 0.67291666666666639,
+     330, 4549, 214, 0, 0, 220, 63728.558611701214,
+     330},
+    {"trace", "fixed_ttl", 60, 3,
+     0.58333333333333337, false, 524162, 8672.0558392643652, 0.0068856040520155438, 0.30833333333333335,
+     230, 0, 1147, 255, 0, 0, 524162,
+     230},
+    {"trace", "dynamic_ttl", 40, 4,
+     0.94999999999999996, false, 524162, 11242.186640860464, 0.35683466488148319, 0.48333333333333339,
+     1196, 0, 1147, 1170, 0, 0, 524162,
+     1196},
+    {"trace", "encounter_count", 80, 5,
+     0.875, false, 524162, 12804.793338188882, 0.89834154726197246, 0.49583333333333296,
+     1403, 0, 1147, 0, 1303, 0, 524162,
+     1403},
+    {"trace", "ec_ttl", 60, 6,
+     1, true, 63602.193466884091, 11478.002765824107, 0.71892098367624735, 0.4430555555555557,
+     607, 0, 209, 0, 497, 0, 63602.193466884091,
+     607},
+    {"trace", "immunity", 100, 7,
+     1, true, 139554.21354056787, 7028.8680774657278, 0.52576123545917519, 0.51416666666666666,
+     681, 32300, 396, 0, 0, 593, 139554.21354056787,
+     681},
+    {"trace", "cumulative_immunity", 100, 8,
+     1, true, 122191.8550920078, 8000.4824277477501, 0.43526318736007519, 0.44083333333333335,
+     558, 739, 354, 0, 0, 502, 122191.8550920078,
+     558},
+    {"rwp", "pure_epidemic", 20, 1,
+     0.5, false, 600000, 12182.796802435772, 0.90008844652233433, 0.91666666666666663,
+     110, 0, 2263, 0, 0, 0, 600000,
+     110},
+    {"rwp", "encounter_count", 80, 2,
+     0.875, false, 600000, 31697.67864485137, 0.89943019506022559, 0.45312499999999983,
+     1223, 0, 2263, 0, 1123, 0, 600000,
+     1223},
+    {"rwp", "immunity", 60, 3,
+     1, true, 100453.12267591475, 12991.586063962879, 0.33999182674463846, 0.46805555555555572,
+     376, 18749, 381, 0, 0, 366, 100453.12267591475,
+     376},
+    {"rwp", "cumulative_immunity", 100, 4,
+     1, true, 219198.98286311532, 14135.339825908286, 0.42286537955812498, 0.68166666666666675,
+     901, 1592, 797, 0, 0, 865, 219198.98286311532,
+     901},
+    {"rwp", "spray_and_wait", 40, 5,
+     1, true, 109070.7359605668, 11594.853368397036, 0.27077423980482873, 0.36249999999999988,
+     210, 0, 412, 0, 0, 0, 109070.7359605668,
+     210},
+    {"rwp", "direct_delivery", 20, 6,
+     1, true, 210835.44519197312, 94856.555774777502, 0.074984668484314246, 0.083333333333333301,
+     20, 0, 769, 0, 0, 0, 210835.44519197312,
+     20},
+};
+// clang-format on
+
+}  // namespace epi

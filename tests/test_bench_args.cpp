@@ -96,6 +96,18 @@ TEST(BenchArgsDeathTest, MissingValueRejected) {
               "missing value for --reps");
 }
 
+TEST(BenchArgsDeathTest, DuplicateFlagRejected) {
+  EXPECT_EXIT(parse({"--reps", "3", "--reps", "4"}),
+              ::testing::ExitedWithCode(2), "duplicate flag --reps");
+  EXPECT_EXIT(parse({"--seed=1", "--seed=2"}), ::testing::ExitedWithCode(2),
+              "duplicate flag --seed");
+  // Mixed spellings of the same flag are still the same flag.
+  EXPECT_EXIT(parse({"--threads", "2", "--threads=4"}),
+              ::testing::ExitedWithCode(2), "duplicate flag --threads");
+  EXPECT_EXIT(parse({"--csv", "--csv"}), ::testing::ExitedWithCode(2),
+              "duplicate flag --csv");
+}
+
 TEST(BenchArgsDeathTest, UnknownFlagRejected) {
   EXPECT_EXIT(parse({"--bogus"}), ::testing::ExitedWithCode(2),
               "unknown argument");
