@@ -8,6 +8,9 @@
 //   --trace-out=FILE    stream one JSONL record per engine event to FILE
 //   --perf              live progress line on stderr + perf totals at the end
 //   --chrome-trace=FILE write per-replication spans (chrome://tracing format)
+//   --stats-out=FILE    collect per-run streaming statistics (encounter,
+//                       occupancy, signaling profiles) and write the merged
+//                       JSON document to FILE; bypasses cache lookups
 //   --store DIR         persistent run store (default results/runstore):
 //                       cached runs are served without simulating, fresh
 //                       ones appended; Ctrl-C drains + saves, rerun resumes
@@ -20,8 +23,10 @@
 #include <algorithm>
 #include <charconv>
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <iostream>
+#include <stdexcept>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -29,6 +34,7 @@
 
 #include "exp/figures.hpp"
 #include "exp/report.hpp"
+#include "exp/stats_report.hpp"
 #include "exp/sweep.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/jsonl_sink.hpp"
@@ -44,6 +50,7 @@ struct Args {
   bool perf = false;
   std::string trace_out;   ///< empty = event tracing off
   std::string chrome_out;  ///< empty = chrome trace off
+  std::string stats_out;   ///< empty = stats collection off
   std::string store_dir = "results/runstore";  ///< empty = store off
   bool store_stats = false;
 };
@@ -118,6 +125,12 @@ inline Args parse_args(int argc, char** argv) {
       args.trace_out = next();
     } else if (arg == "--chrome-trace") {
       args.chrome_out = next();
+    } else if (arg == "--stats-out") {
+      args.stats_out = next();
+      if (args.stats_out.empty()) {
+        std::cerr << "--stats-out needs a file name\n";
+        std::exit(2);
+      }
     } else if (arg == "--store") {
       args.store_dir = next();
       if (args.store_dir.empty()) {
@@ -134,7 +147,8 @@ inline Args parse_args(int argc, char** argv) {
       std::cout << "usage: " << argv[0]
                 << " [--reps N] [--seed S] [--threads T] [--csv] [--perf]"
                    " [--trace-out=FILE] [--chrome-trace=FILE]"
-                   " [--store=DIR] [--no-store] [--store-stats]\n";
+                   " [--stats-out=FILE] [--store=DIR] [--no-store]"
+                   " [--store-stats]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
@@ -153,6 +167,7 @@ struct Observability {
   std::unique_ptr<store::RunStore> store;
   std::unique_ptr<store::SigintDrain> sigint;
   bool store_stats = false;
+  std::string stats_out;  ///< where figure_main writes the stats document
 
   /// Instantiates the sinks the flags ask for and points `args.options` at
   /// them. Throws std::runtime_error when an output file cannot be opened.
@@ -170,6 +185,10 @@ struct Observability {
     }
     args.options.progress = args.perf;
     store_stats = args.store_stats;
+    if (!args.stats_out.empty()) {
+      args.options.collect_stats = true;
+      stats_out = args.stats_out;
+    }
     if (!args.store_dir.empty()) {
       try {
         store = std::make_unique<store::RunStore>(args.store_dir);
@@ -193,6 +212,11 @@ struct Observability {
       out << "event trace: " << sink->records() << " JSONL records";
       if (sink->truncated() > 0) {
         out << " (" << sink->truncated() << " oversized record(s) dropped)";
+        // A dropped record means the trace is incomplete — shout where
+        // scripts piping stdout will still see it.
+        std::cerr << "warning: event trace dropped " << sink->truncated()
+                  << " oversized record(s) (over JsonlSink::kMaxRecordBytes); "
+                     "the JSONL output is incomplete\n";
       }
       out << "\n";
     }
@@ -260,6 +284,15 @@ inline int figure_main(int argc, char** argv,
       exp::print_figure_csv(std::cout, figure);
     }
     if (args.perf) print_perf(std::cout, figure);
+    if (!observability.stats_out.empty()) {
+      std::ofstream stats_file(observability.stats_out);
+      if (!stats_file) {
+        throw std::runtime_error("cannot open --stats-out file: " +
+                                 observability.stats_out);
+      }
+      exp::write_stats_json(stats_file, figure);
+      std::cout << "stats profile: " << observability.stats_out << "\n";
+    }
     observability.finish(std::cout);
     std::cout << "\npaper shape: " << paper_claim << "\n\n";
   } catch (const exp::SweepInterrupted&) {

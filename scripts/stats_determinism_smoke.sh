@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Stats-determinism smoke test: the streaming-stats profile is a pure
+# function of (spec, seed), so the same figure run twice — and run again
+# with a different worker-thread count — must produce byte-identical
+# StatsProfile JSON. This is the CI pin for the determinism contract
+# documented in src/obs/stats.hpp.
+#
+# Usage: stats_determinism_smoke.sh BENCH_FIGURE_BINARY [WORK_DIR]
+set -euo pipefail
+
+bench_figure=$(readlink -f "$1")
+work=${2:-$(mktemp -d)}
+cd "$work"
+
+echo "== run 1 (2 worker threads) =="
+"$bench_figure" --fig stats_trace --reps 2 --threads 2 --no-store \
+    --stats-out run1.json >/dev/null
+echo "== run 2 (2 worker threads, same spec and seed) =="
+"$bench_figure" --fig stats_trace --reps 2 --threads 2 --no-store \
+    --stats-out run2.json >/dev/null
+echo "== run 3 (serial, same spec and seed) =="
+"$bench_figure" --fig stats_trace --reps 2 --threads 1 --no-store \
+    --stats-out run3.json >/dev/null
+
+test -s run1.json
+grep -q '"events":' run1.json  # profiles actually observed the runs
+
+echo "== comparing profiles byte-for-byte =="
+cmp run1.json run2.json
+cmp run1.json run3.json
+
+echo "stats determinism smoke: OK ($(wc -c <run1.json) bytes, identical across reruns and thread counts)"

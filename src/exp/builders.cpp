@@ -81,6 +81,11 @@ RunSpecBuilder& RunSpecBuilder::trace_sink(obs::TraceSink* sink) {
   return *this;
 }
 
+RunSpecBuilder& RunSpecBuilder::collect_stats(bool enabled) {
+  spec_.collect_stats = enabled;
+  return *this;
+}
+
 RunSpec RunSpecBuilder::build() const {
   if (!(spec_.horizon > 0.0)) {
     reject("RunSpec.horizon", "positive (a zero horizon runs nothing)",

@@ -47,6 +47,7 @@ class RunSpecBuilder {
   RunSpecBuilder& flows(std::vector<FlowSpec> pinned);
   RunSpecBuilder& fault(const fault::FaultPlan& plan);
   RunSpecBuilder& trace_sink(obs::TraceSink* sink);
+  RunSpecBuilder& collect_stats(bool enabled);
 
   /// Validates and returns the spec. Throws ConfigError naming the
   /// offending field and value on any violation.

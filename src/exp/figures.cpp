@@ -67,7 +67,8 @@ ProtocolParams cumulative_immunity_params() {
 
 Figure run_figure(std::string id, std::string title, Metric metric,
                   std::vector<SeriesDef> series,
-                  const FigureOptions& options) {
+                  const FigureOptions& options,
+                  std::vector<std::uint32_t> loads) {
   Figure figure;
   figure.id = std::move(id);
   figure.title = std::move(title);
@@ -83,23 +84,26 @@ Figure run_figure(std::string id, std::string title, Metric metric,
     }
   }
 
+  const std::size_t load_points =
+      loads.empty() ? paper_loads().size() : loads.size();
   std::unique_ptr<obs::ProgressReporter> progress;
   if (options.progress) {
     progress = std::make_unique<obs::ProgressReporter>(
-        figure.id,
-        series.size() * paper_loads().size() * options.replications);
+        figure.id, series.size() * load_points * options.replications);
   }
 
   for (auto& def : series) {
     SweepSpec spec;
     spec.scenario = def.scenario;
     spec.protocol = def.protocol;
+    spec.loads = loads;
     spec.replications = options.replications;
     spec.master_seed = options.master_seed;
     spec.threads = options.threads;
     spec.trace_sink = options.trace_sink;
     spec.chrome = options.chrome;
     spec.progress = progress.get();
+    spec.collect_stats = options.collect_stats;
     spec.store = options.store;
 
     figure.labels.push_back(def.label);
@@ -275,6 +279,27 @@ Figure run_overhead(const FigureOptions& o, bool rwp) {
       o);
 }
 
+Figure run_stats(const FigureOptions& o, bool rwp) {
+  const ScenarioSpec scenario = rwp ? rwp_scenario() : trace_scenario();
+  // Force profile collection: the figure exists to produce StatsProfiles,
+  // and a forced flag keeps cached summaries (which carry none) out.
+  FigureOptions opts = o;
+  opts.collect_stats = true;
+  return run_figure(
+      std::string("stats_") + scenario.name,
+      "Encounter/occupancy/signaling statistics panels (" + scenario.name +
+          ")",
+      Metric::kBufferOccupancy,
+      {{"P-Q epidemic", scenario, pq_params(1.0, 1.0)},
+       {"TTL=300", scenario, fixed_ttl_params()},
+       {"dynamic TTL", scenario, dynamic_ttl_params()},
+       {"EC", scenario, ec_params()},
+       {"EC+TTL", scenario, ec_ttl_params()},
+       {"Immunity", scenario, immunity_params()},
+       {"CumImmunity", scenario, cumulative_immunity_params()}},
+      opts, {10, 25, 40});
+}
+
 // --- robustness sweeps ----------------------------------------------------------
 
 namespace {
@@ -356,6 +381,7 @@ Figure run_robustness(const FigureOptions& o, Metric metric, bool rwp) {
       spec.trace_sink = o.trace_sink;
       spec.chrome = o.chrome;
       spec.progress = progress.get();
+      spec.collect_stats = o.collect_stats;
       spec.store = o.store;
       SweepResult point = run_sweep_on(spec, trace);
       series.loads.push_back(percent);
@@ -467,6 +493,14 @@ constexpr FigureSpec kRegistry[] = {
        return robust(o, Metric::kDuplicationRate, true);
      },
      false},
+    {"stats_trace",
+     "encounter/occupancy/signaling profiles for every protocol family at "
+     "loads 10/25/40 (trace file); capture with --stats-out",
+     [](const FigureOptions& o) { return run_stats(o, false); }, false},
+    {"stats_rwp",
+     "encounter/occupancy/signaling profiles for every protocol family at "
+     "loads 10/25/40 (RWP); capture with --stats-out",
+     [](const FigureOptions& o) { return run_stats(o, true); }, false},
 };
 
 }  // namespace

@@ -28,6 +28,8 @@ struct FigureOptions {
   obs::TraceSink* trace_sink = nullptr;      ///< event-level JSONL/etc. sink
   obs::ChromeTraceWriter* chrome = nullptr;  ///< per-replication spans
   bool progress = false;  ///< live `[figXX] n/m runs ...` line on stderr
+  bool collect_stats = false;  ///< attach a StatsProfile to every run
+                               ///< (see SweepSpec::collect_stats)
 
   /// Persistent run cache (non-owning, optional); see SweepSpec::store.
   store::RunStore* store = nullptr;
@@ -53,10 +55,12 @@ struct SeriesDef {
 };
 
 /// Runs all series (mobility traces are built once per distinct scenario)
-/// and assembles the Figure.
+/// and assembles the Figure. `loads` overrides the sweep's load axis; empty
+/// (the default) means the paper's {5, 10, ..., 50}.
 [[nodiscard]] Figure run_figure(std::string id, std::string title,
                                 Metric metric, std::vector<SeriesDef> series,
-                                const FigureOptions& options);
+                                const FigureOptions& options,
+                                std::vector<std::uint32_t> loads = {});
 
 // --- the paper's figures -------------------------------------------------------
 
@@ -81,6 +85,13 @@ struct SeriesDef {
 // Abstract claim: cumulative immunity needs an order of magnitude fewer
 // signaling messages than per-bundle immunity.
 [[nodiscard]] Figure run_overhead(const FigureOptions& o, bool rwp);
+
+/// Streaming-statistics observatory panels: every protocol family on one
+/// scenario at loads {10, 25, 40}, run with stats collection forced on so
+/// each RunSummary carries its encounter/occupancy/signaling StatsProfile.
+/// The printed table shows mean buffer occupancy; the panels themselves are
+/// the profile JSON captured with `--stats-out=FILE`.
+[[nodiscard]] Figure run_stats(const FigureOptions& o, bool rwp);
 
 // --- robustness sweeps ----------------------------------------------------------
 

@@ -5,6 +5,7 @@
 
 #include "core/rng.hpp"
 #include "exp/scenario.hpp"
+#include "obs/stats.hpp"
 #include "routing/engine.hpp"
 #include "routing/factory.hpp"
 #include "store/fingerprint.hpp"
@@ -50,7 +51,21 @@ metrics::RunSummary run_single(const RunSpec& spec,
                                      .next();
   routing::Engine engine(config, trace, routing::make_protocol(spec.protocol),
                          run_seed);
-  engine.set_trace_sink(spec.trace_sink, spec.replication);
+  // Stats collection interposes a per-run collector between the engine and
+  // the (optional, possibly shared) trace sink; the engine still sees one
+  // TraceSink*, so its hook points are unchanged either way.
+  std::unique_ptr<obs::StatsCollector> stats;
+  if (spec.collect_stats) {
+    obs::StatsCollector::Config stats_config;
+    stats_config.node_count = config.node_count;
+    stats_config.buffer_capacity = config.buffer_capacity;
+    stats_config.slot_seconds = config.slot_seconds;
+    stats = std::make_unique<obs::StatsCollector>(stats_config,
+                                                  spec.trace_sink);
+    engine.set_trace_sink(stats.get(), spec.replication);
+  } else {
+    engine.set_trace_sink(spec.trace_sink, spec.replication);
+  }
   if (spec.fault.any()) {
     spec.fault.validate();
     // Fault streams derive from the run coordinates (not run_seed) so they
@@ -59,7 +74,13 @@ metrics::RunSummary run_single(const RunSpec& spec,
     engine.set_fault_injector(std::make_unique<fault::Injector>(
         spec.fault, spec.master_seed, spec.load, spec.replication));
   }
-  return engine.run();
+  metrics::RunSummary summary = engine.run();
+  if (stats != nullptr) {
+    stats->finish(summary.end_time);
+    summary.stats = std::make_shared<const obs::StatsProfile>(
+        stats->take_profile());
+  }
+  return summary;
 }
 
 namespace {

@@ -45,6 +45,15 @@ struct RunSpec {
   /// Optional event-level trace sink (non-owning; nullptr = tracing off).
   /// Records are stamped with this spec's replication index.
   obs::TraceSink* trace_sink = nullptr;
+
+  /// When true, a per-run obs::StatsCollector observes the engine's event
+  /// stream and the resulting StatsProfile is attached to the returned
+  /// RunSummary (summary.stats). The collector chains to `trace_sink`, so
+  /// event tracing and stats collection compose. Off (the default) costs
+  /// nothing: the engine keeps its branch-on-nullptr discipline and results
+  /// are bit-identical. Deliberately NOT part of the run-store key: the
+  /// profile is derived observation, not a simulation input.
+  bool collect_stats = false;
 };
 
 /// Derives the flow endpoints of a replication (deterministic, protocol

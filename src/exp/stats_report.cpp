@@ -1,0 +1,97 @@
+#include "exp/stats_report.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "exp/report.hpp"
+#include "obs/stats.hpp"
+
+namespace epi::exp {
+namespace {
+
+/// max_digits10 round-trip formatting, byte-identical to the run store and
+/// obs::StatsProfile::write_json.
+void jnum(std::ostream& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out << buf;
+}
+
+void json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void write_stats_json(std::ostream& out, const Figure& figure) {
+  out << "{\"id\":";
+  json_string(out, figure.id);
+  out << ",\"series\":[";
+  for (std::size_t s = 0; s < figure.results.size(); ++s) {
+    const SweepResult& result = figure.results[s];
+    out << (s > 0 ? "," : "") << "\n{\"label\":";
+    json_string(out, figure.labels.at(s));
+    out << ",\"protocol\":";
+    json_string(out, to_string(result.protocol.kind));
+    out << ",\"scenario\":";
+    json_string(out, result.scenario_name);
+    out << ",\"points\":[";
+    for (std::size_t li = 0; li < result.runs.size(); ++li) {
+      out << (li > 0 ? "," : "") << "\n{\"load\":" << result.loads.at(li);
+      // Merge the replications' profiles; collect the unmergeable P^2
+      // quantile scalars per replication as they fly by.
+      const obs::StatsProfile* first = nullptr;
+      obs::StatsProfile merged;
+      std::size_t profiled = 0;
+      std::vector<double> p50, p90, p99, dur50;
+      for (const auto& run : result.runs[li]) {
+        if (run.stats == nullptr) continue;
+        const obs::StatsProfile& profile = *run.stats;
+        if (first == nullptr) {
+          first = &profile;
+          merged = profile;
+        } else {
+          merged.merge(profile);
+        }
+        ++profiled;
+        p50.push_back(profile.intercontact_p50);
+        p90.push_back(profile.intercontact_p90);
+        p99.push_back(profile.intercontact_p99);
+        dur50.push_back(profile.contact_duration_p50);
+      }
+      if (profiled == 0) {
+        out << "}";
+        continue;
+      }
+      out << ",\"profile\":";
+      merged.write_json(out);
+      const auto quantile_array = [&](const char* name,
+                                      const std::vector<double>& values,
+                                      bool first_member) {
+        out << (first_member ? "" : ",") << '"' << name << "\":[";
+        for (std::size_t i = 0; i < values.size(); ++i) {
+          if (i > 0) out << ',';
+          jnum(out, values[i]);
+        }
+        out << ']';
+      };
+      out << ",\"per_rep\":{";
+      quantile_array("intercontact_p50", p50, true);
+      quantile_array("intercontact_p90", p90, false);
+      quantile_array("intercontact_p99", p99, false);
+      quantile_array("contact_duration_p50", dur50, false);
+      out << "}}";
+    }
+    out << "]}";
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace epi::exp

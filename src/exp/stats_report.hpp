@@ -1,0 +1,26 @@
+// Stats report: JSON serialization of the StatsProfiles a stats-enabled
+// figure attaches to its runs (`--stats-out=FILE` on any bench binary).
+//
+// Shape: one object per series, one entry per load point. Each entry holds
+// the profile merged across replications (histograms, counters and
+// occupancy integrals are additive) plus per-replication quantile arrays —
+// P^2 estimators cannot merge, so the per-rep scalars are reported raw and
+// the merged profile's own quantile block is omitted (runs > 1).
+//
+// Determinism: numbers print with max_digits10 (%.17g) like the run store,
+// so two identical-seed captures are byte-identical files.
+#pragma once
+
+#include <iosfwd>
+
+namespace epi::exp {
+
+struct Figure;
+
+/// Writes the stats-profile document for `figure`. Runs whose summaries
+/// carry no profile (stats collection was off, or a cached summary slipped
+/// in) are skipped; a series with no profiled runs at a load point emits an
+/// empty entry so the load axis stays aligned.
+void write_stats_json(std::ostream& out, const Figure& figure);
+
+}  // namespace epi::exp

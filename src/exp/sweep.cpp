@@ -30,10 +30,13 @@ SweepResult run_sweep_on(const SweepSpec& spec,
   const std::size_t total = result.loads.size() * spec.replications;
 
   // Phase 1 (serial): build every RunSpec and resolve the cache, so the
-  // thread pool only ever sees genuinely missing runs. Event tracing
-  // bypasses lookups — a served summary would silently drop its events —
-  // but completed runs are still appended for later cache-only reruns.
-  const bool consult_cache = spec.store != nullptr && spec.trace_sink == nullptr;
+  // thread pool only ever sees genuinely missing runs. Event tracing and
+  // stats collection bypass lookups — a served summary would silently drop
+  // its events and carries no StatsProfile — but completed runs are still
+  // appended for later cache-only reruns.
+  const bool consult_cache = spec.store != nullptr &&
+                             spec.trace_sink == nullptr &&
+                             !spec.collect_stats;
   // One validated template for the whole sweep; per-job copies only vary the
   // (load, replication) coordinates, so validation cost is paid once. The
   // scenario() adoption charges the scenario's horizon — the paper declares
@@ -46,6 +49,7 @@ SweepResult run_sweep_on(const SweepSpec& spec,
                            .buffer_capacity(spec.buffer_capacity)
                            .fault(spec.fault)
                            .trace_sink(spec.trace_sink)
+                           .collect_stats(spec.collect_stats)
                            .build();
   std::vector<RunSpec> runs(total);
   std::vector<std::string> keys(spec.store != nullptr ? total : 0);

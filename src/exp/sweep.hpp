@@ -53,12 +53,18 @@ struct SweepSpec {
   obs::ProgressReporter* progress = nullptr;   ///< ticked per replication
   obs::ChromeTraceWriter* chrome = nullptr;    ///< one span per replication
 
+  /// Attach a per-run StatsProfile to every RunSummary (see
+  /// RunSpec::collect_stats). Like `trace_sink`, enabling this bypasses
+  /// cache lookups: a cached summary carries no profile.
+  bool collect_stats = false;
+
   /// Persistent result cache (non-owning, optional). When set, cached runs
   /// are served without simulation and fresh runs are appended as they
   /// complete. Cached and fresh summaries are bit-identical, so mixing them
-  /// is invisible in every figure. Exception: while `trace_sink` is set the
-  /// cache is not consulted (event traces require the events to happen),
-  /// though fresh results are still appended.
+  /// is invisible in every figure. Exception: while `trace_sink` is set or
+  /// `collect_stats` is on the cache is not consulted (event traces and
+  /// stats profiles require the events to happen), though fresh results are
+  /// still appended.
   store::RunStore* store = nullptr;
 };
 

@@ -3,11 +3,16 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/types.hpp"
 #include "obs/perf_counters.hpp"
+
+namespace epi::obs {
+struct StatsProfile;
+}
 
 namespace epi::metrics {
 
@@ -43,6 +48,13 @@ struct RunSummary {
   /// Run instrumentation (wall clock, event counts, queue depth). The
   /// event-count fields are deterministic; wall_seconds is not.
   obs::PerfCounters perf;
+
+  /// Streaming-statistics payload (see obs/stats.hpp); null unless the run
+  /// was executed with stats collection enabled. Deliberately excluded from
+  /// deterministic_equal and the run-store record encoding — like
+  /// perf.wall_seconds, it is an observation *about* the run, not a
+  /// simulation outcome, and cached summaries never carry one.
+  std::shared_ptr<const obs::StatsProfile> stats;
 };
 
 /// Builds a RunSummary from a finalized Recorder.

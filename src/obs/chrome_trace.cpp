@@ -1,11 +1,40 @@
 #include "obs/chrome_trace.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <ostream>
 #include <stdexcept>
 
 namespace epi::obs {
+
+namespace {
+
+/// JSON string escaping for span names: quotes, backslashes and control
+/// characters must never break the document (names embed protocol labels
+/// and user-provided scenario names).
+void write_escaped(std::ostream& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+}  // namespace
 
 ChromeTraceWriter::ChromeTraceWriter()
     : origin_(std::chrono::steady_clock::now()) {}
@@ -35,8 +64,9 @@ void ChromeTraceWriter::write(std::ostream& out) const {
   for (const auto& span : spans_) {
     if (!first) out << ",";
     first = false;
-    out << "\n{\"name\":\"" << span.name
-        << "\",\"cat\":\"run\",\"ph\":\"X\",\"pid\":1,\"tid\":" << span.tid
+    out << "\n{\"name\":\"";
+    write_escaped(out, span.name);
+    out << "\",\"cat\":\"run\",\"ph\":\"X\",\"pid\":1,\"tid\":" << span.tid
         << ",\"ts\":" << span.ts_us << ",\"dur\":" << span.dur_us << "}";
   }
   out << "\n]}\n";

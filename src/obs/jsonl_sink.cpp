@@ -17,6 +17,7 @@ std::string_view to_string(EventKind kind) noexcept {
     case EventKind::kDelivered: return "delivered";
     case EventKind::kControl: return "control";
     case EventKind::kFault: return "fault";
+    case EventKind::kSummaryVector: return "summary_vector";
   }
   return "unknown";
 }
@@ -48,30 +49,33 @@ JsonlSink::JsonlSink(const std::string& path)
   if (!file_) throw std::runtime_error("cannot open trace output: " + path);
 }
 
-void JsonlSink::emit(const TraceEvent& event) {
-  // One snprintf per record keeps emit() allocation-free and locale-proof;
-  // the longest record (every optional field present) fits comfortably.
-  char line[256];
-  bool truncated = false;
-  int n = std::snprintf(line, sizeof(line),
-                        R"({"t":%.10g,"ev":"%.*s","protocol":"%.*s",)"
-                        R"("load":%u,"rep":%u)",
-                        event.t,
-                        static_cast<int>(to_string(event.kind).size()),
-                        to_string(event.kind).data(),
-                        static_cast<int>(event.protocol.size()),
-                        event.protocol.data(), event.load, event.replication);
-  if (n < 0 || static_cast<std::size_t>(n) >= sizeof(line)) truncated = true;
+namespace {
+
+/// Formats `event` into [out, out + cap). Returns the exact record length
+/// (excluding the terminator) even when it exceeds `cap` — snprintf reports
+/// the would-be length on truncation — or SIZE_MAX on an encoding error, so
+/// the caller can retry into a buffer of the right size.
+std::size_t format_event(const TraceEvent& event, char* out,
+                         std::size_t cap) {
+  constexpr std::size_t kError = static_cast<std::size_t>(-1);
+  std::size_t n = 0;
+  bool failed = false;
   const auto append = [&](const char* fmt, auto... args) {
-    if (truncated) return;
-    const std::size_t room = sizeof(line) - static_cast<std::size_t>(n);
-    const int m = std::snprintf(line + n, room, fmt, args...);
-    if (m < 0 || static_cast<std::size_t>(m) >= room) {
-      truncated = true;
+    if (failed) return;
+    char* dst = n < cap ? out + n : nullptr;
+    const std::size_t room = n < cap ? cap - n : 0;
+    const int m = std::snprintf(dst, room, fmt, args...);
+    if (m < 0) {
+      failed = true;
       return;
     }
-    n += m;
+    n += static_cast<std::size_t>(m);
   };
+  append(R"({"t":%.10g,"ev":"%.*s","protocol":"%.*s","load":%u,"rep":%u)",
+         event.t, static_cast<int>(to_string(event.kind).size()),
+         to_string(event.kind).data(),
+         static_cast<int>(event.protocol.size()), event.protocol.data(),
+         event.load, event.replication);
   if (event.a != kInvalidNode) append(R"(,"a":%u)", event.a);
   if (event.b != kInvalidNode) append(R"(,"b":%u)", event.b);
   if (event.bundle != kInvalidBundle) append(R"(,"bundle":%u)", event.bundle);
@@ -83,21 +87,45 @@ void JsonlSink::emit(const TraceEvent& event) {
     const std::string_view what = to_string(event.fault);
     append(R"(,"fault":"%.*s")", static_cast<int>(what.size()), what.data());
   }
-  if (event.kind == EventKind::kControl) {
-    append(R"(,"count":%llu)",
-           static_cast<unsigned long long>(event.count));
+  if (event.kind == EventKind::kControl ||
+      event.kind == EventKind::kSummaryVector) {
+    append(R"(,"count":%llu)", static_cast<unsigned long long>(event.count));
   }
   append("}\n");
+  return failed ? kError : n;
+}
 
-  if (truncated || n <= 0) {
-    // A partial line is worse than a missing one: drop and count it.
+}  // namespace
+
+void JsonlSink::emit(const TraceEvent& event) {
+  // Fast path: one snprintf pass into a stack buffer that fits every record
+  // the engine emits (allocation-free, locale-proof). A record that does not
+  // fit — an unusually long protocol name — is reformatted once into an
+  // exactly-sized heap buffer instead of being dropped; only records beyond
+  // the hard sanity cap (almost certainly corrupt input) are dropped and
+  // counted, because a partial JSON line would poison downstream parsers.
+  char line[256];
+  const std::size_t n = format_event(event, line, sizeof(line));
+  if (n == static_cast<std::size_t>(-1) || n == 0 || n >= kMaxRecordBytes) {
     std::lock_guard lock(mutex_);
     ++truncated_;
     return;
   }
-
+  if (n < sizeof(line)) {
+    std::lock_guard lock(mutex_);
+    out_->write(line, static_cast<std::streamsize>(n));
+    ++records_;
+    return;
+  }
+  std::string grown(n, '\0');
+  const std::size_t m = format_event(event, grown.data(), n + 1);
+  if (m != n) {  // the event mutated mid-format; never expected
+    std::lock_guard lock(mutex_);
+    ++truncated_;
+    return;
+  }
   std::lock_guard lock(mutex_);
-  out_->write(line, n);
+  out_->write(grown.data(), static_cast<std::streamsize>(n));
   ++records_;
 }
 

@@ -33,9 +33,16 @@ class JsonlSink final : public TraceSink {
   /// Number of records written so far.
   [[nodiscard]] std::uint64_t records() const noexcept { return records_; }
 
-  /// Number of records dropped because they exceeded the line buffer. A
-  /// truncated JSON line would poison downstream parsers, so oversized
-  /// records are counted here instead of written.
+  /// Records beyond this length are dropped (and counted in truncated())
+  /// rather than written: the engine's longest legitimate record is a few
+  /// hundred bytes, so anything near this cap is corrupt input, and a
+  /// partial JSON line would poison downstream parsers. Records between the
+  /// stack fast-path buffer and this cap are grown dynamically, not dropped.
+  static constexpr std::size_t kMaxRecordBytes = 64 * 1024;
+
+  /// Number of records dropped because they exceeded kMaxRecordBytes (or
+  /// failed to format). Surface a non-zero count to the user: the trace is
+  /// incomplete.
   [[nodiscard]] std::uint64_t truncated() const noexcept { return truncated_; }
 
  private:

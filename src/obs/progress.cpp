@@ -80,6 +80,17 @@ std::uint64_t ProgressReporter::total_events() const {
   return events_;
 }
 
+double ProgressReporter::eta_seconds() const {
+  std::lock_guard lock(mutex_);
+  const std::size_t simulated = completed_ - cached_;
+  if (simulated == 0) return 0.0;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  return elapsed / static_cast<double>(simulated) *
+         static_cast<double>(total_ - completed_);
+}
+
 void ProgressReporter::print_line(bool final) {
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
@@ -92,10 +103,14 @@ void ProgressReporter::print_line(bool final) {
   }
   char line[192];
   if (final) {
-    std::snprintf(line, sizeof(line),
-                  "\r[%s] %zu/%zu runs%s, %s ev/s, %.1fs total          \n",
-                  label_.c_str(), completed_, total_, cached_note,
-                  humanize_rate(rate).c_str(), elapsed);
+    // The final line splits cached replays from actually-simulated runs, so
+    // a resumed sweep's summary says how much work really happened.
+    std::snprintf(
+        line, sizeof(line),
+        "\r[%s] %zu/%zu runs (%zu cached, %zu simulated), %s ev/s, "
+        "%.1fs total          \n",
+        label_.c_str(), completed_, total_, cached_, completed_ - cached_,
+        humanize_rate(rate).c_str(), elapsed);
   } else {
     // Pace from simulated runs only: cached replays are near-instant and
     // would otherwise make the ETA collapse toward zero on resume.

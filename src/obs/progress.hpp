@@ -47,6 +47,13 @@ class ProgressReporter {
   [[nodiscard]] std::size_t cached() const;
   [[nodiscard]] std::uint64_t total_events() const;
 
+  /// The transient line's ETA in seconds: elapsed wall time divided by
+  /// *simulated* (non-cached) completions, times the remaining run count.
+  /// 0 before the first simulated tick — cached replays are near-instant
+  /// and must not make a mostly-cached resume predict zero time for the
+  /// simulations still ahead.
+  [[nodiscard]] double eta_seconds() const;
+
  private:
   void print_line(bool final);  // callers hold mutex_
 

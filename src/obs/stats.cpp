@@ -1,0 +1,523 @@
+#include "obs/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace epi::obs {
+
+namespace {
+
+/// %.17g rendering, matching the run store's max_digits10 discipline so the
+/// JSON round-trips every double bit-exactly and deterministically.
+void jnum(std::ostream& out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out << buf;
+}
+
+}  // namespace
+
+// --- LogHistogram -------------------------------------------------------------
+
+LogHistogram::LogHistogram() : LogHistogram(Layout{}) {}
+
+LogHistogram::LogHistogram(Layout layout) : layout_(layout) {
+  assert(layout_.min_value > 0.0 && layout_.max_value > layout_.min_value &&
+         layout_.bins_per_decade > 0 && "invalid histogram layout");
+  const double decades =
+      std::log10(layout_.max_value / layout_.min_value);
+  const auto interior = static_cast<std::size_t>(
+      std::ceil(decades * layout_.bins_per_decade));
+  counts_.assign(interior + 2, 0);  // + underflow + overflow
+  edges_.resize(interior);
+  for (std::size_t i = 0; i < interior; ++i) {
+    edges_[i] =
+        layout_.min_value *
+        std::pow(10.0, static_cast<double>(i) /
+                           static_cast<double>(layout_.bins_per_decade));
+  }
+  // Per-binary-exponent starting points for add()'s forward scan: for each
+  // exponent spanned by [min_value, max_value], the index of the last edge
+  // at or below 2^(e-1023). An octave spans at most ceil(log10(2) *
+  // bins_per_decade) + 1 edges, which bounds the scan.
+  const int e_min = static_cast<int>(
+      std::bit_cast<std::uint64_t>(layout_.min_value) >> 52);
+  const int e_max = static_cast<int>(
+      std::bit_cast<std::uint64_t>(layout_.max_value) >> 52);
+  octave_bias_ = e_min;
+  octave_first_.assign(static_cast<std::size_t>(e_max - e_min) + 1, 0);
+  for (int e = e_min; e <= e_max; ++e) {
+    const double base =
+        std::bit_cast<double>(static_cast<std::uint64_t>(e) << 52);
+    const auto it = std::upper_bound(edges_.begin(), edges_.end(), base);
+    octave_first_[static_cast<std::size_t>(e - e_min)] =
+        it == edges_.begin()
+            ? 0u
+            : static_cast<std::uint32_t>(it - edges_.begin() - 1);
+  }
+}
+
+void LogHistogram::add(double value) noexcept {
+  std::size_t bin;
+  if (!(value >= layout_.min_value)) {  // also catches NaN
+    bin = 0;
+  } else if (value >= layout_.max_value) {
+    bin = counts_.size() - 1;
+  } else {
+    // edges_[octave_first_[...]] <= 2^exponent(value) <= value, so the short
+    // forward scan lands on the containing bin without any log10 call.
+    const int e = static_cast<int>(std::bit_cast<std::uint64_t>(value) >> 52);
+    std::size_t k = octave_first_[static_cast<std::size_t>(e - octave_bias_)];
+    while (k + 1 < edges_.size() && value >= edges_[k + 1]) ++k;
+    bin = k + 1;
+  }
+  ++counts_[bin];
+  ++total_;
+  sum_ += value;
+  if (total_ == 1) {
+    min_seen_ = value;
+    max_seen_ = value;
+  } else {
+    min_seen_ = std::min(min_seen_, value);
+    max_seen_ = std::max(max_seen_, value);
+  }
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  assert(layout_.min_value == other.layout_.min_value &&
+         layout_.max_value == other.layout_.max_value &&
+         layout_.bins_per_decade == other.layout_.bins_per_decade &&
+         "merging histograms of different layouts");
+  assert(counts_.size() == other.counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (other.total_ > 0) {
+    min_seen_ = total_ > 0 ? std::min(min_seen_, other.min_seen_)
+                           : other.min_seen_;
+    max_seen_ = total_ > 0 ? std::max(max_seen_, other.max_seen_)
+                           : other.max_seen_;
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+double LogHistogram::bin_lower(std::size_t bin) const noexcept {
+  if (bin == 0) return 0.0;
+  if (bin - 1 < edges_.size()) return edges_[bin - 1];
+  return layout_.max_value;  // overflow bin
+}
+
+void LogHistogram::write_json(std::ostream& out) const {
+  out << R"({"min_value":)";
+  jnum(out, layout_.min_value);
+  out << R"(,"max_value":)";
+  jnum(out, layout_.max_value);
+  out << R"(,"bins_per_decade":)" << layout_.bins_per_decade
+      << R"(,"total":)" << total_ << R"(,"sum":)";
+  jnum(out, sum_);
+  out << R"(,"min":)";
+  jnum(out, total_ > 0 ? min_seen_ : 0.0);
+  out << R"(,"max":)";
+  jnum(out, total_ > 0 ? max_seen_ : 0.0);
+  out << R"(,"bins":[)";
+  bool first = true;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (!first) out << ',';
+    first = false;
+    out << '[' << i << ',' << counts_[i] << ']';
+  }
+  out << "]}";
+}
+
+// --- P2Quantile ---------------------------------------------------------------
+
+P2Quantile::P2Quantile(double p) : p_(p) {
+  assert(p > 0.0 && p < 1.0 && "quantile must be in (0, 1)");
+  dn_ = {0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0};
+}
+
+void P2Quantile::add(double x) noexcept {
+  if (count_ < 5) {
+    q_[count_++] = x;
+    if (count_ == 5) {
+      std::sort(q_.begin(), q_.end());
+      for (std::size_t i = 0; i < 5; ++i) {
+        n_[i] = static_cast<double>(i + 1);
+      }
+      np_ = {1.0, 1.0 + 2.0 * p_, 1.0 + 4.0 * p_, 3.0 + 2.0 * p_, 5.0};
+    }
+    return;
+  }
+
+  // Locate the cell k containing x, extending the extremes when x falls
+  // outside the current marker span.
+  std::size_t k;
+  if (x < q_[0]) {
+    q_[0] = x;
+    k = 0;
+  } else if (x >= q_[4]) {
+    q_[4] = std::max(q_[4], x);
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= q_[k + 1]) ++k;
+  }
+
+  for (std::size_t i = k + 1; i < 5; ++i) n_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) np_[i] += dn_[i];
+  ++count_;
+
+  // Nudge the three interior markers toward their desired positions with a
+  // piecewise-parabolic (P2) height adjustment, falling back to linear when
+  // the parabola would cross a neighbour.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = np_[i] - n_[i];
+    if ((d >= 1.0 && n_[i + 1] - n_[i] > 1.0) ||
+        (d <= -1.0 && n_[i - 1] - n_[i] < -1.0)) {
+      const double sign = d >= 0.0 ? 1.0 : -1.0;
+      const double qp =
+          q_[i] + sign / (n_[i + 1] - n_[i - 1]) *
+                      ((n_[i] - n_[i - 1] + sign) * (q_[i + 1] - q_[i]) /
+                           (n_[i + 1] - n_[i]) +
+                       (n_[i + 1] - n_[i] - sign) * (q_[i] - q_[i - 1]) /
+                           (n_[i] - n_[i - 1]));
+      if (q_[i - 1] < qp && qp < q_[i + 1]) {
+        q_[i] = qp;
+      } else {  // linear fallback
+        const auto j = static_cast<std::size_t>(
+            static_cast<std::ptrdiff_t>(i) +
+            static_cast<std::ptrdiff_t>(sign));
+        q_[i] += sign * (q_[j] - q_[i]) / (n_[j] - n_[i]);
+      }
+      n_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::value() const noexcept {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Sorted-sample quantile by the nearest-rank rule over the partial set.
+    std::array<double, 5> sorted = q_;
+    std::sort(sorted.begin(), sorted.begin() +
+                                  static_cast<std::ptrdiff_t>(count_));
+    const double rank = p_ * static_cast<double>(count_);
+    auto index = static_cast<std::size_t>(std::ceil(rank));
+    index = std::clamp<std::size_t>(index, 1, count_);
+    return sorted[index - 1];
+  }
+  return q_[2];
+}
+
+// --- ReservoirSample ----------------------------------------------------------
+
+ReservoirSample::ReservoirSample(std::size_t capacity) : capacity_(capacity) {
+  assert(capacity > 0 && "reservoir capacity must be positive");
+  sample_.reserve(capacity_);
+  scratch_.reserve(capacity_);
+}
+
+void ReservoirSample::add(double x) noexcept {
+  ++count_;
+  if (sample_.size() < capacity_) {
+    sample_.push_back(x);  // within reserved capacity: no allocation
+    return;
+  }
+  // SplitMix64 step off a fixed seed: the replacement sequence — and hence
+  // the sample — is a pure function of the input order.
+  rng_ += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = rng_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  // Uniform slot in [0, count_) without a division: count_ stays far below
+  // 2^32, so a 32x32 fixed-point multiply suffices.
+  const std::uint64_t slot = ((z >> 32) * count_) >> 32;
+  if (slot < capacity_) sample_[static_cast<std::size_t>(slot)] = x;
+}
+
+double ReservoirSample::quantile(double p) const {
+  if (sample_.empty()) return 0.0;
+  scratch_ = sample_;  // capacity pre-reserved: no allocation
+  const double rank = p * static_cast<double>(scratch_.size());
+  auto index = static_cast<std::size_t>(std::ceil(rank));
+  index = std::clamp<std::size_t>(index, 1, scratch_.size());
+  const auto nth = scratch_.begin() + static_cast<std::ptrdiff_t>(index - 1);
+  std::nth_element(scratch_.begin(), nth, scratch_.end());
+  return *nth;
+}
+
+// --- StatsProfile -------------------------------------------------------------
+
+void StatsProfile::merge(const StatsProfile& other) {
+  assert(node_count == other.node_count &&
+         buffer_capacity == other.buffer_capacity &&
+         slot_seconds == other.slot_seconds &&
+         "merging profiles of different run shapes");
+  runs += other.runs;
+  events += other.events;
+  intercontact.merge(other.intercontact);
+  contact_duration.merge(other.contact_duration);
+  open_sessions += other.open_sessions;
+  for (std::size_t i = 0; i < node_contacts.size(); ++i) {
+    node_contacts[i] += other.node_contacts[i];
+  }
+  for (std::size_t i = 0; i < degree_hist.size(); ++i) {
+    degree_hist[i] += other.degree_hist[i];
+  }
+  for (std::size_t i = 0; i < occupancy_time.size(); ++i) {
+    occupancy_time[i] += other.occupancy_time[i];
+  }
+  slots_offered += other.slots_offered;
+  slots_used += other.slots_used;
+  for (std::size_t i = 0; i < utilization_hist.size(); ++i) {
+    utilization_hist[i] += other.utilization_hist[i];
+  }
+  control_exchanges += other.control_exchanges;
+  control_records += other.control_records;
+  sv_exchanges += other.sv_exchanges;
+  sv_entries += other.sv_entries;
+  // Quantiles do not merge; aggregate consumers report them per run.
+  intercontact_p50 = 0.0;
+  intercontact_p90 = 0.0;
+  intercontact_p99 = 0.0;
+  contact_duration_p50 = 0.0;
+}
+
+void StatsProfile::write_json(std::ostream& out) const {
+  out << R"({"node_count":)" << node_count << R"(,"buffer_capacity":)"
+      << buffer_capacity << R"(,"slot_seconds":)";
+  jnum(out, slot_seconds);
+  out << R"(,"runs":)" << runs << R"(,"events":)" << events;
+
+  out << R"(,"intercontact":)";
+  intercontact.write_json(out);
+  out << R"(,"contact_duration":)";
+  contact_duration.write_json(out);
+  out << R"(,"open_sessions":)" << open_sessions;
+
+  out << R"(,"node_contacts":[)";
+  for (std::size_t i = 0; i < node_contacts.size(); ++i) {
+    if (i != 0) out << ',';
+    out << node_contacts[i];
+  }
+  out << ']';
+
+  // Degrees serialize sparsely: most degree values are unpopulated.
+  out << R"(,"degree_hist":[)";
+  bool first = true;
+  for (std::size_t d = 0; d < degree_hist.size(); ++d) {
+    if (degree_hist[d] == 0) continue;
+    if (!first) out << ',';
+    first = false;
+    out << '[' << d << ',' << degree_hist[d] << ']';
+  }
+  out << ']';
+
+  out << R"(,"occupancy_time":[)";
+  for (std::size_t i = 0; i < occupancy_time.size(); ++i) {
+    if (i != 0) out << ',';
+    jnum(out, occupancy_time[i]);
+  }
+  out << ']';
+
+  out << R"(,"slots":{"offered":)" << slots_offered << R"(,"used":)"
+      << slots_used << R"(,"utilization_hist":[)";
+  for (std::size_t i = 0; i < utilization_hist.size(); ++i) {
+    if (i != 0) out << ',';
+    out << utilization_hist[i];
+  }
+  out << "]}";
+
+  out << R"(,"signaling":{"control_exchanges":)" << control_exchanges
+      << R"(,"control_records":)" << control_records
+      << R"(,"control_bytes":)" << control_bytes() << R"(,"sv_exchanges":)"
+      << sv_exchanges << R"(,"sv_entries":)" << sv_entries
+      << R"(,"sv_bytes":)" << sv_bytes() << '}';
+
+  if (runs == 1) {
+    out << R"(,"quantiles":{"intercontact_p50":)";
+    jnum(out, intercontact_p50);
+    out << R"(,"intercontact_p90":)";
+    jnum(out, intercontact_p90);
+    out << R"(,"intercontact_p99":)";
+    jnum(out, intercontact_p99);
+    out << R"(,"contact_duration_p50":)";
+    jnum(out, contact_duration_p50);
+    out << '}';
+  }
+  out << '}';
+}
+
+// --- StatsCollector -----------------------------------------------------------
+
+namespace {
+
+/// Normalized pair key of a contact: contacts arrive with a < b, but
+/// transfer events carry (sender, receiver) in either order.
+std::uint64_t pair_key(NodeId a, NodeId b) noexcept {
+  const NodeId lo = a < b ? a : b;
+  const NodeId hi = a < b ? b : a;
+  return (std::uint64_t{lo} << 32) | hi;
+}
+
+}  // namespace
+
+StatsCollector::StatsCollector(const Config& config, TraceSink* downstream)
+    : downstream_(downstream) {
+  profile_.node_count = config.node_count;
+  profile_.buffer_capacity = config.buffer_capacity;
+  profile_.slot_seconds = config.slot_seconds;
+  profile_.node_contacts.assign(config.node_count, 0);
+  profile_.degree_hist.assign(std::size_t{config.node_count}, 0);
+  profile_.occupancy_time.assign(std::size_t{config.buffer_capacity} + 1,
+                                 0.0);
+  last_contact_.assign(config.node_count, -1.0);
+  level_.assign(config.node_count, 0);
+  level_since_.assign(config.node_count, 0.0);
+  peer_words_ = (std::size_t{config.node_count} + 63) / 64;
+  peer_bits_.assign(peer_words_ * config.node_count, 0);
+  open_.reserve(16);
+}
+
+StatsCollector::OpenSession* StatsCollector::find_session(
+    std::uint64_t key) noexcept {
+  for (auto& session : open_) {
+    if (session.key == key) return &session;
+  }
+  return nullptr;
+}
+
+void StatsCollector::advance_occupancy(NodeId node, double t) noexcept {
+  const auto n = static_cast<std::size_t>(node);
+  const std::uint32_t level =
+      std::min(level_[n], profile_.buffer_capacity);
+  profile_.occupancy_time[level] += t - level_since_[n];
+  level_since_[n] = t;
+}
+
+void StatsCollector::emit(const TraceEvent& event) {
+  observe(event);
+  if (downstream_ != nullptr) downstream_->emit(event);
+}
+
+void StatsCollector::emit_batch(const TraceEvent* events, std::size_t n) {
+  // One tight loop over the block keeps the collector's state cache-hot for
+  // the whole batch instead of being evicted between events by simulation
+  // work. (Splitting the loop into per-subsystem passes was tried and is
+  // not faster: whether event i matches a pass is data-dependent, so the
+  // per-pass filter branch mispredicts just like the switch dispatch does.)
+  for (std::size_t i = 0; i < n; ++i) observe(events[i]);
+  if (downstream_ != nullptr) downstream_->emit_batch(events, n);
+}
+
+void StatsCollector::observe(const TraceEvent& event) noexcept {
+  ++profile_.events;
+  switch (event.kind) {
+    case EventKind::kContactUp: {
+      for (const NodeId node : {event.a, event.b}) {
+        const auto n = static_cast<std::size_t>(node);
+        if (last_contact_[n] >= 0.0) {
+          const double gap = event.t - last_contact_[n];
+          profile_.intercontact.add(gap);
+          gaps_.add(gap);
+        }
+        last_contact_[n] = event.t;
+        ++profile_.node_contacts[n];
+      }
+      peer_bits_[std::size_t{event.a} * peer_words_ + event.b / 64] |=
+          std::uint64_t{1} << (event.b % 64);
+      peer_bits_[std::size_t{event.b} * peer_words_ + event.a / 64] |=
+          std::uint64_t{1} << (event.a % 64);
+      const std::uint64_t key = pair_key(event.a, event.b);
+      if (OpenSession* stale = find_session(key)) {
+        // Same-pair contacts never overlap in a normalized trace; if one
+        // ever does, restart the session rather than corrupt its duration.
+        stale->start = event.t;
+        stale->transfers = 0;
+      } else {
+        open_.push_back(OpenSession{key, event.t, 0});
+      }
+      break;
+    }
+    case EventKind::kContactDown: {
+      const std::uint64_t key = pair_key(event.a, event.b);
+      if (OpenSession* session = find_session(key)) {
+        const double duration = event.t - session->start;
+        profile_.contact_duration.add(duration);
+        durations_.add(duration);
+        const auto slots = static_cast<std::uint64_t>(
+            duration / profile_.slot_seconds);
+        profile_.slots_offered += slots;
+        profile_.slots_used += session->transfers;
+        if (slots > 0) {
+          const std::uint64_t bin =
+              std::min<std::uint64_t>(session->transfers * 10 / slots, 10);
+          ++profile_.utilization_hist[static_cast<std::size_t>(bin)];
+        }
+        *session = open_.back();
+        open_.pop_back();
+      }
+      break;
+    }
+    case EventKind::kTransferred: {
+      if (OpenSession* session = find_session(pair_key(event.a, event.b))) {
+        ++session->transfers;
+      }
+      break;
+    }
+    case EventKind::kStored: {
+      advance_occupancy(event.a, event.t);
+      ++level_[event.a];
+      break;
+    }
+    case EventKind::kRemoved: {
+      advance_occupancy(event.a, event.t);
+      if (level_[event.a] > 0) --level_[event.a];
+      break;
+    }
+    case EventKind::kControl: {
+      ++profile_.control_exchanges;
+      profile_.control_records += event.count;
+      break;
+    }
+    case EventKind::kSummaryVector: {
+      ++profile_.sv_exchanges;
+      profile_.sv_entries += event.count;
+      break;
+    }
+    case EventKind::kCreated:
+    case EventKind::kDelivered:
+    case EventKind::kFault:
+      break;  // already covered by RunSummary scalars
+  }
+}
+
+void StatsCollector::finish(SimTime end_time) {
+  assert(!finished_ && "StatsCollector::finish() is single-shot");
+  finished_ = true;
+  for (NodeId n = 0; n < profile_.node_count; ++n) {
+    advance_occupancy(n, end_time);
+  }
+  profile_.open_sessions = open_.size();
+  for (std::size_t n = 0; n < profile_.node_count; ++n) {
+    std::uint64_t degree = 0;
+    for (std::size_t w = 0; w < peer_words_; ++w) {
+      degree += static_cast<std::uint64_t>(
+          std::popcount(peer_bits_[n * peer_words_ + w]));
+    }
+    ++profile_.degree_hist[static_cast<std::size_t>(degree)];
+  }
+  profile_.intercontact_p50 = gaps_.quantile(0.5);
+  profile_.intercontact_p90 = gaps_.quantile(0.9);
+  profile_.intercontact_p99 = gaps_.quantile(0.99);
+  profile_.contact_duration_p50 = durations_.quantile(0.5);
+}
+
+}  // namespace epi::obs

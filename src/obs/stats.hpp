@@ -1,0 +1,277 @@
+// Streaming statistics: the online measurement substrate behind --stats-out.
+//
+// Everything here is allocation-bounded in the spirit of the engine's scratch
+// leases: histograms and quantile estimators carry fixed state sized at
+// construction, and the per-run StatsCollector pre-sizes every per-node array
+// from the run's SimulationConfig, so the steady-state event path performs no
+// allocation (the open-session pool grows only to the high-water mark of
+// concurrent contacts, then is reused).
+//
+// Determinism contract: every accumulated field is a pure function of the
+// event sequence, which is itself deterministic per (spec, seed). Two
+// identical-seed runs therefore produce byte-identical StatsProfile JSON —
+// the property the CI stats-determinism smoke pins.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "core/types.hpp"
+#include "obs/trace_sink.hpp"
+
+namespace epi::obs {
+
+// --- signaling byte model -----------------------------------------------------
+//
+// The paper reports signaling cost in *records* (anti-packets, i-list
+// entries, cumulative-table rows); bytes follow from a fixed per-record
+// model: each control record and each summary-vector entry names one 32-bit
+// bundle (or horizon) id. The constants are the model, not a wire format —
+// change them and every byte figure rescales without touching counts.
+inline constexpr std::uint64_t kControlRecordBytes = 4;
+inline constexpr std::uint64_t kSummaryEntryBytes = 4;
+
+/// Log-binned streaming histogram for positive durations (inter-contact
+/// gaps, contact durations). Fixed bin layout chosen at construction: one
+/// underflow bin, `bins_per_decade` bins per decade of [min_value,
+/// max_value), one overflow bin. add() is O(1) and allocation-free — and
+/// cheap: bin edges are precomputed, and a per-binary-exponent table reduces
+/// binning to an exponent extraction plus at most ceil(log10(2) *
+/// bins_per_decade) + 1 comparisons, no transcendental call on the hot path.
+class LogHistogram {
+ public:
+  struct Layout {
+    double min_value = 1.0;
+    double max_value = 1e7;
+    std::uint32_t bins_per_decade = 8;
+  };
+
+  LogHistogram();  ///< default Layout
+  explicit LogHistogram(Layout layout);
+
+  /// Accumulates one observation. Values below min_value (or non-finite)
+  /// land in the underflow bin, values at or above max_value in the
+  /// overflow bin.
+  void add(double value) noexcept;
+
+  /// Adds another histogram of the identical layout (asserted).
+  void merge(const LogHistogram& other);
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double min_seen() const noexcept { return min_seen_; }
+  [[nodiscard]] double max_seen() const noexcept { return max_seen_; }
+  [[nodiscard]] std::size_t bin_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const {
+    return counts_.at(bin);
+  }
+  /// Inclusive lower edge of `bin` (0 for the underflow bin).
+  [[nodiscard]] double bin_lower(std::size_t bin) const noexcept;
+  [[nodiscard]] const Layout& layout() const noexcept { return layout_; }
+
+  /// Flat JSON object; non-empty bins serialized sparsely as [index, count]
+  /// pairs. Deterministic formatting (%.17g doubles).
+  void write_json(std::ostream& out) const;
+
+ private:
+  Layout layout_;
+  std::vector<double> edges_;  ///< interior lower edges; edges_[0] = min_value
+  /// For each biased binary exponent in [octave_bias_, octave_bias_ +
+  /// octave_first_.size()): index of the edge at or below 2^(e-1023), the
+  /// start point of add()'s short forward scan.
+  std::vector<std::uint32_t> octave_first_;
+  int octave_bias_ = 0;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+  double min_seen_ = 0.0;
+  double max_seen_ = 0.0;
+};
+
+/// P-square (Jain & Chlamtac 1985) single-quantile estimator: five markers,
+/// O(1) state and update, no allocation, no sample retention. Exact for the
+/// first five observations (it degrades to the sorted-sample quantile),
+/// approximate thereafter. Deterministic for a fixed input sequence.
+class P2Quantile {
+ public:
+  /// `p` in (0, 1): the quantile to track (0.5 = median).
+  explicit P2Quantile(double p);
+
+  void add(double x) noexcept;
+
+  /// Current estimate; 0 before the first observation.
+  [[nodiscard]] double value() const noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  double p_;
+  std::array<double, 5> q_{};   ///< marker heights
+  std::array<double, 5> n_{};   ///< marker positions
+  std::array<double, 5> np_{};  ///< desired positions
+  std::array<double, 5> dn_{};  ///< desired-position increments
+  std::uint64_t count_ = 0;
+};
+
+/// Fixed-capacity uniform sample (Algorithm R) with deterministic
+/// replacement: the "random" indices come from a fixed-seed SplitMix64
+/// stream, so the held sample — and every quantile read off it — is a pure
+/// function of the input sequence. Memory is bounded at construction and
+/// add() is a couple of integer ops once the reservoir is full.
+///
+/// This is the collector's estimator of choice where several quantiles are
+/// wanted from one distribution (one sample serves them all, and quantiles
+/// are exact until `capacity` observations); P2Quantile above is the O(1)-
+/// memory alternative when a single quantile must survive unbounded streams.
+class ReservoirSample {
+ public:
+  explicit ReservoirSample(std::size_t capacity);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  /// Observations currently held (== min(count, capacity)).
+  [[nodiscard]] std::size_t size() const noexcept { return sample_.size(); }
+
+  /// Nearest-rank quantile of the held sample — exact while count() <=
+  /// capacity, an unbiased estimate beyond; 0 when empty. O(size) via
+  /// nth_element on a pre-sized scratch buffer (no allocation).
+  [[nodiscard]] double quantile(double p) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<double> sample_;
+  mutable std::vector<double> scratch_;
+  std::uint64_t count_ = 0;
+  std::uint64_t rng_ = 0x9e3779b97f4a7c15ULL;  ///< fixed seed: determinism
+};
+
+/// The deterministic per-run statistics payload attached to a RunSummary
+/// when stats collection is enabled. Counters and histograms are additive,
+/// so profiles of replications on the same configuration can be merged; the
+/// sampled quantiles are per-run only (quantiles do not merge) and are
+/// dropped by merge() — aggregate serializers report them per replication.
+struct StatsProfile {
+  // run shape (merge requires these to match)
+  std::uint32_t node_count = 0;
+  std::uint32_t buffer_capacity = 0;
+  double slot_seconds = 0.0;
+  std::uint64_t runs = 1;    ///< replications merged into this profile
+  std::uint64_t events = 0;  ///< trace events observed, all kinds — the
+                             ///< denominator of per-event cost accounting
+
+  // encounter process
+  LogHistogram intercontact;      ///< per-node gaps between contact starts
+  LogHistogram contact_duration;  ///< closed sessions only
+  std::uint64_t open_sessions = 0;  ///< contacts never seen ending (horizon)
+  std::vector<std::uint64_t> node_contacts;  ///< contacts per node
+  std::vector<std::uint64_t> degree_hist;    ///< nodes per distinct-peer degree
+
+  // time-weighted buffer occupancy: seconds spent at fill level l, summed
+  // over all nodes; integrates to node_count * end_time per run.
+  std::vector<double> occupancy_time;
+
+  // per-slot transfer utilization (closed sessions)
+  std::uint64_t slots_offered = 0;
+  std::uint64_t slots_used = 0;
+  /// Per-session used/offered ratio, 11 linear bins (0-10% ... 100%).
+  std::array<std::uint64_t, 11> utilization_hist{};
+
+  // signaling accounting (records observed, bytes from the model above)
+  std::uint64_t control_exchanges = 0;
+  std::uint64_t control_records = 0;
+  std::uint64_t sv_exchanges = 0;
+  std::uint64_t sv_entries = 0;
+  [[nodiscard]] std::uint64_t control_bytes() const noexcept {
+    return control_records * kControlRecordBytes;
+  }
+  [[nodiscard]] std::uint64_t sv_bytes() const noexcept {
+    return sv_entries * kSummaryEntryBytes;
+  }
+
+  // per-run quantiles (reservoir-sampled nearest-rank; zeroed by merge())
+  double intercontact_p50 = 0.0;
+  double intercontact_p90 = 0.0;
+  double intercontact_p99 = 0.0;
+  double contact_duration_p50 = 0.0;
+
+  /// Adds another replication's profile of the same run shape (asserted).
+  void merge(const StatsProfile& other);
+
+  /// Deterministic JSON object (%.17g doubles, sparse histograms). The
+  /// "quantiles" member is emitted only for unmerged (runs == 1) profiles.
+  void write_json(std::ostream& out) const;
+};
+
+/// Accumulates one run's StatsProfile from the engine's TraceSink stream.
+///
+/// One collector observes exactly one run (it is NOT thread-safe; parallel
+/// sweeps construct one per run, on the worker thread). Events may be
+/// chained to an optional `downstream` sink — which may itself be shared
+/// and mutex-serialised — so --stats-out and --trace-out compose.
+class StatsCollector final : public TraceSink {
+ public:
+  struct Config {
+    std::uint32_t node_count = 2;
+    std::uint32_t buffer_capacity = 1;
+    double slot_seconds = 1.0;
+  };
+
+  explicit StatsCollector(const Config& config,
+                          TraceSink* downstream = nullptr);
+
+  void emit(const TraceEvent& event) override;
+
+  /// Accumulates a whole block in one tight loop (the engine's preferred
+  /// hand-off; see TraceSink::emit_batch), then forwards the block — still
+  /// as a batch — downstream.
+  void emit_batch(const TraceEvent* events, std::size_t n) override;
+
+  /// Seals the profile at `end_time`: closes the occupancy integrals,
+  /// counts still-open sessions, computes degrees and quantiles. Call once,
+  /// after the run.
+  void finish(SimTime end_time);
+
+  /// The sealed profile; valid after finish().
+  [[nodiscard]] const StatsProfile& profile() const noexcept {
+    return profile_;
+  }
+  [[nodiscard]] StatsProfile take_profile() noexcept {
+    return std::move(profile_);
+  }
+
+ private:
+  struct OpenSession {
+    std::uint64_t key = 0;  ///< packed (a << 32) | b, a < b
+    double start = 0.0;
+    std::uint64_t transfers = 0;
+  };
+
+  [[nodiscard]] OpenSession* find_session(std::uint64_t key) noexcept;
+  void advance_occupancy(NodeId node, double t) noexcept;
+  void observe(const TraceEvent& event) noexcept;  ///< one event, no forward
+
+  /// Reservoir capacity for the gap/duration samples: large enough that the
+  /// paper's runs stay below it (quantiles then exact), small enough that a
+  /// per-run collector costs 8 KiB.
+  static constexpr std::size_t kReservoirCapacity = 512;
+
+  StatsProfile profile_;
+  TraceSink* downstream_;
+
+  ReservoirSample gaps_{kReservoirCapacity};       ///< inter-contact gaps
+  ReservoirSample durations_{kReservoirCapacity};  ///< closed-session lengths
+
+  std::vector<double> last_contact_;  ///< per node; -1 = no contact yet
+  std::vector<std::uint32_t> level_;  ///< current buffer fill per node
+  std::vector<double> level_since_;   ///< last occupancy change per node
+  std::vector<std::uint64_t> peer_bits_;  ///< node_count x node_count bitset
+  std::size_t peer_words_ = 0;            ///< words per node in peer_bits_
+  std::vector<OpenSession> open_;  ///< live contacts; high-water bounded
+  bool finished_ = false;
+};
+
+}  // namespace epi::obs

@@ -9,6 +9,7 @@
 // (protocol, load, replication) so consumers can demultiplex.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
@@ -28,6 +29,8 @@ enum class EventKind : std::uint8_t {
   kDelivered,    ///< the destination consumed the bundle (a = sender, b = dst)
   kControl,      ///< control-plane records crossed the air (count)
   kFault,        ///< an injected fault fired (a, b; see TraceEvent::fault)
+  kSummaryVector,  ///< both sides advertised their buffer contents at
+                   ///< contact start (a, b; count = advertised entries)
 };
 
 /// Which impairment model produced a kFault event (see fault::FaultPlan).
@@ -53,17 +56,28 @@ struct TraceEvent {
   NodeId b = kInvalidNode;        ///< peer node, kInvalidNode when n/a
   BundleId bundle = kInvalidBundle;  ///< kInvalidBundle when n/a
   dtn::RemoveReason reason = dtn::RemoveReason::kExpired;  ///< kRemoved only
-  std::uint64_t count = 0;        ///< record count, kControl only
+  std::uint64_t count = 0;        ///< record count, kControl/kSummaryVector
   FaultKind fault = FaultKind::kSlotLoss;  ///< kFault only
 };
 
 /// Receives every engine event. Implementations attached to multi-threaded
 /// sweeps must make emit() thread-safe; within one run events arrive in
 /// simulation order.
+///
+/// Delivery is batched: the engine buffers events and hands them over in
+/// blocks via emit_batch(), flushing no later than the end of the run. The
+/// default emit_batch() forwards record by record, so a sink only needs
+/// emit(); hot sinks (StatsCollector) override emit_batch() to process the
+/// block in one tight loop — one virtual call per block instead of per
+/// event, and the sink's state stays cache-hot instead of being evicted by
+/// interleaved simulation work.
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
   virtual void emit(const TraceEvent& event) = 0;
+  virtual void emit_batch(const TraceEvent* events, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) emit(events[i]);
+  }
 };
 
 }  // namespace epi::obs

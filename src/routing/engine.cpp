@@ -17,6 +17,7 @@ Engine::Engine(SimulationConfig config, const mobility::ContactTrace& trace,
       recorder_(config_.node_count, config_.buffer_capacity) {
   config_.validate();
   if (!protocol_) throw ConfigError("engine needs a protocol");
+  protocol_name_ = to_string(protocol_->kind());
   if (trace.node_count() > config_.node_count) {
     throw TraceError("trace uses node ids beyond config.node_count (" +
                      std::to_string(trace.node_count()) + " > " +
@@ -94,6 +95,7 @@ metrics::RunSummary Engine::run() {
   const auto wall_start = std::chrono::steady_clock::now();
   try_inject(0.0);
   const SimTime end = sim_.run(config_.horizon);
+  if (sink_ != nullptr) flush_trace();
   recorder_.finalize(end);
   metrics::RunSummary summary =
       metrics::summarize(recorder_, total_load_, seed_, config_.horizon);
@@ -161,6 +163,19 @@ void Engine::start_contact(const mobility::Contact& contact) {
   dtn::DtnNode& a = node(contact.a);
   dtn::DtnNode& b = node(contact.b);
   const SimTime now = sim_.now();
+  // Summary-vector advertisement: at contact start each side tells the peer
+  // what it buffers (the anti-entropy substrate the offer rules implement
+  // implicitly). Observability only — it never feeds the recorder, so the
+  // golden control_records metric is untouched and the disabled path stays
+  // the single branch above.
+  if (sink_ != nullptr) {
+    trace([&](obs::TraceEvent& ev) {
+      ev.kind = obs::EventKind::kSummaryVector;
+      ev.a = contact.a;
+      ev.b = contact.b;
+      ev.count = std::uint64_t{a.buffer().size()} + b.buffer().size();
+    });
+  }
   a.note_contact_start(now, config_.encounter_session_gap);
   b.note_contact_start(now, config_.encounter_session_gap);
   a.note_peer_contact(b.id(), now);

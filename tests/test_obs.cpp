@@ -2,10 +2,12 @@
 // progress and the Chrome-trace exporter.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/config.hpp"
@@ -138,26 +140,24 @@ TEST(JsonlSink, NullSinkAddsNothingAndDoesNotPerturbTheRun) {
   EXPECT_EQ(traced.perf.peak_queue_depth, untraced.perf.peak_queue_depth);
 }
 
-TEST(JsonlSink, DropsAndCountsOversizedRecords) {
+TEST(JsonlSink, GrowsPastTheStackBufferInsteadOfDropping) {
   std::ostringstream out;
   obs::JsonlSink sink(out);
 
-  // A protocol name longer than the 256-byte line buffer cannot fit; the
-  // sink must drop the whole record (a truncated JSON line would poison
-  // downstream parsers) and count it.
+  // A record past the 256-byte stack fast path is written whole via an
+  // exact-size heap retry, not dropped: losing records silently poisoned
+  // every downstream reconciliation.
   const std::string huge(400, 'x');
   obs::TraceEvent big;
   big.kind = obs::EventKind::kCreated;
   big.t = 1.0;
   big.protocol = huge;
   sink.emit(big);
-  EXPECT_EQ(sink.records(), 0u);
-  EXPECT_EQ(sink.truncated(), 1u);
-  EXPECT_TRUE(lines_of(out.str()).empty());
+  EXPECT_EQ(sink.records(), 1u);
+  EXPECT_EQ(sink.truncated(), 0u);
 
-  // An overflow in an appended optional field (not just the prefix) is also
-  // caught: 195 pad chars leave the 251-byte prefix inside the 256-byte
-  // buffer, so the ,"a":1 append is what overflows.
+  // The edge case that used to overflow in an appended optional field (the
+  // prefix fits, the ,"a":1 append does not) now also writes whole.
   const std::string nearly(195, 'y');
   obs::TraceEvent edge;
   edge.kind = obs::EventKind::kTransferred;
@@ -167,10 +167,36 @@ TEST(JsonlSink, DropsAndCountsOversizedRecords) {
   edge.b = 2;
   edge.bundle = 3;
   sink.emit(edge);
-  EXPECT_EQ(sink.records(), 0u);
-  EXPECT_EQ(sink.truncated(), 2u);
+  EXPECT_EQ(sink.records(), 2u);
+  EXPECT_EQ(sink.truncated(), 0u);
 
-  // The sink keeps working: the next normal record is written whole.
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  for (const auto& line : lines) {
+    EXPECT_TRUE(looks_like_flat_json(line)) << line;
+  }
+  EXPECT_NE(lines[0].find(huge), std::string::npos);
+  EXPECT_NE(lines[1].find("\"a\":1,\"b\":2,\"bundle\":3"), std::string::npos)
+      << lines[1];
+}
+
+TEST(JsonlSink, DropsAndCountsRecordsBeyondTheHardCap) {
+  std::ostringstream out;
+  obs::JsonlSink sink(out);
+
+  // Past kMaxRecordBytes the input is corrupt, not merely verbose; the sink
+  // drops the record whole (a truncated JSON line would poison parsers),
+  // counts it, and keeps working.
+  const std::string absurd(obs::JsonlSink::kMaxRecordBytes, 'x');
+  obs::TraceEvent corrupt;
+  corrupt.kind = obs::EventKind::kCreated;
+  corrupt.t = 1.0;
+  corrupt.protocol = absurd;
+  sink.emit(corrupt);
+  EXPECT_EQ(sink.records(), 0u);
+  EXPECT_EQ(sink.truncated(), 1u);
+  EXPECT_TRUE(lines_of(out.str()).empty());
+
   obs::TraceEvent ok;
   ok.kind = obs::EventKind::kDelivered;
   ok.t = 3.0;
@@ -180,7 +206,7 @@ TEST(JsonlSink, DropsAndCountsOversizedRecords) {
   ok.bundle = 7;
   sink.emit(ok);
   EXPECT_EQ(sink.records(), 1u);
-  EXPECT_EQ(sink.truncated(), 2u);
+  EXPECT_EQ(sink.truncated(), 1u);
   const auto lines = lines_of(out.str());
   ASSERT_EQ(lines.size(), 1u);
   EXPECT_TRUE(looks_like_flat_json(lines[0])) << lines[0];
@@ -289,6 +315,63 @@ TEST(ChromeTrace, OneSpanPerReplicationAcrossPoolThreads) {
   EXPECT_NE(json.find("fixed_ttl/load=10/rep=2"), std::string::npos);
 }
 
+TEST(ChromeTrace, EscapesSpanNamesForJson) {
+  obs::ChromeTraceWriter chrome;
+  chrome.record_span("quote\"backslash\\newline\n", 0, 0.0, 1.0);
+  chrome.record_span("control\x01" "char", 1, 1.0, 2.0);
+  std::ostringstream out;
+  chrome.write(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("quote\\\"backslash\\\\newline\\n"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("control\\u0001char"), std::string::npos) << json;
+  // No raw quote/control byte survives inside any name.
+  EXPECT_EQ(json.find("quote\"backslash"), std::string::npos);
+  EXPECT_EQ(json.find('\x01'), std::string::npos);
+}
+
+TEST(ChromeTrace, PreservesRecordingOrderAndNesting) {
+  obs::ChromeTraceWriter chrome;
+  // An outer span enclosing an inner one on the same tid: recorded inner
+  // first (it closes first), as a real nested instrumentation would.
+  chrome.record_span("inner", 0, 10.0, 20.0);
+  chrome.record_span("outer", 0, 0.0, 30.0);
+  chrome.record_span("later", 1, 40.0, 45.0);
+  std::ostringstream out;
+  chrome.write(out);
+  const std::string json = out.str();
+  const auto inner = json.find("\"name\":\"inner\"");
+  const auto outer = json.find("\"name\":\"outer\"");
+  const auto later = json.find("\"name\":\"later\"");
+  ASSERT_NE(inner, std::string::npos);
+  ASSERT_NE(outer, std::string::npos);
+  ASSERT_NE(later, std::string::npos);
+  // Events appear in recording order (Chrome nests by ts/dur, not order).
+  EXPECT_LT(inner, outer);
+  EXPECT_LT(outer, later);
+  // The outer span's interval contains the inner's (ts and ts+dur).
+  EXPECT_NE(json.find("\"ts\":10,\"dur\":10"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ts\":0,\"dur\":30"), std::string::npos) << json;
+  // A span whose end precedes its begin clamps to zero duration.
+  obs::ChromeTraceWriter clamped;
+  clamped.record_span("backwards", 0, 5.0, 1.0);
+  std::ostringstream out2;
+  clamped.write(out2);
+  EXPECT_NE(out2.str().find("\"ts\":5,\"dur\":0"), std::string::npos)
+      << out2.str();
+}
+
+TEST(ChromeTrace, TimebaseIsMonotonicNonDecreasing) {
+  obs::ChromeTraceWriter chrome;
+  double last = chrome.now_us();
+  EXPECT_GE(last, 0.0);
+  for (int i = 0; i < 1'000; ++i) {
+    const double now = chrome.now_us();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
 TEST(ProgressReporter, TicksCountAndRender) {
   std::ostringstream out;
   {
@@ -302,6 +385,46 @@ TEST(ProgressReporter, TicksCountAndRender) {
   EXPECT_NE(text.find("[figXX]"), std::string::npos);
   EXPECT_NE(text.find("4/4 runs"), std::string::npos);
   EXPECT_NE(text.find("ev/s"), std::string::npos);
+}
+
+TEST(ProgressReporter, FinalLineSplitsCachedFromSimulated) {
+  std::ostringstream out;
+  {
+    obs::ProgressReporter progress("figYY", 5, out);
+    progress.tick_cached();
+    progress.tick_cached();
+    progress.tick_cached();
+    progress.tick(1'000);
+    progress.tick(1'000);
+    progress.finish();
+  }
+  const std::string text = out.str();
+  EXPECT_NE(text.find("5/5 runs (3 cached, 2 simulated)"), std::string::npos)
+      << text;
+}
+
+TEST(ProgressReporter, EtaOnMostlyCachedResumeIsPacedBySimulatedRunsOnly) {
+  std::ostringstream out;
+  obs::ProgressReporter progress("resume", 20, out);
+  // A resumed sweep replays a large cached prefix near-instantly...
+  for (int i = 0; i < 9; ++i) progress.tick_cached();
+  // Cached replays alone predict nothing.
+  EXPECT_EQ(progress.eta_seconds(), 0.0);
+
+  // ...then the first simulated run lands after measurable wall time.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  progress.tick(1'000);
+  ASSERT_EQ(progress.completed(), 10u);
+  ASSERT_EQ(progress.cached(), 9u);
+
+  // 10 runs remain and 1 simulated run took ~all the elapsed time, so the
+  // ETA must be ~10x elapsed. Were cached ticks counted as work, the
+  // estimate would collapse to ~elapsed (10 "done" in the same time).
+  const double eta = progress.eta_seconds();
+  EXPECT_GT(eta, 0.0);
+  const double elapsed_floor = 0.020;  // the sleep alone
+  EXPECT_GE(eta, 10.0 * elapsed_floor * 0.5);  // generous timer slack
+  progress.finish();
 }
 
 TEST(ProgressReporter, HumanizesRates) {

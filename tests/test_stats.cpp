@@ -1,0 +1,488 @@
+// Streaming statistics observatory: log-binned histograms, P-square
+// quantiles, the per-run StatsCollector, sweep/store integration and the
+// byte-determinism of StatsProfile JSON.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
+#include "metrics/summary.hpp"
+#include "mobility/contact_trace.hpp"
+#include "obs/jsonl_sink.hpp"
+#include "obs/stats.hpp"
+#include "routing/engine.hpp"
+#include "routing/factory.hpp"
+#include "store/run_store.hpp"
+
+namespace epi {
+namespace {
+
+namespace fs = std::filesystem;
+
+// --- LogHistogram -------------------------------------------------------------
+
+TEST(StatsHistogram, RoutesUnderflowInteriorAndOverflow) {
+  obs::LogHistogram::Layout layout;
+  layout.min_value = 1.0;
+  layout.max_value = 1'000.0;
+  layout.bins_per_decade = 4;
+  obs::LogHistogram hist(layout);
+  // 3 decades x 4 bins + underflow + overflow.
+  ASSERT_EQ(hist.bin_count(), 14u);
+
+  hist.add(0.5);                // below min -> underflow
+  hist.add(-3.0);               // negative -> underflow
+  hist.add(std::nan(""));       // non-finite -> underflow
+  hist.add(1.0);                // first interior bin
+  hist.add(999.0);              // last interior bin
+  hist.add(1'000.0);            // at max -> overflow
+  hist.add(1e12);               // way past max -> overflow
+
+  EXPECT_EQ(hist.count(0), 3u);
+  EXPECT_EQ(hist.count(1), 1u);
+  EXPECT_EQ(hist.count(hist.bin_count() - 2), 1u);
+  EXPECT_EQ(hist.count(hist.bin_count() - 1), 2u);
+  EXPECT_EQ(hist.total(), 7u);
+  EXPECT_EQ(hist.max_seen(), 1e12);
+
+  // Interior bin edges are exact powers of the per-decade step.
+  EXPECT_DOUBLE_EQ(hist.bin_lower(0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.bin_lower(1), 1.0);
+  EXPECT_NEAR(hist.bin_lower(5), 10.0, 1e-9);
+}
+
+TEST(StatsHistogram, MergeAddsCountsAndExtremes) {
+  obs::LogHistogram a;
+  obs::LogHistogram b;
+  a.add(10.0);
+  a.add(100.0);
+  b.add(3.0);
+  b.add(1e9);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_DOUBLE_EQ(a.sum(), 10.0 + 100.0 + 3.0 + 1e9);
+  EXPECT_DOUBLE_EQ(a.min_seen(), 3.0);
+  EXPECT_DOUBLE_EQ(a.max_seen(), 1e9);
+}
+
+TEST(StatsHistogram, JsonIsSparseAndCarriesLayout) {
+  obs::LogHistogram hist;
+  hist.add(2.0);
+  hist.add(2.0);
+  std::ostringstream out;
+  hist.write_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"min_value\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"bins_per_decade\":8"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"total\":2"), std::string::npos) << json;
+  // Exactly one populated bin serialized as an [index,count] pair.
+  EXPECT_NE(json.find(",2]]"), std::string::npos) << json;
+}
+
+// --- P2Quantile ---------------------------------------------------------------
+
+TEST(StatsQuantile, ExactForFewerThanFiveObservations) {
+  obs::P2Quantile median(0.5);
+  EXPECT_EQ(median.value(), 0.0);  // empty
+  median.add(3.0);
+  EXPECT_DOUBLE_EQ(median.value(), 3.0);
+  median.add(1.0);
+  median.add(2.0);
+  EXPECT_DOUBLE_EQ(median.value(), 2.0);  // sorted {1,2,3}, rank ceil(1.5)=2
+}
+
+TEST(StatsQuantile, ApproximatesKnownMedianAndIsDeterministic) {
+  obs::P2Quantile a(0.5);
+  obs::P2Quantile b(0.5);
+  // A fixed pseudo-shuffle of 0..999 (37 is coprime with 1000).
+  for (int i = 0; i < 1'000; ++i) {
+    const double x = static_cast<double>((i * 37) % 1'000);
+    a.add(x);
+    b.add(x);
+  }
+  EXPECT_EQ(a.count(), 1'000u);
+  EXPECT_NEAR(a.value(), 500.0, 60.0);
+  // Same input sequence -> bit-identical estimate.
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(StatsQuantile, TailQuantileLandsInTheTail) {
+  obs::P2Quantile p90(0.9);
+  for (int i = 1; i <= 500; ++i) {
+    p90.add(static_cast<double>((i * 211) % 500));
+  }
+  EXPECT_NEAR(p90.value(), 450.0, 50.0);
+}
+
+// --- ReservoirSample ----------------------------------------------------------
+
+TEST(StatsReservoir, ExactQuantilesWhileBelowCapacity) {
+  obs::ReservoirSample sample(64);
+  EXPECT_EQ(sample.quantile(0.5), 0.0);  // empty
+  for (int i = 1; i <= 40; ++i) {
+    sample.add(static_cast<double>((i * 17) % 40));  // permutation of 0..39
+  }
+  EXPECT_EQ(sample.count(), 40u);
+  EXPECT_EQ(sample.size(), 40u);
+  // Nearest-rank over the full (exact) sample of 0..39.
+  EXPECT_DOUBLE_EQ(sample.quantile(0.5), 19.0);
+  EXPECT_DOUBLE_EQ(sample.quantile(0.9), 35.0);
+  EXPECT_DOUBLE_EQ(sample.quantile(1.0), 39.0);
+}
+
+TEST(StatsReservoir, BoundsMemoryAndStaysDeterministic) {
+  obs::ReservoirSample a(128);
+  obs::ReservoirSample b(128);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto x = static_cast<double>(
+        (static_cast<std::uint32_t>(i) * 2654435761u) % 100'000u);
+    a.add(x);
+    b.add(x);
+  }
+  EXPECT_EQ(a.count(), 10'000u);
+  EXPECT_EQ(a.size(), 128u);  // capacity-bounded
+  // Same input sequence, fixed seed: identical samples and quantiles.
+  for (const double p : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.quantile(p), b.quantile(p));
+  }
+  // The subsampled median of a near-uniform stream over [0, 1e5) must land
+  // in the bulk of the distribution.
+  EXPECT_GT(a.quantile(0.5), 20'000.0);
+  EXPECT_LT(a.quantile(0.5), 80'000.0);
+}
+
+// --- StatsCollector on a real engine run --------------------------------------
+
+mobility::ContactTrace two_node_trace() {
+  return mobility::ContactTrace({
+      {0, 1, 100.0, 450.0},
+      {0, 1, 1'000.0, 1'350.0},
+      {0, 1, 2'000.0, 2'250.0},
+  });
+}
+
+SimulationConfig two_node_config() {
+  SimulationConfig config;
+  config.node_count = 2;
+  config.load = 3;
+  config.source = 0;
+  config.destination = 1;
+  config.horizon = 5'000.0;
+  config.protocol.kind = ProtocolKind::kPureEpidemic;
+  return config;
+}
+
+metrics::RunSummary run_two_node(obs::TraceSink* sink) {
+  const SimulationConfig config = two_node_config();
+  const mobility::ContactTrace trace = two_node_trace();
+  routing::Engine engine(config, trace,
+                         routing::make_protocol(config.protocol), /*seed=*/7);
+  engine.set_trace_sink(sink, /*replication=*/4);
+  return engine.run();
+}
+
+obs::StatsCollector::Config collector_config(const SimulationConfig& config) {
+  obs::StatsCollector::Config c;
+  c.node_count = config.node_count;
+  c.buffer_capacity = config.buffer_capacity;
+  c.slot_seconds = config.slot_seconds;
+  return c;
+}
+
+TEST(StatsCollector, OccupancyIntegralReconcilesWithRecorder) {
+  const SimulationConfig config = two_node_config();
+  obs::StatsCollector stats(collector_config(config));
+  const metrics::RunSummary summary = run_two_node(&stats);
+  stats.finish(summary.end_time);
+  const obs::StatsProfile& profile = stats.profile();
+
+  // The recorder's golden metric is (1/T)(1/N) sum_n integral(size_n)/C;
+  // the collector's occupancy_time[l] integrates seconds-at-level-l over
+  // all nodes, so the two must agree on the same events.
+  double level_seconds = 0.0;
+  double total_seconds = 0.0;
+  for (std::size_t level = 0; level < profile.occupancy_time.size(); ++level) {
+    level_seconds += static_cast<double>(level) * profile.occupancy_time[level];
+    total_seconds += profile.occupancy_time[level];
+  }
+  const double expected =
+      level_seconds /
+      (static_cast<double>(config.node_count) * summary.end_time *
+       static_cast<double>(config.buffer_capacity));
+  EXPECT_NEAR(profile.node_count * summary.end_time, total_seconds, 1e-6);
+  EXPECT_NEAR(summary.buffer_occupancy, expected, 1e-9);
+}
+
+TEST(StatsCollector, CountsEncountersAndSummaryVectors) {
+  const SimulationConfig config = two_node_config();
+  obs::StatsCollector stats(collector_config(config));
+  const metrics::RunSummary summary = run_two_node(&stats);
+  stats.finish(summary.end_time);
+  const obs::StatsProfile& profile = stats.profile();
+
+  // Every contact start advertises both sides' buffers exactly once.
+  EXPECT_EQ(profile.sv_exchanges, summary.contacts);
+  ASSERT_EQ(profile.node_contacts.size(), 2u);
+  EXPECT_EQ(profile.node_contacts[0], summary.contacts);
+  EXPECT_EQ(profile.node_contacts[1], summary.contacts);
+  // First contact has no predecessor: gaps = (contacts - 1) per node.
+  EXPECT_EQ(profile.intercontact.total(), 2 * (summary.contacts - 1));
+  // Both nodes met exactly one distinct peer.
+  ASSERT_GE(profile.degree_hist.size(), 2u);
+  EXPECT_EQ(profile.degree_hist[1], 2u);
+  // Every session is either closed (duration observed) or still open when
+  // the run stopped; this run delivers everything mid-first-contact, so the
+  // session stays open and offers no closed slots.
+  EXPECT_EQ(profile.contact_duration.total() + profile.open_sessions,
+            profile.sv_exchanges);
+  EXPECT_LE(profile.slots_used, profile.slots_offered);
+  // Pure epidemic signals nothing.
+  EXPECT_EQ(profile.control_exchanges, 0u);
+  EXPECT_EQ(profile.control_records, 0u);
+  EXPECT_GT(profile.sv_entries, 0u);
+  EXPECT_EQ(profile.sv_bytes(), profile.sv_entries * obs::kSummaryEntryBytes);
+}
+
+TEST(StatsCollector, ClosedSessionsAccountSlotsAndUtilization) {
+  obs::StatsCollector::Config config;
+  config.node_count = 4;
+  config.buffer_capacity = 8;
+  config.slot_seconds = 1.0;
+  obs::StatsCollector stats(config);
+
+  const auto feed = [&](obs::EventKind kind, double t, NodeId a, NodeId b) {
+    obs::TraceEvent event;
+    event.kind = kind;
+    event.t = t;
+    event.a = a;
+    event.b = b;
+    stats.emit(event);
+  };
+  // Session (0,1): 10 slots offered, 3 used -> 30% utilization bin.
+  feed(obs::EventKind::kContactUp, 0.0, 0, 1);
+  feed(obs::EventKind::kTransferred, 1.0, 0, 1);
+  feed(obs::EventKind::kTransferred, 2.0, 1, 0);  // reverse direction, same pair
+  feed(obs::EventKind::kTransferred, 3.0, 0, 1);
+  feed(obs::EventKind::kContactDown, 10.0, 0, 1);
+  // Overlapping session (2,3): 4 slots, all used -> 100% bin.
+  feed(obs::EventKind::kContactUp, 5.0, 2, 3);
+  for (int i = 0; i < 4; ++i) {
+    feed(obs::EventKind::kTransferred, 6.0 + i, 2, 3);
+  }
+  feed(obs::EventKind::kContactDown, 9.0 + 0.5, 2, 3);  // 4.5 s -> 4 slots
+  // Second meeting of (0,1) at 20: both nodes record a 20 s gap.
+  feed(obs::EventKind::kContactUp, 20.0, 0, 1);
+  stats.finish(30.0);
+
+  const obs::StatsProfile& profile = stats.profile();
+  EXPECT_EQ(profile.slots_offered, 14u);
+  EXPECT_EQ(profile.slots_used, 7u);
+  EXPECT_EQ(profile.utilization_hist[3], 1u);   // 3/10 -> 30% bin
+  EXPECT_EQ(profile.utilization_hist[10], 1u);  // 4/4 -> 100% bin
+  EXPECT_EQ(profile.contact_duration.total(), 2u);
+  EXPECT_DOUBLE_EQ(profile.contact_duration.sum(), 10.0 + 4.5);
+  EXPECT_EQ(profile.open_sessions, 1u);
+  EXPECT_EQ(profile.intercontact.total(), 2u);
+  EXPECT_DOUBLE_EQ(profile.intercontact.sum(), 40.0);
+  EXPECT_DOUBLE_EQ(profile.intercontact_p50, 20.0);
+  // Degrees: all four nodes met exactly one distinct peer.
+  EXPECT_EQ(profile.degree_hist[1], 4u);
+}
+
+TEST(StatsCollector, ChainsDownstreamByteIdentically) {
+  std::ostringstream direct_out;
+  obs::JsonlSink direct(direct_out);
+  run_two_node(&direct);
+
+  std::ostringstream chained_out;
+  obs::JsonlSink chained(chained_out);
+  obs::StatsCollector stats(collector_config(two_node_config()), &chained);
+  const metrics::RunSummary summary = run_two_node(&stats);
+  stats.finish(summary.end_time);
+
+  EXPECT_EQ(direct.records(), chained.records());
+  EXPECT_EQ(direct_out.str(), chained_out.str());
+  EXPECT_GT(stats.profile().sv_exchanges, 0u);
+}
+
+TEST(StatsCollector, BatchPathMatchesSingleEventPath) {
+  // The collector accumulates batches in specialized per-subsystem passes;
+  // pin that this is observationally identical to record-by-record emit().
+  struct Capture final : obs::TraceSink {
+    std::vector<obs::TraceEvent> events;
+    void emit(const obs::TraceEvent& event) override {
+      events.push_back(event);
+    }
+  };
+  Capture capture;
+  const metrics::RunSummary summary = run_two_node(&capture);
+  ASSERT_GT(capture.events.size(), 10u);
+
+  obs::StatsCollector single(collector_config(two_node_config()));
+  for (const obs::TraceEvent& event : capture.events) single.emit(event);
+  single.finish(summary.end_time);
+
+  obs::StatsCollector batched(collector_config(two_node_config()));
+  // Odd chunk size so batch boundaries fall mid-session and mid-burst.
+  for (std::size_t i = 0; i < capture.events.size(); i += 7) {
+    const std::size_t n = std::min<std::size_t>(7, capture.events.size() - i);
+    batched.emit_batch(capture.events.data() + i, n);
+  }
+  batched.finish(summary.end_time);
+
+  std::ostringstream single_json;
+  single.profile().write_json(single_json);
+  std::ostringstream batched_json;
+  batched.profile().write_json(batched_json);
+  EXPECT_EQ(single_json.str(), batched_json.str());
+}
+
+TEST(StatsCollector, DoesNotPerturbTheRun) {
+  obs::StatsCollector stats(collector_config(two_node_config()));
+  const metrics::RunSummary observed = run_two_node(&stats);
+  const metrics::RunSummary plain = run_two_node(nullptr);
+  EXPECT_TRUE(metrics::deterministic_equal(observed, plain));
+}
+
+// --- sweep + store integration ------------------------------------------------
+
+exp::SweepSpec stats_sweep_spec(unsigned threads) {
+  exp::SweepSpec spec;
+  spec.scenario = exp::trace_scenario();
+  spec.protocol.kind = ProtocolKind::kImmunity;
+  spec.loads = {5, 10};
+  spec.replications = 2;
+  spec.threads = threads;
+  return spec;
+}
+
+TEST(StatsSweep, AttachesAProfileToEveryRun) {
+  exp::SweepSpec spec = stats_sweep_spec(2);
+  spec.collect_stats = true;
+  const exp::SweepResult result = run_sweep(spec);
+  for (const auto& batch : result.runs) {
+    for (const auto& run : batch) {
+      ASSERT_NE(run.stats, nullptr);
+      const obs::StatsProfile& profile = *run.stats;
+      EXPECT_EQ(profile.runs, 1u);
+      EXPECT_GT(profile.sv_exchanges, 0u);
+      // Immunity signals anti-packets; profile counts must match the
+      // engine's golden control_records metric exactly.
+      EXPECT_EQ(profile.control_records, run.control_records);
+      EXPECT_EQ(profile.control_bytes(),
+                run.control_records * obs::kControlRecordBytes);
+    }
+  }
+}
+
+TEST(StatsSweep, DisabledSweepCarriesNoProfileAndIsUnchanged) {
+  const exp::SweepResult off = run_sweep(stats_sweep_spec(2));
+  exp::SweepSpec spec = stats_sweep_spec(2);
+  spec.collect_stats = true;
+  const exp::SweepResult on = run_sweep(spec);
+
+  ASSERT_EQ(off.runs.size(), on.runs.size());
+  for (std::size_t li = 0; li < off.runs.size(); ++li) {
+    for (std::size_t r = 0; r < off.runs[li].size(); ++r) {
+      EXPECT_EQ(off.runs[li][r].stats, nullptr);
+      // Collection is pure observation: every metric is bit-identical.
+      EXPECT_TRUE(metrics::deterministic_equal(off.runs[li][r],
+                                               on.runs[li][r]));
+    }
+  }
+}
+
+TEST(StatsSweep, BypassesCacheLookupsButStillAppends) {
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "epi_stats_store_bypass";
+  fs::remove_all(dir);
+
+  exp::SweepSpec spec = stats_sweep_spec(1);
+  spec.collect_stats = true;
+  {
+    store::RunStore store(dir);
+    spec.store = &store;
+    (void)run_sweep(spec);  // populates the store
+  }
+  {
+    store::RunStore store(dir);
+    spec.store = &store;
+    const exp::SweepResult again = run_sweep(spec);
+    // Lookups are bypassed while stats are on (a cached summary carries no
+    // profile), so every run simulated afresh and carries its profile.
+    EXPECT_EQ(store.stats().hits, 0u);
+    for (const auto& batch : again.runs) {
+      for (const auto& run : batch) {
+        EXPECT_NE(run.stats, nullptr);
+      }
+    }
+  }
+  {
+    // With stats off the very same store now serves everything.
+    store::RunStore store(dir);
+    exp::SweepSpec cached_spec = stats_sweep_spec(1);
+    cached_spec.store = &store;
+    const exp::SweepResult cached = run_sweep(cached_spec);
+    EXPECT_EQ(store.stats().hits,
+              cached.loads.size() * cached_spec.replications);
+    for (const auto& batch : cached.runs) {
+      for (const auto& run : batch) {
+        EXPECT_EQ(run.stats, nullptr);
+      }
+    }
+  }
+  fs::remove_all(dir);
+}
+
+// --- profile JSON determinism and merge ---------------------------------------
+
+std::string profile_json(const obs::StatsProfile& profile) {
+  std::ostringstream out;
+  profile.write_json(out);
+  return out.str();
+}
+
+TEST(StatsProfileJson, ByteIdenticalAcrossIdenticalSeedRuns) {
+  std::string first;
+  std::string second;
+  for (std::string* capture : {&first, &second}) {
+    obs::StatsCollector stats(collector_config(two_node_config()));
+    const metrics::RunSummary summary = run_two_node(&stats);
+    stats.finish(summary.end_time);
+    *capture = profile_json(stats.profile());
+  }
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  // Single-run profiles carry their P2 quantile block.
+  EXPECT_NE(first.find("\"quantiles\""), std::string::npos);
+  EXPECT_NE(first.find("\"signaling\""), std::string::npos);
+}
+
+TEST(StatsProfileJson, MergeAddsCountersAndDropsQuantiles) {
+  obs::StatsCollector stats(collector_config(two_node_config()));
+  const metrics::RunSummary summary = run_two_node(&stats);
+  stats.finish(summary.end_time);
+  const obs::StatsProfile single = stats.profile();
+
+  obs::StatsProfile merged = single;
+  merged.merge(single);
+  EXPECT_EQ(merged.runs, 2u);
+  EXPECT_EQ(merged.sv_exchanges, 2 * single.sv_exchanges);
+  EXPECT_EQ(merged.intercontact.total(), 2 * single.intercontact.total());
+  EXPECT_EQ(merged.slots_offered, 2 * single.slots_offered);
+  EXPECT_EQ(merged.intercontact_p50, 0.0);
+  const std::string json = profile_json(merged);
+  EXPECT_EQ(json.find("\"quantiles\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"runs\":2"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace epi
