@@ -40,6 +40,7 @@ struct CaseResult {
   std::uint64_t down_slots = 0;
   std::uint64_t control_dropped = 0;
   std::uint64_t contacts_truncated = 0;
+  std::uint64_t transfers_refused_full = 0;
 };
 
 constexpr const char* kTraceProtocols[] = {
@@ -63,7 +64,8 @@ void run_suite(std::vector<CaseResult>& results, std::string_view scenario_name,
                const epi::mobility::ContactTrace& trace,
                const char* const (&protocols)[N], std::uint32_t reps,
                const std::vector<epi::FlowSpec>& flows = {},
-               const epi::fault::FaultPlan& fault = {}) {
+               const epi::fault::FaultPlan& fault = {},
+               epi::EvictionPolicy eviction = epi::EvictionPolicy::kDropTail) {
   using clock = std::chrono::steady_clock;
   std::uint32_t total_load = 0;
   for (const auto& f : flows) total_load += f.load;
@@ -80,6 +82,7 @@ void run_suite(std::vector<CaseResult>& results, std::string_view scenario_name,
             .flows(flows)
             .replication(1)  // fixed: every rep times the identical run
             .fault(fault)
+            .eviction(eviction)
             .build();
     double best_seconds = std::numeric_limits<double>::infinity();
     for (std::uint32_t rep = 0; rep < reps; ++rep) {
@@ -96,10 +99,13 @@ void run_suite(std::vector<CaseResult>& results, std::string_view scenario_name,
         r.down_slots = summary.perf.down_slots;
         r.control_dropped = summary.perf.control_dropped;
         r.contacts_truncated = summary.perf.contacts_truncated;
+        r.transfers_refused_full = summary.perf.transfers_refused_full;
       } else if (summary.perf.events_processed != r.events_processed ||
                  summary.perf.transfers != r.transfers ||
                  summary.perf.slots_lost != r.slots_lost ||
-                 summary.perf.contacts_truncated != r.contacts_truncated) {
+                 summary.perf.contacts_truncated != r.contacts_truncated ||
+                 summary.perf.transfers_refused_full !=
+                     r.transfers_refused_full) {
         std::fprintf(stderr, "non-deterministic repetition in %s\n",
                      r.name.c_str());
         std::exit(1);
@@ -131,7 +137,8 @@ void write_json(const std::string& path, const std::vector<CaseResult>& results,
                  "\"events_per_sec\": %.0f, \"events_processed\": %llu, "
                  "\"peak_queue_depth\": %llu, \"transfers\": %llu, "
                  "\"slots_lost\": %llu, \"down_slots\": %llu, "
-                 "\"control_dropped\": %llu, \"contacts_truncated\": %llu}%s\n",
+                 "\"control_dropped\": %llu, \"contacts_truncated\": %llu, "
+                 "\"transfers_refused_full\": %llu}%s\n",
                  r.name.c_str(), r.ns_per_run, r.events_per_sec,
                  static_cast<unsigned long long>(r.events_processed),
                  static_cast<unsigned long long>(r.peak_queue_depth),
@@ -140,6 +147,7 @@ void write_json(const std::string& path, const std::vector<CaseResult>& results,
                  static_cast<unsigned long long>(r.down_slots),
                  static_cast<unsigned long long>(r.control_dropped),
                  static_cast<unsigned long long>(r.contacts_truncated),
+                 static_cast<unsigned long long>(r.transfers_refused_full),
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -210,6 +218,14 @@ int main(int argc, char** argv) {
             {}, fault_plan);
   run_suite(results, "rwp+fault", rwp_spec, rwp, kRwpProtocols, reps, {},
             fault_plan);
+  // Eviction-policy suite (guarded as "new" by compare_bench.py until the
+  // committed baseline carries it): drop-oldest on the trace scenario, where
+  // buffer pressure is highest and the non-default admission path actually
+  // runs. One protocol family without its own admission rule keeps the row
+  // cheap while exercising the generic Protocol::make_room eviction.
+  constexpr const char* kEvictionProtocols[] = {"pure_epidemic"};
+  run_suite(results, "trace+dropoldest", trace_spec, trace, kEvictionProtocols,
+            reps, {}, {}, epi::EvictionPolicy::kDropOldest);
   // Large-N stress entries (multi-flow; see exp::large_scenario): the cases
   // where per-contact exchange-set costs dominate instead of hiding.
   for (const std::uint32_t n : {128u, 512u}) {

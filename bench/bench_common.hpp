@@ -16,6 +16,9 @@
 //                       ones appended; Ctrl-C drains + saves, rerun resumes
 //   --no-store          disable the run store for this invocation
 //   --store-stats       print hit/miss/append counts at the end
+//   --evict POLICY      receiver-side admission policy when a buffer is
+//                       full: drop_tail (default, the paper's behavior),
+//                       drop_oldest, drop_most_replicated, drop_largest_ec
 //
 // Flags taking a value accept both `--flag VALUE` and `--flag=VALUE`.
 #pragma once
@@ -142,13 +145,20 @@ inline Args parse_args(int argc, char** argv) {
       args.store_dir.clear();
     } else if (arg == "--store-stats") {
       args.store_stats = boolean();
+    } else if (arg == "--evict") {
+      try {
+        args.options.eviction = eviction_policy_from_string(next());
+      } catch (const std::exception& e) {
+        std::cerr << "invalid value for --evict: " << e.what() << "\n";
+        std::exit(2);
+      }
     } else if (arg == "--help" || arg == "-h") {
       boolean();
       std::cout << "usage: " << argv[0]
                 << " [--reps N] [--seed S] [--threads T] [--csv] [--perf]"
                    " [--trace-out=FILE] [--chrome-trace=FILE]"
                    " [--stats-out=FILE] [--store=DIR] [--no-store]"
-                   " [--store-stats]\n";
+                   " [--store-stats] [--evict=POLICY]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown argument: " << arg << "\n";

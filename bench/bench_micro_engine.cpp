@@ -55,7 +55,8 @@ void BM_BufferInsertFindRemove(benchmark::State& state) {
     for (epi::BundleId id = 1; id <= 10; ++id) {
       benchmark::DoNotOptimize(buffer.find(id));
     }
-    benchmark::DoNotOptimize(buffer.highest_ec_bundle());
+    benchmark::DoNotOptimize(buffer.select_victim(
+        {epi::EvictionPolicy::kDropLargestEc, 0, {}}));
     for (epi::BundleId id = 1; id <= 10; ++id) {
       benchmark::DoNotOptimize(buffer.remove(id).has_value());
     }

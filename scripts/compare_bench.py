@@ -37,7 +37,10 @@ EXACT_COUNTERS = ("events_processed", "peak_queue_depth", "transfers",
                   # streams keyed by run coordinates, so they are exactly
                   # as deterministic as the simulation itself.
                   "slots_lost", "down_slots", "control_dropped",
-                  "contacts_truncated")
+                  "contacts_truncated",
+                  # Full-buffer refusal events: purely a function of seed and
+                  # configuration, like the transfers they failed to become.
+                  "transfers_refused_full")
 
 
 def load(path):

@@ -1,6 +1,7 @@
 #include "core/config.hpp"
 
 #include <array>
+#include <string>
 #include <utility>
 
 #include "core/error.hpp"
@@ -52,6 +53,17 @@ void ProtocolParams::validate() const {
   if (spray_copies == 0) throw ConfigError("spray_copies must be >= 1");
 }
 
+std::uint32_t SimulationConfig::max_capacity() const noexcept {
+  std::uint32_t max = buffer_capacity;
+  if (!node_capacities.empty()) {
+    max = node_capacities.front();
+    for (const std::uint32_t c : node_capacities) {
+      if (c > max) max = c;
+    }
+  }
+  return max;
+}
+
 std::vector<FlowSpec> SimulationConfig::resolved_flows() const {
   if (!flows.empty()) return flows;
   return {FlowSpec{source, destination, load}};
@@ -66,6 +78,16 @@ std::uint32_t SimulationConfig::total_load() const {
 void SimulationConfig::validate() const {
   if (node_count < 2) throw ConfigError("need at least two nodes");
   if (buffer_capacity == 0) throw ConfigError("buffer_capacity must be > 0");
+  if (!node_capacities.empty()) {
+    if (node_capacities.size() != node_count) {
+      throw ConfigError("node_capacities must name every node (" +
+                        std::to_string(node_capacities.size()) + " != " +
+                        std::to_string(node_count) + ")");
+    }
+    for (const std::uint32_t c : node_capacities) {
+      if (c == 0) throw ConfigError("every node capacity must be >= 1");
+    }
+  }
   if (slot_seconds <= 0.0) throw ConfigError("slot_seconds must be positive");
   if (horizon <= 0.0) throw ConfigError("horizon must be positive");
   const auto resolved = resolved_flows();

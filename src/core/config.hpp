@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/eviction.hpp"
 #include "core/types.hpp"
 
 namespace epi {
@@ -94,6 +95,29 @@ struct SimulationConfig {
   std::uint32_t buffer_capacity = defaults::kBufferCapacity;
   SimTime slot_seconds = defaults::kSlotSeconds;
   SimTime horizon = defaults::kTraceHorizon;
+
+  /// Per-node buffer capacities; empty (the default) means every node gets
+  /// the uniform `buffer_capacity`. When non-empty the size must equal
+  /// node_count and every entry be >= 1. Heterogeneous capacities model
+  /// mixed device classes (the paper's iMotes are uniform; real deployments
+  /// rarely are).
+  std::vector<std::uint32_t> node_capacities;
+
+  /// The buffer capacity node `node` actually gets.
+  [[nodiscard]] std::uint32_t capacity_of(NodeId node) const noexcept {
+    return node_capacities.empty() ? buffer_capacity : node_capacities[node];
+  }
+
+  /// The largest per-node capacity (bounds the engine's scratch buffers).
+  [[nodiscard]] std::uint32_t max_capacity() const noexcept;
+
+  /// What a full receiver buffer does with an incoming bundle. Protocols
+  /// with their own admission rule (the EC family's drop-largest-EC, the
+  /// anti-packet family's vaccinated-copy overwrite) apply that rule first
+  /// and fall back to this policy only when it finds no victim. The default
+  /// (drop-tail) reproduces the paper's implicit refuse-when-full behavior
+  /// bit-identically.
+  EvictionPolicy eviction_policy = EvictionPolicy::kDropTail;
 
   /// Number of bundles the source sends to the destination ("load" k).
   /// The paper's experiments are single-flow; these three fields describe

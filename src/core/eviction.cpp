@@ -1,0 +1,36 @@
+#include "core/eviction.hpp"
+
+#include <array>
+#include <string>
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace epi {
+namespace {
+
+constexpr std::array<std::pair<EvictionPolicy, std::string_view>, 4>
+    kPolicyNames{{
+        {EvictionPolicy::kDropTail, "drop_tail"},
+        {EvictionPolicy::kDropOldest, "drop_oldest"},
+        {EvictionPolicy::kDropMostReplicated, "drop_most_replicated"},
+        {EvictionPolicy::kDropLargestEc, "drop_largest_ec"},
+    }};
+
+}  // namespace
+
+std::string_view to_string(EvictionPolicy policy) noexcept {
+  for (const auto& [p, name] : kPolicyNames) {
+    if (p == policy) return name;
+  }
+  return "unknown";
+}
+
+EvictionPolicy eviction_policy_from_string(std::string_view name) {
+  for (const auto& [p, n] : kPolicyNames) {
+    if (n == name) return p;
+  }
+  throw ConfigError("unknown eviction policy name: " + std::string(name));
+}
+
+}  // namespace epi

@@ -1,0 +1,40 @@
+// Buffer-eviction policy: what a full BundleBuffer does when one more copy
+// wants a slot.
+//
+// The paper fixes buffers at 10 bundles and leaves the drop behavior
+// implicit: a full buffer simply refuses relay bundles (drop-tail). Making
+// the policy explicit turns that silent refusal into a first-class,
+// configurable admission decision — the protocol-level lever Chen et al.
+// study (buffer occupancy / delivery reliability trade-offs). The enum lives
+// in core beside ProtocolKind so SimulationConfig, RunSpec and the store-key
+// serializer can all name it; the victim-selection mechanics live on
+// dtn::BundleBuffer (select_victim).
+#pragma once
+
+#include <string_view>
+
+namespace epi {
+
+enum class EvictionPolicy {
+  /// Refuse the incoming copy; nothing stored is ever sacrificed. The
+  /// paper's implicit behavior and the default everywhere — runs configured
+  /// with it are bit-identical to builds that predate the policy seam.
+  kDropTail,
+  /// Evict the longest-stored copy (FIFO head).
+  kDropOldest,
+  /// Evict the copy with the most live replicas network-wide, per the
+  /// engine's dense-id replica estimate; ties fall to the oldest copy.
+  kDropMostReplicated,
+  /// Evict the copy with the largest encounter count (the EC family's rule,
+  /// generalised); never-transmitted copies are protected. Ties fall to the
+  /// oldest copy.
+  kDropLargestEc,
+};
+
+/// Canonical lower_snake name used by CLIs, reports and the run-store key.
+[[nodiscard]] std::string_view to_string(EvictionPolicy policy) noexcept;
+
+/// Parses a canonical name; throws ConfigError on unknown names.
+[[nodiscard]] EvictionPolicy eviction_policy_from_string(std::string_view name);
+
+}  // namespace epi

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
+
+#include "core/error.hpp"
 
 namespace epi::dtn {
 
@@ -30,8 +33,18 @@ const StoredBundle* BundleBuffer::find(BundleId id) const noexcept {
 }
 
 StoredBundle& BundleBuffer::insert(StoredBundle copy) {
-  assert(!full() && "insert into a full buffer");
-  assert(!contains(copy.id) && "duplicate bundle in buffer");
+  // Hard checks in every build mode: the admission seam (make_room /
+  // select_victim) is exactly the kind of policy code that could slip a
+  // store into a full buffer, and an assert compiled out in Release would
+  // turn that into silent capacity overflow instead of a diagnosable fault.
+  if (full()) {
+    throw Error("BundleBuffer::insert into a full buffer (capacity " +
+                std::to_string(capacity_) + ")");
+  }
+  if (contains(copy.id)) {
+    throw Error("BundleBuffer::insert of duplicate bundle " +
+                std::to_string(copy.id));
+  }
   order_insert(OfferEntry{copy.last_tx, copy.id});
   entries_.push_back(copy);
   return entries_.back();
@@ -75,14 +88,41 @@ void BundleBuffer::order_erase(BundleId id) {
   offer_order_.erase(it);
 }
 
-BundleId BundleBuffer::highest_ec_bundle() const noexcept {
-  if (entries_.empty()) return kInvalidBundle;
-  // FIFO order means the first maximum found is also the oldest-stored one.
-  const StoredBundle* best = &entries_.front();
-  for (const auto& e : entries_) {
-    if (e.ec > best->ec) best = &e;
+BundleId BundleBuffer::select_victim(const EvictionQuery& query)
+    const noexcept {
+  // Every scan below walks entries_ in insertion (FIFO) order with a strict
+  // `>` comparison, so the first maximum found is also the oldest-stored
+  // one — the tie-break every policy shares.
+  switch (query.policy) {
+    case EvictionPolicy::kDropTail:
+      return kInvalidBundle;  // refuse the newcomer, sacrifice nothing
+    case EvictionPolicy::kDropOldest:
+      return entries_.empty() ? kInvalidBundle : entries_.front().id;
+    case EvictionPolicy::kDropMostReplicated: {
+      const StoredBundle* best = nullptr;
+      std::uint32_t best_count = 0;
+      for (const auto& e : entries_) {
+        const std::uint32_t count =
+            e.id < query.replica_estimate.size()
+                ? query.replica_estimate[e.id]
+                : 0;
+        if (best == nullptr || count > best_count) {
+          best = &e;
+          best_count = count;
+        }
+      }
+      return best == nullptr ? kInvalidBundle : best->id;
+    }
+    case EvictionPolicy::kDropLargestEc: {
+      const StoredBundle* best = nullptr;
+      for (const auto& e : entries_) {
+        if (e.ec < query.min_ec) continue;  // protected from eviction
+        if (best == nullptr || e.ec > best->ec) best = &e;
+      }
+      return best == nullptr ? kInvalidBundle : best->id;
+    }
   }
-  return best->id;
+  return kInvalidBundle;
 }
 
 }  // namespace epi::dtn

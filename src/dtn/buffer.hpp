@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "core/eviction.hpp"
 #include "dtn/bundle.hpp"
 
 namespace epi::dtn {
@@ -35,7 +36,10 @@ class BundleBuffer {
   [[nodiscard]] StoredBundle* find(BundleId id) noexcept;
   [[nodiscard]] const StoredBundle* find(BundleId id) const noexcept;
 
-  /// Inserts a copy. Precondition (asserted): not full, id not present.
+  /// Inserts a copy. Preconditions — not full, id not present — are
+  /// enforced in every build mode: a violation throws core Error instead of
+  /// silently corrupting the buffer (the former Release-mode-unchecked
+  /// assert let a buggy admission path overfill the store).
   StoredBundle& insert(StoredBundle copy);
 
   /// Removes and returns the copy with `id`; nullopt if absent.
@@ -66,9 +70,28 @@ class BundleBuffer {
   /// Mutating last_tx through find() instead would stale the order.
   void mark_transmitted(BundleId id, SimTime at);
 
-  /// The eviction victim of the EC policy: the copy with the highest EC,
-  /// breaking ties toward the oldest-stored copy. kInvalidBundle when empty.
-  [[nodiscard]] BundleId highest_ec_bundle() const noexcept;
+  /// Inputs of select_victim() beyond the buffer's own contents.
+  struct EvictionQuery {
+    EvictionPolicy policy = EvictionPolicy::kDropTail;
+    /// kDropLargestEc only: minimum encounter count a copy needs to be
+    /// evictable (the paper's "minimum EC value before nodes are allowed to
+    /// delete a bundle"). The default (1) protects never-transmitted copies
+    /// — evicting the only copy destroys the bundle outright; 0 makes every
+    /// copy evictable.
+    std::uint32_t min_ec = 1;
+    /// kDropMostReplicated only: dense per-bundle replica counts indexed by
+    /// BundleId. Ids at or past the span's end count as zero; an empty span
+    /// means no estimate (all ties, so the FIFO head wins).
+    std::span<const std::uint32_t> replica_estimate;
+  };
+
+  /// The copy the query's policy would sacrifice to admit one more bundle,
+  /// or kInvalidBundle when the policy refuses (kDropTail always; the
+  /// others when no stored copy is evictable). Ties break toward the
+  /// oldest-stored copy (FIFO order). Pure selection: the caller evicts via
+  /// Engine::purge so the removal is recorded and traced.
+  [[nodiscard]] BundleId select_victim(const EvictionQuery& query)
+      const noexcept;
 
  private:
   void order_insert(OfferEntry entry);

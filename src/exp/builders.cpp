@@ -26,6 +26,7 @@ RunSpecBuilder& RunSpecBuilder::protocol(const ProtocolParams& params) {
 RunSpecBuilder& RunSpecBuilder::scenario(const ScenarioSpec& spec) {
   spec_.horizon = spec.horizon();
   spec_.session_gap = spec.session_gap;
+  spec_.node_capacities = spec.node_capacities;
   scenario_gap_ = true;
   return *this;
 }
@@ -63,6 +64,17 @@ RunSpecBuilder& RunSpecBuilder::horizon(SimTime end) {
 RunSpecBuilder& RunSpecBuilder::session_gap(SimTime gap) {
   spec_.session_gap = gap;
   scenario_gap_ = false;  // explicit overrides lose the scenario sanction
+  return *this;
+}
+
+RunSpecBuilder& RunSpecBuilder::eviction(EvictionPolicy policy) {
+  spec_.eviction = policy;
+  return *this;
+}
+
+RunSpecBuilder& RunSpecBuilder::node_capacities(
+    std::vector<std::uint32_t> capacities) {
+  spec_.node_capacities = std::move(capacities);
   return *this;
 }
 
@@ -149,6 +161,12 @@ ScenarioSpecBuilder& ScenarioSpecBuilder::session_gap(SimTime gap) {
   return *this;
 }
 
+ScenarioSpecBuilder& ScenarioSpecBuilder::node_capacities(
+    std::vector<std::uint32_t> capacities) {
+  spec_.node_capacities = std::move(capacities);
+  return *this;
+}
+
 ScenarioSpec ScenarioSpecBuilder::build() const {
   if (!(spec_.session_gap > 0.0)) {
     reject("ScenarioSpec.session_gap", "positive", spec_.session_gap);
@@ -159,6 +177,18 @@ ScenarioSpec ScenarioSpecBuilder::build() const {
   }
   if (!(spec_.horizon() > 0.0)) {
     reject("ScenarioSpec horizon", "positive", spec_.horizon());
+  }
+  if (!spec_.node_capacities.empty()) {
+    if (spec_.node_capacities.size() != spec_.node_count()) {
+      reject("ScenarioSpec.node_capacities size",
+             "equal to the generator's node count",
+             static_cast<double>(spec_.node_capacities.size()));
+    }
+    for (const std::uint32_t c : spec_.node_capacities) {
+      if (c == 0) {
+        reject("ScenarioSpec.node_capacities entry", "at least 1", 0.0);
+      }
+    }
   }
   return spec_;
 }

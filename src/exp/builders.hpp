@@ -27,10 +27,10 @@ class RunSpecBuilder {
  public:
   RunSpecBuilder& protocol(const ProtocolParams& params);
 
-  /// Adopts the scenario's horizon and session gap. A scenario-derived gap
-  /// may be below slot_seconds: the controlled-interval scenarios (Fig. 14)
-  /// deliberately use a sub-slot gap so each isolated contact counts as its
-  /// own encounter session.
+  /// Adopts the scenario's horizon, session gap and per-node capacities. A
+  /// scenario-derived gap may be below slot_seconds: the controlled-interval
+  /// scenarios (Fig. 14) deliberately use a sub-slot gap so each isolated
+  /// contact counts as its own encounter session.
   RunSpecBuilder& scenario(const ScenarioSpec& spec);
 
   RunSpecBuilder& load(std::uint32_t bundles);
@@ -43,6 +43,14 @@ class RunSpecBuilder {
   /// Explicit gap override; unlike scenario(), a value below slot_seconds
   /// is rejected at build() time.
   RunSpecBuilder& session_gap(SimTime gap);
+
+  /// Receiver-side admission policy (see RunSpec::eviction).
+  RunSpecBuilder& eviction(EvictionPolicy policy);
+
+  /// Heterogeneous per-node capacities; validated against nothing here (the
+  /// trace decides node_count), but SimulationConfig::validate rejects a
+  /// size mismatch at run time.
+  RunSpecBuilder& node_capacities(std::vector<std::uint32_t> capacities);
 
   RunSpecBuilder& flows(std::vector<FlowSpec> pinned);
   RunSpecBuilder& fault(const fault::FaultPlan& plan);
@@ -72,6 +80,10 @@ class ScenarioSpecBuilder {
   ScenarioSpecBuilder& rwp(const mobility::RwpParams& params);
   ScenarioSpecBuilder& interval(const mobility::IntervalScenarioParams& params);
   ScenarioSpecBuilder& session_gap(SimTime gap);
+
+  /// Heterogeneous per-node capacities; build() rejects a size that does
+  /// not match the generator's node count, or any zero entry.
+  ScenarioSpecBuilder& node_capacities(std::vector<std::uint32_t> capacities);
 
   [[nodiscard]] ScenarioSpec build() const;
 

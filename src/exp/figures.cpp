@@ -105,6 +105,7 @@ Figure run_figure(std::string id, std::string title, Metric metric,
     spec.progress = progress.get();
     spec.collect_stats = options.collect_stats;
     spec.store = options.store;
+    spec.eviction = options.eviction;
 
     figure.labels.push_back(def.label);
     figure.results.push_back(
@@ -394,6 +395,92 @@ Figure run_robustness(const FigureOptions& o, Metric metric, bool rwp) {
   return figure;
 }
 
+// --- buffer-capacity sweeps -----------------------------------------------------
+
+namespace {
+
+/// Capacity axis of the buffer sweeps: below, at and above the paper's 10.
+std::vector<std::uint32_t> capacity_points() { return {4, 6, 8, 10, 14, 20}; }
+
+}  // namespace
+
+Figure run_capacity(const FigureOptions& o, Metric metric) {
+  const ScenarioSpec scenario = trace_scenario();
+  const mobility::ContactTrace trace =
+      build_contact_trace(scenario, o.master_seed);
+
+  // Two families spanning the admission spectrum: P-Q has no rule of its
+  // own (the configured policy decides everything), EC applies its
+  // drop-largest-EC rule first and uses the policy only as fallback.
+  struct Def {
+    const char* family;
+    ProtocolParams params;
+  };
+  const std::vector<Def> defs{
+      {"P-Q", pq_params(1.0, 1.0)},
+      {"EC", ec_params()},
+  };
+  const std::vector<EvictionPolicy> policies{
+      EvictionPolicy::kDropTail,
+      EvictionPolicy::kDropOldest,
+      EvictionPolicy::kDropMostReplicated,
+      EvictionPolicy::kDropLargestEc,
+  };
+  const std::vector<std::uint32_t> capacities = capacity_points();
+
+  Figure figure;
+  figure.id = std::string("capacity_") + scenario.name + "_" +
+              metric_slug(metric);
+  figure.title = std::string(metric_name(metric)) +
+                 " vs uniform buffer capacity per eviction policy (" +
+                 scenario.name + ", load " + std::to_string(kCapacityLoad) +
+                 ")";
+  figure.metric = metric;
+  figure.axis = "capacity";
+
+  std::unique_ptr<obs::ProgressReporter> progress;
+  if (o.progress) {
+    progress = std::make_unique<obs::ProgressReporter>(
+        figure.id,
+        defs.size() * policies.size() * capacities.size() * o.replications);
+  }
+
+  for (const auto& def : defs) {
+    for (const EvictionPolicy policy : policies) {
+      // One sweep per capacity point (the sweep machinery's axis is load,
+      // pinned here to kCapacityLoad); the points concatenate into one
+      // series whose `loads` carry the capacities.
+      SweepResult series;
+      series.scenario_name = scenario.name;
+      series.protocol = def.params;
+      for (const std::uint32_t capacity : capacities) {
+        SweepSpec spec;
+        spec.scenario = scenario;
+        spec.protocol = def.params;
+        spec.loads = {kCapacityLoad};
+        spec.replications = o.replications;
+        spec.master_seed = o.master_seed;
+        spec.buffer_capacity = capacity;
+        spec.threads = o.threads;
+        spec.eviction = policy;
+        spec.trace_sink = o.trace_sink;
+        spec.chrome = o.chrome;
+        spec.progress = progress.get();
+        spec.collect_stats = o.collect_stats;
+        spec.store = o.store;
+        SweepResult point = run_sweep_on(spec, trace);
+        series.loads.push_back(capacity);
+        series.points.push_back(std::move(point.points.front()));
+        series.runs.push_back(std::move(point.runs.front()));
+      }
+      figure.labels.push_back(std::string(def.family) + "/" +
+                              std::string(to_string(policy)));
+      figure.results.push_back(std::move(series));
+    }
+  }
+  return figure;
+}
+
 // --- figure registry ------------------------------------------------------------
 
 namespace {
@@ -501,6 +588,22 @@ constexpr FigureSpec kRegistry[] = {
      "encounter/occupancy/signaling profiles for every protocol family at "
      "loads 10/25/40 (RWP); capture with --stats-out",
      [](const FigureOptions& o) { return run_stats(o, true); }, false},
+    {"capacity_trace_delivery",
+     "drop-tail holds 100% delivery at every capacity (refusal stalls the "
+     "epidemic but never destroys a copy); drop-oldest/most-replicated cap "
+     "delivery near capacity/load by churning away last copies; "
+     "drop-largest-EC protects fresh copies and tracks drop-tail (trace "
+     "file)",
+     [](const FigureOptions& o) {
+       return run_capacity(o, Metric::kDeliveryRatio);
+     },
+     false},
+    {"capacity_trace_delay",
+     "drop-tail completion delay falls as capacity grows; the "
+     "copy-destroying policies never complete (horizon-charged); "
+     "drop-largest-EC matches drop-tail from capacity 8 up (trace file)",
+     [](const FigureOptions& o) { return run_capacity(o, Metric::kDelay); },
+     false},
 };
 
 }  // namespace

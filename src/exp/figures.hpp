@@ -33,6 +33,11 @@ struct FigureOptions {
 
   /// Persistent run cache (non-owning, optional); see SweepSpec::store.
   store::RunStore* store = nullptr;
+
+  /// Receiver-side admission policy applied to every run (see
+  /// RunSpec::eviction). Drop-tail (the default) is the paper's behavior
+  /// and keeps every figure bit-identical to older builds.
+  EvictionPolicy eviction = EvictionPolicy::kDropTail;
 };
 
 // --- protocol parameter shorthands (the paper's configurations) -------------
@@ -107,6 +112,21 @@ inline constexpr std::uint32_t kRobustnessLoad = 25;
 /// ("loss %"), not bundle load; load is pinned at kRobustnessLoad.
 [[nodiscard]] Figure run_robustness(const FigureOptions& o, Metric metric,
                                     bool rwp);
+
+// --- buffer-capacity sweeps -----------------------------------------------------
+
+/// Bundle load every capacity-sweep run uses: mid-range, so small buffers
+/// are clearly stressed (25 bundles cannot fit a 4-slot buffer) while large
+/// ones are not.
+inline constexpr std::uint32_t kCapacityLoad = 25;
+
+/// One metric vs uniform buffer capacity {4, 6, 8, 10, 14, 20} on the trace
+/// scenario, for each eviction policy on two protocol families: P-Q epidemic
+/// (no admission rule of its own, so the configured policy decides
+/// everything) and EC (its drop-largest-EC rule applies first, the policy
+/// only as fallback). The returned Figure's x axis is the capacity
+/// ("capacity"), not bundle load; load is pinned at kCapacityLoad.
+[[nodiscard]] Figure run_capacity(const FigureOptions& o, Metric metric);
 
 // --- figure registry ------------------------------------------------------------
 

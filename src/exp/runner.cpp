@@ -29,6 +29,8 @@ metrics::RunSummary run_single(const RunSpec& spec,
   SimulationConfig config;
   config.node_count = std::max(trace.node_count(), 2u);
   config.buffer_capacity = spec.buffer_capacity;
+  config.node_capacities = spec.node_capacities;
+  config.eviction_policy = spec.eviction;
   config.slot_seconds = spec.slot_seconds;
   config.horizon = spec.horizon;
   config.load = spec.load;
@@ -59,6 +61,7 @@ metrics::RunSummary run_single(const RunSpec& spec,
     obs::StatsCollector::Config stats_config;
     stats_config.node_count = config.node_count;
     stats_config.buffer_capacity = config.buffer_capacity;
+    stats_config.node_capacities = config.node_capacities;
     stats_config.slot_seconds = config.slot_seconds;
     stats = std::make_unique<obs::StatsCollector>(stats_config,
                                                   spec.trace_sink);
@@ -201,6 +204,24 @@ std::string store_key(const ScenarioSpec& scenario, const RunSpec& run) {
   kv(key, "slot", run.slot_seconds);
   kv(key, "horizon", run.horizon);
   kv(key, "gap", run.session_gap);
+
+  // Buffer-management extensions join the key only when they deviate from
+  // the defaults, so every pre-existing key stays byte-identical (the same
+  // discipline as the flows fragment above).
+  if (run.eviction != EvictionPolicy::kDropTail) {
+    key += "|evict=";
+    key += to_string(run.eviction);
+    key += ';';
+  }
+  if (!run.node_capacities.empty()) {
+    key += "|caps=[";
+    for (const std::uint32_t c : run.node_capacities) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%u;", c);
+      key += buf;
+    }
+    key += ']';
+  }
 
   // Fault plan: always serialized, active or not, so a plan change can
   // never collide with a pre-fault key (schema v2 made the break anyway).

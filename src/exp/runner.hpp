@@ -30,6 +30,17 @@ struct RunSpec {
   SimTime horizon = defaults::kTraceHorizon;
   SimTime session_gap = 1'800.0;  ///< see SimulationConfig
 
+  /// Receiver-side admission policy when a buffer is full. The default
+  /// (drop-tail) is the paper's implicit refuse-when-full behavior and
+  /// keeps every pre-existing store key and RunSummary bit-identical; any
+  /// other policy joins the store key (see store_key).
+  EvictionPolicy eviction = EvictionPolicy::kDropTail;
+
+  /// Heterogeneous per-node buffer capacities; empty (the default) means
+  /// every node gets the uniform `buffer_capacity`. Joins the store key
+  /// only when non-empty.
+  std::vector<std::uint32_t> node_capacities;
+
   /// Optional explicit multi-flow workload. Empty (the default) means the
   /// paper's single randomized flow: endpoints from pick_endpoints(), `load`
   /// bundles. Non-empty pins the flows verbatim (e.g. the large-N scenario's

@@ -42,6 +42,11 @@ struct ScenarioSpec {
   /// session).
   SimTime session_gap = 1'800.0;
 
+  /// Heterogeneous per-node buffer capacities (mixed device classes). Empty
+  /// — the default, and every canned scenario — means the uniform capacity
+  /// from the RunSpec. When non-empty the size must equal node_count().
+  std::vector<std::uint32_t> node_capacities;
+
   /// Node count of the active generator's parameter block.
   [[nodiscard]] std::uint32_t node_count() const noexcept;
 

@@ -47,6 +47,7 @@ SweepResult run_sweep_on(const SweepSpec& spec,
                            .scenario(spec.scenario)
                            .master_seed(spec.master_seed)
                            .buffer_capacity(spec.buffer_capacity)
+                           .eviction(spec.eviction)
                            .fault(spec.fault)
                            .trace_sink(spec.trace_sink)
                            .collect_stats(spec.collect_stats)

@@ -44,6 +44,10 @@ struct SweepSpec {
   std::uint32_t buffer_capacity = defaults::kBufferCapacity;
   unsigned threads = 0;  ///< 0 = hardware concurrency
 
+  /// Receiver-side admission policy applied to every run of the sweep (see
+  /// RunSpec::eviction). Drop-tail (the default) is the paper's behavior.
+  EvictionPolicy eviction = EvictionPolicy::kDropTail;
+
   /// Impairments applied to every run of the sweep (see fault::FaultPlan).
   /// All-zero (the default) injects nothing.
   fault::FaultPlan fault;

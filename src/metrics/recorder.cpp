@@ -1,6 +1,7 @@
 #include "metrics/recorder.hpp"
 
 #include <cassert>
+#include <utility>
 
 namespace epi::metrics {
 
@@ -9,6 +10,11 @@ Recorder::Recorder(std::uint32_t node_count, std::uint32_t buffer_capacity)
       buffer_capacity_(buffer_capacity),
       nodes_(node_count) {
   assert(node_count_ > 0 && buffer_capacity_ > 0);
+}
+
+void Recorder::set_node_capacities(std::vector<std::uint32_t> capacities) {
+  assert(capacities.empty() || capacities.size() == node_count_);
+  node_capacities_ = std::move(capacities);
 }
 
 Recorder::BundleTally& Recorder::tally(BundleId id) {
@@ -79,9 +85,21 @@ void Recorder::sample(SimTime t, std::uint32_t intended_load) {
   std::uint64_t copies = 0;
   for (const auto& n : nodes_) copies += n.size;
   point.live_copies = copies;
-  point.buffer_occupancy =
-      static_cast<double>(copies) /
-      (static_cast<double>(node_count_) * static_cast<double>(buffer_capacity_));
+  if (node_capacities_.empty()) {
+    point.buffer_occupancy =
+        static_cast<double>(copies) /
+        (static_cast<double>(node_count_) *
+         static_cast<double>(buffer_capacity_));
+  } else {
+    // Mean of per-node fill fractions: a small node at 100% counts as much
+    // as a large node at 100%.
+    double fill = 0.0;
+    for (std::uint32_t n = 0; n < node_count_; ++n) {
+      fill += static_cast<double>(nodes_[n].size) /
+              static_cast<double>(node_capacities_[n]);
+    }
+    point.buffer_occupancy = fill / static_cast<double>(node_count_);
+  }
   point.delivered_fraction =
       intended_load == 0 ? 0.0
                          : static_cast<double>(delivered_count_) /
@@ -118,10 +136,20 @@ double Recorder::mean_bundle_delay() const {
 double Recorder::avg_buffer_occupancy() const {
   assert(end_ && "finalize() must run first");
   if (*end_ <= 0.0) return 0.0;
-  double total = 0.0;
-  for (const auto& n : nodes_) total += n.size_integral;
-  return total / (static_cast<double>(node_count_) *
-                  static_cast<double>(buffer_capacity_) * *end_);
+  if (node_capacities_.empty()) {
+    double total = 0.0;
+    for (const auto& n : nodes_) total += n.size_integral;
+    return total / (static_cast<double>(node_count_) *
+                    static_cast<double>(buffer_capacity_) * *end_);
+  }
+  // Heterogeneous: time-average of the mean per-node fill fraction,
+  // sum_n (integral_n / C_n) / (N * T).
+  double weighted = 0.0;
+  for (std::uint32_t n = 0; n < node_count_; ++n) {
+    weighted += nodes_[n].size_integral /
+                static_cast<double>(node_capacities_[n]);
+  }
+  return weighted / (static_cast<double>(node_count_) * *end_);
 }
 
 double Recorder::avg_duplication_rate() const {

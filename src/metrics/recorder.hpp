@@ -32,6 +32,12 @@ class Recorder {
  public:
   Recorder(std::uint32_t node_count, std::uint32_t buffer_capacity);
 
+  /// Installs heterogeneous per-node capacities (size must be node_count or
+  /// zero). When set, occupancy statistics weight each node by its own
+  /// capacity; when empty (the default) the uniform expressions — and their
+  /// exact floating-point results — are unchanged.
+  void set_node_capacities(std::vector<std::uint32_t> capacities);
+
   // --- event feed (called by the engine) ------------------------------------
   void on_created(BundleId id, SimTime t);
   void on_stored(NodeId node, BundleId id, SimTime t);
@@ -120,6 +126,7 @@ class Recorder {
 
   std::uint32_t node_count_;
   std::uint32_t buffer_capacity_;
+  std::vector<std::uint32_t> node_capacities_;  // empty = uniform
 
   std::vector<NodeTally> nodes_;
   std::vector<BundleTally> bundles_;   // indexed by id (ids start at 1)

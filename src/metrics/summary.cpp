@@ -52,7 +52,8 @@ bool deterministic_equal(const RunSummary& a, const RunSummary& b) noexcept {
          a.perf.slots_lost == b.perf.slots_lost &&
          a.perf.down_slots == b.perf.down_slots &&
          a.perf.control_dropped == b.perf.control_dropped &&
-         a.perf.contacts_truncated == b.perf.contacts_truncated;
+         a.perf.contacts_truncated == b.perf.contacts_truncated &&
+         a.perf.transfers_refused_full == b.perf.transfers_refused_full;
 }
 
 double Aggregate::ci95_half_width() const {

@@ -28,6 +28,14 @@ struct PerfCounters {
   std::uint64_t control_dropped = 0;     ///< contact-start exchanges dropped
   std::uint64_t contacts_truncated = 0;  ///< contacts cut short mid-flight
 
+  /// Transfers refused because the receiver's buffer was full and the
+  /// admission policy found no victim — one per (sender, receiver, slot)
+  /// refusal event, i.e. one wasted bundle slot. Previously these slots
+  /// vanished without a trace; the counter depends only on seed and
+  /// configuration, so it participates in deterministic_equal() and in the
+  /// run-store encoding.
+  std::uint64_t transfers_refused_full = 0;
+
   // Contact-path allocation accounting: each use of an engine-owned scratch
   // buffer is booked as a reuse (its capacity sufficed — no heap traffic) or
   // an alloc (it had to grow). A warmed-up run reports scratch_allocs == 0;

@@ -372,12 +372,20 @@ std::uint64_t pair_key(NodeId a, NodeId b) noexcept {
 StatsCollector::StatsCollector(const Config& config, TraceSink* downstream)
     : downstream_(downstream) {
   profile_.node_count = config.node_count;
-  profile_.buffer_capacity = config.buffer_capacity;
+  // Heterogeneous capacities share one occupancy histogram sized to the
+  // largest node; each node's level is clamped to its own capacity (caps_).
+  std::uint32_t max_capacity = config.buffer_capacity;
+  if (!config.node_capacities.empty()) {
+    caps_ = config.node_capacities;
+    max_capacity = *std::max_element(caps_.begin(), caps_.end());
+  } else {
+    caps_.assign(config.node_count, config.buffer_capacity);
+  }
+  profile_.buffer_capacity = max_capacity;
   profile_.slot_seconds = config.slot_seconds;
   profile_.node_contacts.assign(config.node_count, 0);
   profile_.degree_hist.assign(std::size_t{config.node_count}, 0);
-  profile_.occupancy_time.assign(std::size_t{config.buffer_capacity} + 1,
-                                 0.0);
+  profile_.occupancy_time.assign(std::size_t{max_capacity} + 1, 0.0);
   last_contact_.assign(config.node_count, -1.0);
   level_.assign(config.node_count, 0);
   level_since_.assign(config.node_count, 0.0);
@@ -396,8 +404,7 @@ StatsCollector::OpenSession* StatsCollector::find_session(
 
 void StatsCollector::advance_occupancy(NodeId node, double t) noexcept {
   const auto n = static_cast<std::size_t>(node);
-  const std::uint32_t level =
-      std::min(level_[n], profile_.buffer_capacity);
+  const std::uint32_t level = std::min(level_[n], caps_[n]);
   profile_.occupancy_time[level] += t - level_since_[n];
   level_since_[n] = t;
 }

@@ -218,6 +218,11 @@ class StatsCollector final : public TraceSink {
     std::uint32_t node_count = 2;
     std::uint32_t buffer_capacity = 1;
     double slot_seconds = 1.0;
+    /// Heterogeneous per-node capacities; empty (default) = uniform
+    /// buffer_capacity. When non-empty the occupancy histogram is sized to
+    /// the largest capacity (profile.buffer_capacity reports that max) and
+    /// each node's fill level is clamped to its own capacity.
+    std::vector<std::uint32_t> node_capacities;
   };
 
   explicit StatsCollector(const Config& config,
@@ -266,6 +271,7 @@ class StatsCollector final : public TraceSink {
   ReservoirSample durations_{kReservoirCapacity};  ///< closed-session lengths
 
   std::vector<double> last_contact_;  ///< per node; -1 = no contact yet
+  std::vector<std::uint32_t> caps_;   ///< per-node capacity clamp
   std::vector<std::uint32_t> level_;  ///< current buffer fill per node
   std::vector<double> level_since_;   ///< last occupancy change per node
   std::vector<std::uint64_t> peer_bits_;  ///< node_count x node_count bitset

@@ -41,9 +41,13 @@ void AntiPacketBase::on_delivered(Engine& engine, dtn::DtnNode& sender,
 }
 
 bool AntiPacketBase::make_room(Engine& engine, dtn::DtnNode& receiver,
-                               BundleId, SimTime now) {
+                               BundleId incoming, SimTime now) {
   if (!receiver.buffer().full()) return true;
-  if (policy_ == PurgePolicy::kEager) return false;  // nothing lazy to reuse
+  if (policy_ == PurgePolicy::kEager) {
+    // Nothing lazy to reuse; defer to the configured fallback policy
+    // (refuses under the drop-tail default, exactly as before).
+    return Protocol::make_room(engine, receiver, incoming, now);
+  }
 
   // Lazy overwrite: sacrifice the oldest vaccinated copy.
   const dtn::StoredBundle* victim = nullptr;
@@ -53,7 +57,9 @@ bool AntiPacketBase::make_room(Engine& engine, dtn::DtnNode& receiver,
       break;  // entries are in FIFO order
     }
   }
-  if (victim == nullptr) return false;
+  if (victim == nullptr) {
+    return Protocol::make_room(engine, receiver, incoming, now);
+  }
   engine.purge(receiver, victim->id, dtn::RemoveReason::kImmunized, now);
   // A purge at the source refills the buffer; report honestly.
   return !receiver.buffer().full();

@@ -6,20 +6,20 @@
 
 namespace epi::routing {
 
-bool EcEpidemic::make_room(Engine& engine, dtn::DtnNode& receiver, BundleId,
-                           SimTime now) {
+bool EcEpidemic::make_room(Engine& engine, dtn::DtnNode& receiver,
+                           BundleId incoming, SimTime now) {
   if (!receiver.buffer().full()) return true;
 
-  // Highest EC among evictable copies; FIFO order makes the first maximum
-  // the oldest-stored one.
-  const dtn::StoredBundle* victim = nullptr;
-  for (const auto& entry : receiver.buffer().entries()) {
-    if (!evictable(entry)) continue;
-    if (victim == nullptr || entry.ec > victim->ec) victim = &entry;
+  // Highest EC among evictable copies (oldest-stored first among ties).
+  // When EC protection leaves no victim, defer to the configured fallback
+  // policy — under the drop-tail default that refuses, exactly as before.
+  const BundleId victim = receiver.buffer().select_victim(
+      {EvictionPolicy::kDropLargestEc, min_evict_ec(), {}});
+  if (victim == kInvalidBundle) {
+    return Protocol::make_room(engine, receiver, incoming, now);
   }
-  if (victim == nullptr) return false;
 
-  engine.purge(receiver, victim->id, dtn::RemoveReason::kEvicted, now);
+  engine.purge(receiver, victim, dtn::RemoveReason::kEvicted, now);
   // Purging at the source refills the buffer immediately; only report room
   // if the eviction actually freed a slot.
   return !receiver.buffer().full();
@@ -47,12 +47,12 @@ void EcEpidemic::on_delivered(Engine& engine, dtn::DtnNode& sender,
   on_ec_changed(engine, sender, id, copy->ec, now);
 }
 
-bool EcEpidemic::evictable(const dtn::StoredBundle& copy) const {
+std::uint32_t EcEpidemic::min_evict_ec() const {
   // "A high EC means there are many duplicates in the network, and thus can
   //  be safely overwritten": a never-transmitted copy (EC 0) has NO
   //  duplicates — overwriting it destroys the bundle outright, so it is
   //  protected. Only the source ever holds EC-0 copies.
-  return copy.ec > 0;
+  return 1;
 }
 
 void EcEpidemic::on_ec_changed(Engine&, dtn::DtnNode&, BundleId,
@@ -67,9 +67,7 @@ EcTtlEpidemic::EcTtlEpidemic(std::uint32_t ec_threshold, SimTime ttl_base,
   assert(ttl_base_ >= 0.0 && ttl_step_ > 0.0);
 }
 
-bool EcTtlEpidemic::evictable(const dtn::StoredBundle& copy) const {
-  return copy.ec >= min_evict_ec_;
-}
+std::uint32_t EcTtlEpidemic::min_evict_ec() const { return min_evict_ec_; }
 
 void EcTtlEpidemic::on_ec_changed(Engine& engine, dtn::DtnNode& holder,
                                   BundleId id, std::uint32_t ec, SimTime now) {

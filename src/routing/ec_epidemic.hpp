@@ -49,8 +49,10 @@ class EcEpidemic : public Protocol {
                     SimTime now) override;
 
  protected:
-  /// Whether the eviction policy may sacrifice this copy. Plain EC: always.
-  [[nodiscard]] virtual bool evictable(const dtn::StoredBundle& copy) const;
+  /// Minimum EC a copy needs to be evictable (the select_victim min_ec).
+  /// Plain EC: 1 — a never-transmitted copy (EC 0) has NO duplicates, so
+  /// overwriting it would destroy the bundle outright.
+  [[nodiscard]] virtual std::uint32_t min_evict_ec() const;
 
   /// Post-EC-change hook for the EC+TTL subclass; plain EC does nothing.
   virtual void on_ec_changed(Engine& engine, dtn::DtnNode& holder,
@@ -69,7 +71,7 @@ class EcTtlEpidemic final : public EcEpidemic {
  protected:
   /// "A minimum EC value before nodes are allowed to delete a bundle":
   /// under-duplicated copies are protected from eviction.
-  [[nodiscard]] bool evictable(const dtn::StoredBundle& copy) const override;
+  [[nodiscard]] std::uint32_t min_evict_ec() const override;
 
   /// Algo 2: while EC <= threshold, store unconditionally; past it the copy
   /// gets TTL = ttl_base - (EC - threshold - 1) * ttl_step ("bundles

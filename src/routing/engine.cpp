@@ -27,8 +27,11 @@ Engine::Engine(SimulationConfig config, const mobility::ContactTrace& trace,
   nodes_.reserve(config_.node_count);
   for (NodeId id = 0; id < config_.node_count; ++id) {
     nodes_.push_back(
-        std::make_unique<dtn::DtnNode>(id, config_.buffer_capacity));
+        std::make_unique<dtn::DtnNode>(id, config_.capacity_of(id)));
   }
+  // Heterogeneous capacities change the occupancy normalisation; the
+  // recorder keeps the legacy uniform expression when this is empty.
+  recorder_.set_node_capacities(config_.node_capacities);
 
   flows_ = config_.resolved_flows();
   injected_.assign(flows_.size(), 0);
@@ -38,6 +41,7 @@ Engine::Engine(SimulationConfig config, const mobility::ContactTrace& trace,
     total_load_ += flow.load;
   }
   bundles_.resize(static_cast<std::size_t>(total_load_) + 1);
+  replica_counts_.assign(static_cast<std::size_t>(total_load_) + 1, 0);
 
   // Pre-size every per-node dense-id bitset for the full id range 1..load:
   // contact-path inserts and merges then never grow word storage.
@@ -45,11 +49,12 @@ Engine::Engine(SimulationConfig config, const mobility::ContactTrace& trace,
     n->reserve_bundle_ids(static_cast<BundleId>(total_load_));
   }
 
-  // Both contact-path scratch buffers are bounded by the buffer capacity (an
-  // offer scan or purge sweep visits at most one buffer's worth of ids), so
-  // reserving it here makes the steady-state contact path allocation-free.
-  offer_scratch_.reserve(config_.buffer_capacity);
-  purge_scratch_.reserve(config_.buffer_capacity);
+  // Both contact-path scratch buffers are bounded by the largest buffer
+  // capacity (an offer scan or purge sweep visits at most one buffer's worth
+  // of ids), so reserving it here makes the steady-state contact path
+  // allocation-free even under heterogeneous per-node capacities.
+  offer_scratch_.reserve(config_.max_capacity());
+  purge_scratch_.reserve(config_.max_capacity());
 
   // Contacts are fed lazily from a cursor over the sorted trace: only the
   // next start instant is ever pending, instead of one event per contact up
@@ -114,6 +119,7 @@ metrics::RunSummary Engine::run() {
   summary.perf.down_slots = down_slots_;
   summary.perf.control_dropped = control_dropped_;
   summary.perf.contacts_truncated = contacts_truncated_;
+  summary.perf.transfers_refused_full = transfers_refused_;
   summary.flow_delivery.reserve(flows_.size());
   for (std::size_t f = 0; f < flows_.size(); ++f) {
     summary.flow_delivery.push_back(
@@ -367,8 +373,11 @@ bool Engine::try_transfer(SessionId session, dtn::DtnNode& sender,
     if (receiver_rejected_for_space) continue;
     if (receiver.buffer().full() &&
         !protocol_->make_room(*this, receiver, id, now)) {
-      // Without an eviction policy, a full buffer refuses every relay
-      // bundle; keep scanning only for potential deliveries.
+      // A refusing admission policy (drop-tail, or no evictable victim)
+      // turns down every relay bundle; keep scanning only for potential
+      // deliveries. Booked once per refusal event — the slot is wasted
+      // whether one or ten bundles were turned away.
+      count_transfer_refused();
       receiver_rejected_for_space = true;
       continue;
     }
@@ -482,6 +491,7 @@ dtn::StoredBundle& Engine::store_copy(dtn::DtnNode& holder,
                                       dtn::StoredBundle copy,
                                       const dtn::DtnNode* from, SimTime now) {
   dtn::StoredBundle& stored = holder.buffer().insert(copy);
+  ++replica_counts_[stored.id];
   recorder_.on_stored(holder.id(), stored.id, now);
   if (sink_ != nullptr) {
     trace([&](obs::TraceEvent& ev) {
@@ -507,6 +517,8 @@ void Engine::purge(dtn::DtnNode& holder, BundleId id, dtn::RemoveReason why,
   if (copy == nullptr) return;
   sim_.cancel(copy->expiry_event);
   holder.buffer().remove(id);
+  assert(replica_counts_[id] > 0);
+  --replica_counts_[id];
   recorder_.on_removed(holder.id(), id, now, why);
   if (sink_ != nullptr) {
     trace([&](obs::TraceEvent& ev) {

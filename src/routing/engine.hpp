@@ -147,6 +147,21 @@ class Engine {
     return ScratchLease(*this, purge_scratch_);
   }
 
+  /// Dense per-bundle live replica counts (index = BundleId, 1-based like
+  /// the bundles themselves), maintained exactly from every store/purge the
+  /// engine performs. This is the replica estimate the kDropMostReplicated
+  /// eviction policy consults — an omniscient-simulator count, standing in
+  /// for the gossip-built estimates a real deployment would carry.
+  [[nodiscard]] std::span<const std::uint32_t> replica_counts() const noexcept {
+    return replica_counts_;
+  }
+
+  /// Books one transfer refused because the receiver's buffer was full and
+  /// the admission policy found no victim. Counted once per (sender,
+  /// receiver, slot) refusal event — the wasted-slot unit — and exported as
+  /// the deterministic `transfers_refused_full` PerfCounter.
+  void count_transfer_refused() noexcept { ++transfers_refused_; }
+
  private:
   /// A live contact session in the slot pool. `id` doubles as the occupancy
   /// marker: 0 is a free slot, and a session's packed id (see
@@ -303,6 +318,10 @@ class Engine {
   std::uint64_t down_slots_ = 0;
   std::uint64_t control_dropped_ = 0;
   std::uint64_t contacts_truncated_ = 0;
+
+  /// Live copies per bundle id (see replica_counts()); index 0 unused.
+  std::vector<std::uint32_t> replica_counts_;
+  std::uint64_t transfers_refused_ = 0;  ///< full-buffer refusal events
 };
 
 }  // namespace epi::routing

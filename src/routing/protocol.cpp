@@ -1,5 +1,7 @@
 #include "routing/protocol.hpp"
 
+#include "routing/engine.hpp"
+
 namespace epi::routing {
 
 void Protocol::on_injected(Engine&, dtn::DtnNode&, dtn::StoredBundle&,
@@ -21,9 +23,23 @@ bool Protocol::may_offer(Engine&, SessionId, const dtn::DtnNode&,
   return true;
 }
 
-bool Protocol::make_room(Engine&, dtn::DtnNode& receiver, BundleId, SimTime) {
-  // Default admission policy: refuse when full (pure epidemic, TTL and
-  // immunity variants never evict; their buffers drain via TTL / purges).
+bool Protocol::make_room(Engine& engine, dtn::DtnNode& receiver, BundleId,
+                         SimTime now) {
+  // Generic admission: apply the configured eviction policy. The default
+  // (drop-tail) selects no victim and therefore refuses when full — the
+  // paper's implicit behavior for the pure epidemic, TTL and immunity
+  // variants, whose buffers otherwise drain via TTL / purges.
+  if (!receiver.buffer().full()) return true;
+  const dtn::BundleBuffer::EvictionQuery query{
+      engine.config().eviction_policy,
+      /*min_ec=*/1,
+      engine.replica_counts(),
+  };
+  const BundleId victim = receiver.buffer().select_victim(query);
+  if (victim == kInvalidBundle) return false;
+  engine.purge(receiver, victim, dtn::RemoveReason::kEvicted, now);
+  // Purging at the source refills the buffer immediately; only report room
+  // if the eviction actually freed a slot.
   return !receiver.buffer().full();
 }
 

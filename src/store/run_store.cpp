@@ -114,6 +114,7 @@ std::string encode_record(const std::string& key,
   field_u64("perf_down_slots", s.perf.down_slots);
   field_u64("perf_control_dropped", s.perf.control_dropped);
   field_u64("perf_contacts_truncated", s.perf.contacts_truncated);
+  field_u64("perf_transfers_refused_full", s.perf.transfers_refused_full);
   out += "}\n";
   return out;
 }
@@ -202,6 +203,8 @@ class RecordParser {
         s.perf.control_dropped = parse_u64();
       } else if (name == "perf_contacts_truncated") {
         s.perf.contacts_truncated = parse_u64();
+      } else if (name == "perf_transfers_refused_full") {
+        s.perf.transfers_refused_full = parse_u64();
       } else {
         skip_value();  // forward compatibility
       }

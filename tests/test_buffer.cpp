@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "core/error.hpp"
+
 namespace epi::dtn {
 namespace {
 
@@ -81,24 +85,125 @@ TEST(BundleBuffer, EntriesKeepFifoOrder) {
   EXPECT_EQ(entries[1].id, 2u);
 }
 
-TEST(BundleBuffer, HighestEcEmpty) {
-  const BundleBuffer buffer(4);
-  EXPECT_EQ(buffer.highest_ec_bundle(), kInvalidBundle);
+TEST(BundleBuffer, InsertIntoFullBufferThrows) {
+  // Enforced in every build mode: the admission seam must never overfill a
+  // buffer silently.
+  BundleBuffer buffer(2);
+  buffer.insert(copy_of(1));
+  buffer.insert(copy_of(2));
+  EXPECT_THROW(buffer.insert(copy_of(3)), Error);
+  EXPECT_EQ(buffer.size(), 2u);
 }
 
-TEST(BundleBuffer, HighestEcPicksMaximum) {
+TEST(BundleBuffer, InsertDuplicateThrows) {
+  BundleBuffer buffer(4);
+  buffer.insert(copy_of(1));
+  EXPECT_THROW(buffer.insert(copy_of(1)), Error);
+  EXPECT_EQ(buffer.size(), 1u);
+}
+
+TEST(BundleBuffer, SelectVictimLargestEcEmpty) {
+  // min_ec = 0 replicates the legacy highest_ec_bundle() semantics: every
+  // copy evictable, highest EC wins.
+  const BundleBuffer buffer(4);
+  EXPECT_EQ(buffer.select_victim({EvictionPolicy::kDropLargestEc, 0, {}}),
+            kInvalidBundle);
+}
+
+TEST(BundleBuffer, SelectVictimLargestEcPicksMaximum) {
   BundleBuffer buffer(5);
   buffer.insert(copy_of(1, 2));
   buffer.insert(copy_of(2, 7));
   buffer.insert(copy_of(3, 4));
-  EXPECT_EQ(buffer.highest_ec_bundle(), 2u);
+  EXPECT_EQ(buffer.select_victim({EvictionPolicy::kDropLargestEc, 0, {}}),
+            2u);
 }
 
-TEST(BundleBuffer, HighestEcTieBreaksToOldest) {
+TEST(BundleBuffer, SelectVictimLargestEcTieBreaksToOldest) {
   BundleBuffer buffer(5);
   buffer.insert(copy_of(4, 7, 1.0));
   buffer.insert(copy_of(9, 7, 2.0));
-  EXPECT_EQ(buffer.highest_ec_bundle(), 4u);
+  EXPECT_EQ(buffer.select_victim({EvictionPolicy::kDropLargestEc, 0, {}}),
+            4u);
+}
+
+TEST(BundleBuffer, SelectVictimLargestEcRespectsMinEc) {
+  BundleBuffer buffer(5);
+  buffer.insert(copy_of(1, 0));
+  buffer.insert(copy_of(2, 3));
+  buffer.insert(copy_of(3, 5));
+  // min_ec above every EC: all copies protected, no victim.
+  EXPECT_EQ(buffer.select_victim({EvictionPolicy::kDropLargestEc, 6, {}}),
+            kInvalidBundle);
+  // min_ec = 1 protects exactly the never-transmitted copy.
+  EXPECT_EQ(buffer.select_victim({EvictionPolicy::kDropLargestEc, 1, {}}),
+            3u);
+}
+
+TEST(BundleBuffer, SelectVictimDropTailNeverPicks) {
+  BundleBuffer buffer(2);
+  buffer.insert(copy_of(1, 9));
+  buffer.insert(copy_of(2, 9));
+  EXPECT_EQ(buffer.select_victim({EvictionPolicy::kDropTail, 1, {}}),
+            kInvalidBundle);
+}
+
+TEST(BundleBuffer, SelectVictimDropOldestPicksFifoHead) {
+  BundleBuffer buffer(3);
+  buffer.insert(copy_of(5));
+  buffer.insert(copy_of(1));
+  buffer.insert(copy_of(3));
+  EXPECT_EQ(buffer.select_victim({EvictionPolicy::kDropOldest, 1, {}}), 5u);
+  buffer.remove(5);
+  EXPECT_EQ(buffer.select_victim({EvictionPolicy::kDropOldest, 1, {}}), 1u);
+}
+
+TEST(BundleBuffer, SelectVictimDropOldestEmpty) {
+  const BundleBuffer buffer(1);
+  EXPECT_EQ(buffer.select_victim({EvictionPolicy::kDropOldest, 1, {}}),
+            kInvalidBundle);
+}
+
+TEST(BundleBuffer, SelectVictimMostReplicated) {
+  BundleBuffer buffer(3);
+  buffer.insert(copy_of(1));
+  buffer.insert(copy_of(2));
+  buffer.insert(copy_of(3));
+  // Dense by id; index 0 unused.
+  const std::vector<std::uint32_t> counts{0, 2, 5, 3};
+  EXPECT_EQ(buffer.select_victim(
+                {EvictionPolicy::kDropMostReplicated, 1, counts}),
+            2u);
+}
+
+TEST(BundleBuffer, SelectVictimMostReplicatedTieBreaksToOldest) {
+  BundleBuffer buffer(3);
+  buffer.insert(copy_of(3));
+  buffer.insert(copy_of(1));
+  const std::vector<std::uint32_t> counts{0, 4, 0, 4};
+  EXPECT_EQ(buffer.select_victim(
+                {EvictionPolicy::kDropMostReplicated, 1, counts}),
+            3u);
+}
+
+TEST(BundleBuffer, SelectVictimMostReplicatedEmptyEstimate) {
+  // No estimate: all counts read as zero, ties resolve to the FIFO head.
+  BundleBuffer buffer(2);
+  buffer.insert(copy_of(7));
+  buffer.insert(copy_of(2));
+  EXPECT_EQ(buffer.select_victim(
+                {EvictionPolicy::kDropMostReplicated, 1, {}}),
+            7u);
+}
+
+TEST(BundleBuffer, SelectVictimCapacityOne) {
+  BundleBuffer buffer(1);
+  buffer.insert(copy_of(1, 3));
+  EXPECT_EQ(buffer.select_victim({EvictionPolicy::kDropOldest, 1, {}}), 1u);
+  EXPECT_EQ(buffer.select_victim({EvictionPolicy::kDropLargestEc, 1, {}}),
+            1u);
+  EXPECT_EQ(buffer.select_victim({EvictionPolicy::kDropTail, 1, {}}),
+            kInvalidBundle);
 }
 
 TEST(BundleBuffer, MutationThroughFindSticks) {

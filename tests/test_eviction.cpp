@@ -1,0 +1,269 @@
+// Engine-level eviction-policy tests.
+//
+// The contract under test: the default drop-tail policy IS the engine's
+// historic implicit refuse-when-full behavior — bit-identical summaries,
+// byte-identical store keys — while every non-default policy turns the
+// silent refusal into observable kEvicted removals, and heterogeneous
+// per-node capacities keep the occupancy accounting honest. Per-policy
+// victim-selection units live in test_buffer.cpp; this file covers the
+// full engine path.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/eviction.hpp"
+#include "exp/builders.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "golden_cases.hpp"
+#include "metrics/summary.hpp"
+#include "obs/stats.hpp"
+
+namespace epi {
+namespace {
+
+/// A configuration with real buffer pressure: more bundles than any relay
+/// can hold, so the admission path runs constantly.
+exp::RunSpec pressured_spec(const exp::ScenarioSpec& scenario,
+                            EvictionPolicy policy) {
+  ProtocolParams params;
+  params.kind = ProtocolKind::kPureEpidemic;
+  return exp::RunSpecBuilder()
+      .protocol(params)
+      .scenario(scenario)
+      .load(60)
+      .buffer_capacity(6)
+      .replication(1)
+      .eviction(policy)
+      .build();
+}
+
+// Differential pin: an explicitly built drop-tail RunSpec reproduces every
+// golden case bit-identically. This is the "bugfix changes nothing by
+// default" guarantee, checked over both scenarios and all eight protocol
+// families of the golden table.
+TEST(Eviction, DropTailMatchesImplicitDefaultOnGoldenCases) {
+  const auto trace_spec = exp::trace_scenario();
+  const auto rwp_spec = exp::rwp_scenario();
+  const auto trace = exp::build_contact_trace(trace_spec, 42);
+  const auto rwp = exp::build_contact_trace(rwp_spec, 42);
+  for (const GoldenCase& c : kGolden) {
+    const bool is_rwp = std::string_view(c.scenario) == "rwp";
+    const auto& scenario = is_rwp ? rwp_spec : trace_spec;
+    const auto& contacts = is_rwp ? rwp : trace;
+
+    exp::RunSpec implicit;  // the pre-policy spec shape, field by field
+    implicit.protocol.kind = protocol_from_string(c.protocol);
+    implicit.load = c.load;
+    implicit.replication = c.replication;
+    implicit.horizon = scenario.horizon();
+    implicit.session_gap = scenario.session_gap;
+
+    ProtocolParams params;
+    params.kind = protocol_from_string(c.protocol);
+    const exp::RunSpec explicit_tail = exp::RunSpecBuilder()
+                                           .protocol(params)
+                                           .scenario(scenario)
+                                           .load(c.load)
+                                           .replication(c.replication)
+                                           .eviction(EvictionPolicy::kDropTail)
+                                           .build();
+
+    const auto a = exp::run_single(implicit, contacts);
+    const auto b = exp::run_single(explicit_tail, contacts);
+    EXPECT_TRUE(metrics::deterministic_equal(a, b))
+        << c.scenario << "/" << c.protocol << " load " << c.load;
+  }
+}
+
+// The same differential across eight master seeds: drop-tail must be the
+// identity transformation regardless of flow endpoints and trace shape.
+TEST(Eviction, DropTailMatchesImplicitDefaultAcrossSeeds) {
+  const auto scenario = exp::trace_scenario();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto trace = exp::build_contact_trace(scenario, seed);
+
+    exp::RunSpec implicit;
+    implicit.protocol.kind = ProtocolKind::kPureEpidemic;
+    implicit.load = 25;
+    implicit.replication = 1;
+    implicit.master_seed = seed;
+    implicit.horizon = scenario.horizon();
+    implicit.session_gap = scenario.session_gap;
+
+    exp::RunSpec explicit_tail = implicit;
+    explicit_tail.eviction = EvictionPolicy::kDropTail;
+
+    const auto a = exp::run_single(implicit, trace);
+    const auto b = exp::run_single(explicit_tail, trace);
+    EXPECT_TRUE(metrics::deterministic_equal(a, b)) << "seed " << seed;
+  }
+}
+
+// Under pressure, drop-tail never evicts for a protocol without its own
+// admission rule; every non-default policy produces observable kEvicted
+// removals from the identical trace. (Note drop-tail's *refusal* count can
+// legitimately be zero even with full buffers: anti-entropy filters offers
+// the receiver already holds, so a saturated epidemic stalls silently —
+// exactly the behavior the transfers_refused_full counter makes visible
+// where it does occur; see the dynamic-TTL test below.)
+TEST(Eviction, NonDefaultPoliciesProduceObservableEvictions) {
+  const auto scenario = exp::trace_scenario();
+  const auto trace = exp::build_contact_trace(scenario, 42);
+
+  const auto tail =
+      exp::run_single(pressured_spec(scenario, EvictionPolicy::kDropTail),
+                      trace);
+  EXPECT_EQ(tail.drops_evicted, 0u);
+
+  for (const EvictionPolicy policy : {EvictionPolicy::kDropOldest,
+                                      EvictionPolicy::kDropMostReplicated,
+                                      EvictionPolicy::kDropLargestEc}) {
+    const auto s = exp::run_single(pressured_spec(scenario, policy), trace);
+    EXPECT_GT(s.drops_evicted, 0u) << to_string(policy);
+    // Admission policy must not perturb the contact process itself: the
+    // same trace drives both runs, offer order included.
+    EXPECT_EQ(s.contacts, tail.contacts) << to_string(policy);
+  }
+}
+
+// The refusal counter observable end to end: dynamic TTL expires bundles,
+// which re-creates content heterogeneity between peers, so full receivers
+// keep being offered bundles they lack — the one paper configuration where
+// the implicit drop-tail path visibly refuses relay traffic.
+TEST(Eviction, RefusalCounterObservableUnderDynamicTtl) {
+  const auto scenario = exp::trace_scenario();
+  const auto trace = exp::build_contact_trace(scenario, 42);
+  ProtocolParams params;
+  params.kind = ProtocolKind::kDynamicTtl;
+  const exp::RunSpec spec = exp::RunSpecBuilder()
+                                .protocol(params)
+                                .scenario(scenario)
+                                .load(25)
+                                .replication(1)
+                                .build();
+  const auto s = exp::run_single(spec, trace);
+  EXPECT_GT(s.perf.transfers_refused_full, 0u);
+  EXPECT_EQ(s.drops_evicted, 0u);  // drop-tail still never evicts
+}
+
+// Offer-order consistency: eviction mid-contact reorders buffer storage,
+// and a rerun of the identical spec must still walk the identical offer
+// sequence — i.e. the whole summary reproduces bit-exactly.
+TEST(Eviction, EvictingRunsAreDeterministic) {
+  const auto scenario = exp::trace_scenario();
+  const auto trace = exp::build_contact_trace(scenario, 42);
+  for (const EvictionPolicy policy : {EvictionPolicy::kDropOldest,
+                                      EvictionPolicy::kDropMostReplicated,
+                                      EvictionPolicy::kDropLargestEc}) {
+    const auto spec = pressured_spec(scenario, policy);
+    const auto a = exp::run_single(spec, trace);
+    const auto b = exp::run_single(spec, trace);
+    EXPECT_TRUE(metrics::deterministic_equal(a, b)) << to_string(policy);
+  }
+}
+
+// Store-key stability: defaults add no fragments (byte-identical keys, so
+// every pre-existing run-store entry stays valid); non-defaults do.
+TEST(Eviction, StoreKeyStableUnderDefaults) {
+  const auto scenario = exp::trace_scenario();
+
+  exp::RunSpec implicit;
+  implicit.protocol.kind = ProtocolKind::kPureEpidemic;
+  implicit.load = 25;
+  implicit.replication = 1;
+  implicit.horizon = scenario.horizon();
+  implicit.session_gap = scenario.session_gap;
+  const std::string base_key = exp::store_key(scenario, implicit);
+  EXPECT_EQ(base_key.find("|evict="), std::string::npos);
+  EXPECT_EQ(base_key.find("|caps="), std::string::npos);
+
+  exp::RunSpec explicit_tail = implicit;
+  explicit_tail.eviction = EvictionPolicy::kDropTail;
+  EXPECT_EQ(exp::store_key(scenario, explicit_tail), base_key);
+
+  exp::RunSpec oldest = implicit;
+  oldest.eviction = EvictionPolicy::kDropOldest;
+  const std::string oldest_key = exp::store_key(scenario, oldest);
+  EXPECT_NE(oldest_key.find("|evict=drop_oldest;"), std::string::npos);
+  EXPECT_NE(oldest_key, base_key);
+
+  exp::RunSpec capped = implicit;
+  capped.node_capacities.assign(scenario.node_count(), 10);
+  const std::string capped_key = exp::store_key(scenario, capped);
+  EXPECT_NE(capped_key.find("|caps=["), std::string::npos);
+  EXPECT_NE(capped_key, base_key);
+}
+
+// Heterogeneous capacities: the stats occupancy histogram must be sized to
+// the largest capacity and still integrate to node_count * end_time, and
+// the recorder's occupancy must stay a valid fill fraction.
+TEST(Eviction, HeterogeneousCapacityOccupancyIntegrates) {
+  const auto scenario = exp::trace_scenario();
+  const auto trace = exp::build_contact_trace(scenario, 42);
+  const std::uint32_t nodes = scenario.node_count();
+
+  std::vector<std::uint32_t> caps(nodes);
+  for (std::uint32_t n = 0; n < nodes; ++n) caps[n] = (n % 2 == 0) ? 4 : 12;
+
+  ProtocolParams params;
+  params.kind = ProtocolKind::kPureEpidemic;
+  const exp::RunSpec spec = exp::RunSpecBuilder()
+                                .protocol(params)
+                                .scenario(scenario)
+                                .load(40)
+                                .replication(1)
+                                .node_capacities(caps)
+                                .collect_stats(true)
+                                .build();
+  const auto s = exp::run_single(spec, trace);
+
+  ASSERT_NE(s.stats, nullptr);
+  EXPECT_EQ(s.stats->buffer_capacity, 12u);  // max over heterogeneous caps
+  ASSERT_EQ(s.stats->occupancy_time.size(), 13u);
+  double integrated = 0.0;
+  for (const double seconds : s.stats->occupancy_time) integrated += seconds;
+  const double expected = static_cast<double>(nodes) * s.end_time;
+  EXPECT_NEAR(integrated, expected, 1e-6 * expected);
+
+  EXPECT_GE(s.buffer_occupancy, 0.0);
+  EXPECT_LE(s.buffer_occupancy, 1.0);
+  EXPECT_GT(s.buffer_occupancy, 0.0);  // bundles flowed, buffers filled
+}
+
+// A capacity vector that is uniform must reproduce the homogeneous run's
+// simulation outcomes; only the occupancy average may move by FP
+// reassociation (per-node division versus one shared division).
+TEST(Eviction, UniformCapacityVectorMatchesHomogeneousRun) {
+  const auto scenario = exp::trace_scenario();
+  const auto trace = exp::build_contact_trace(scenario, 42);
+
+  ProtocolParams params;
+  params.kind = ProtocolKind::kPureEpidemic;
+  const exp::RunSpec uniform = exp::RunSpecBuilder()
+                                   .protocol(params)
+                                   .scenario(scenario)
+                                   .load(25)
+                                   .replication(1)
+                                   .build();
+  exp::RunSpec vectored = uniform;
+  vectored.node_capacities.assign(scenario.node_count(),
+                                  uniform.buffer_capacity);
+
+  const auto a = exp::run_single(uniform, trace);
+  const auto b = exp::run_single(vectored, trace);
+  EXPECT_DOUBLE_EQ(a.delivery_ratio, b.delivery_ratio);
+  EXPECT_EQ(a.bundle_transmissions, b.bundle_transmissions);
+  EXPECT_EQ(a.contacts, b.contacts);
+  EXPECT_EQ(a.drops_evicted, b.drops_evicted);
+  EXPECT_EQ(a.perf.transfers, b.perf.transfers);
+  EXPECT_EQ(a.perf.transfers_refused_full, b.perf.transfers_refused_full);
+  EXPECT_DOUBLE_EQ(a.end_time, b.end_time);
+  EXPECT_NEAR(a.buffer_occupancy, b.buffer_occupancy, 1e-12);
+}
+
+}  // namespace
+}  // namespace epi
