@@ -15,6 +15,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <limits>
 #include <string>
 #include <string_view>
@@ -59,13 +60,14 @@ constexpr const char* kLargeProtocols[] = {
 };
 
 template <std::size_t N>
-void run_suite(std::vector<CaseResult>& results, std::string_view scenario_name,
-               const epi::exp::ScenarioSpec& scenario,
-               const epi::mobility::ContactTrace& trace,
-               const char* const (&protocols)[N], std::uint32_t reps,
-               const std::vector<epi::FlowSpec>& flows = {},
-               const epi::fault::FaultPlan& fault = {},
-               epi::EvictionPolicy eviction = epi::EvictionPolicy::kDropTail) {
+void run_suite_impl(
+    std::vector<CaseResult>& results, std::string_view scenario_name,
+    const epi::exp::ScenarioSpec& scenario,
+    const char* const (&protocols)[N], std::uint32_t reps,
+    const std::vector<epi::FlowSpec>& flows,
+    const epi::fault::FaultPlan& fault, epi::EvictionPolicy eviction,
+    const std::function<epi::metrics::RunSummary(const epi::exp::RunSpec&)>&
+        run_once) {
   using clock = std::chrono::steady_clock;
   std::uint32_t total_load = 0;
   for (const auto& f : flows) total_load += f.load;
@@ -87,7 +89,7 @@ void run_suite(std::vector<CaseResult>& results, std::string_view scenario_name,
     double best_seconds = std::numeric_limits<double>::infinity();
     for (std::uint32_t rep = 0; rep < reps; ++rep) {
       const auto t0 = clock::now();
-      const auto summary = epi::exp::run_single(spec, trace);
+      const auto summary = run_once(spec);
       const double seconds =
           std::chrono::duration<double>(clock::now() - t0).count();
       if (seconds < best_seconds) best_seconds = seconds;
@@ -118,6 +120,40 @@ void run_suite(std::vector<CaseResult>& results, std::string_view scenario_name,
                  r.ns_per_run, r.events_per_sec);
     results.push_back(std::move(r));
   }
+}
+
+template <std::size_t N>
+void run_suite(std::vector<CaseResult>& results, std::string_view scenario_name,
+               const epi::exp::ScenarioSpec& scenario,
+               const epi::mobility::ContactTrace& trace,
+               const char* const (&protocols)[N], std::uint32_t reps,
+               const std::vector<epi::FlowSpec>& flows = {},
+               const epi::fault::FaultPlan& fault = {},
+               epi::EvictionPolicy eviction = epi::EvictionPolicy::kDropTail) {
+  run_suite_impl(results, scenario_name, scenario, protocols, reps, flows,
+                 fault, eviction, [&](const epi::exp::RunSpec& spec) {
+                   return epi::exp::run_single(spec, trace);
+                 });
+}
+
+// Streamed variant: contacts are pulled from the scenario's ContactSource
+// instead of a pre-materialised trace, so the timing includes generation —
+// the honest cost of the city-scale path, whose point is never holding the
+// full contact vector. A fresh source is built per rep (sources are
+// single-pass).
+template <std::size_t N>
+void run_suite_streamed(std::vector<CaseResult>& results,
+                        std::string_view scenario_name,
+                        const epi::exp::ScenarioSpec& scenario,
+                        const char* const (&protocols)[N], std::uint32_t reps,
+                        const std::vector<epi::FlowSpec>& flows = {}) {
+  run_suite_impl(results, scenario_name, scenario, protocols, reps, flows, {},
+                 epi::EvictionPolicy::kDropTail,
+                 [&](const epi::exp::RunSpec& spec) {
+                   const auto source = epi::exp::build_contact_source(
+                       scenario, 42);
+                   return epi::exp::run_single(spec, *source);
+                 });
 }
 
 void write_json(const std::string& path, const std::vector<CaseResult>& results,
@@ -233,6 +269,15 @@ int main(int argc, char** argv) {
     const auto large_trace = epi::exp::build_contact_trace(spec, 42);
     run_suite(results, spec.name, spec, large_trace, kLargeProtocols, reps,
               epi::exp::large_flows(n, 8, 16));
+  }
+  // City-sized stress entry (guarded as "new" by compare_bench.py until the
+  // committed baseline carries it), streamed through the windowed RWP
+  // generator: the full contact vector is never materialised, which is the
+  // only way an 8192-node trace fits a bench budget.
+  {
+    const auto spec = epi::exp::large_scenario(8192);
+    run_suite_streamed(results, spec.name, spec, kLargeProtocols, reps,
+                       epi::exp::large_flows(8192, 8, 16));
   }
   write_json(out, results, reps);
   std::printf("wrote %zu benchmarks to %s\n", results.size(), out.c_str());

@@ -1,0 +1,128 @@
+// City-scale streaming smoke: generates the contact process of a
+// city_scale(N) scenario through RwpContactSource — chunk by chunk, never
+// holding the full contact vector — and checks the run stays inside a
+// wall-clock and peak-RSS envelope. CI runs this with N=10000 to pin the
+// bounded-memory claim of the windowed spatial-hash generator: a regression
+// that silently materialises (or quadratically sweeps) blows the RSS or
+// time bound and fails the job.
+//
+//   bench_city_smoke [--nodes N] [--max-seconds S] [--max-rss-mb M]
+//
+// Bounds of 0 disable the respective check (for local profiling). Exit
+// status: 0 within bounds, 1 on a breach, 2 on usage errors.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <string_view>
+
+#include "bench_common.hpp"
+#include "exp/scenario.hpp"
+#include "mobility/contact.hpp"
+#include "mobility/rwp.hpp"
+
+namespace {
+
+/// Peak resident set size of this process in MiB, from /proc/self/status
+/// (VmHWM). Returns 0 where the proc interface is unavailable (non-Linux);
+/// the RSS check then degrades to a no-op rather than a false failure.
+double peak_rss_mib() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::strtod(line.c_str() + 6, nullptr) / 1024.0;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint32_t nodes = 10'000;
+  double max_seconds = 0.0;
+  double max_rss_mb = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    std::string_view inline_value;
+    bool has_inline = false;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      inline_value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_inline = true;
+    }
+    const auto next = [&]() -> std::string {
+      if (has_inline) return std::string(inline_value);
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %.*s\n",
+                     static_cast<int>(arg.size()), arg.data());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--nodes") {
+      nodes = epi::bench::parse_unsigned<std::uint32_t>(arg, next());
+    } else if (arg == "--max-seconds") {
+      max_seconds = std::strtod(next().c_str(), nullptr);
+    } else if (arg == "--max-rss-mb") {
+      max_rss_mb = std::strtod(next().c_str(), nullptr);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--nodes N] [--max-seconds S] [--max-rss-mb M]\n",
+          argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %.*s\n",
+                   static_cast<int>(arg.size()), arg.data());
+      return 2;
+    }
+  }
+
+  const auto spec = epi::exp::city_scale(nodes);
+  epi::mobility::RwpContactSource source(spec.rwp, 42);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t contacts = 0;
+  std::size_t max_chunk = 0;
+  double total_duration = 0.0;
+  double last_start = 0.0;
+  for (auto chunk = source.next_chunk(); !chunk.empty();
+       chunk = source.next_chunk()) {
+    contacts += chunk.size();
+    max_chunk = std::max(max_chunk, chunk.size());
+    for (const epi::mobility::Contact& c : chunk) {
+      total_duration += c.duration();
+      last_start = c.start;
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const double rss_mib = peak_rss_mib();
+
+  std::printf(
+      "city%u: %llu contacts (last start %.0f s, mean duration %.1f s), "
+      "max chunk %zu, %.2f s, peak RSS %.1f MiB\n",
+      nodes, static_cast<unsigned long long>(contacts), last_start,
+      contacts > 0 ? total_duration / static_cast<double>(contacts) : 0.0,
+      max_chunk, seconds, rss_mib);
+
+  bool ok = true;
+  if (contacts == 0) {
+    std::fprintf(stderr, "FAIL: generator produced no contacts\n");
+    ok = false;
+  }
+  if (max_seconds > 0.0 && seconds > max_seconds) {
+    std::fprintf(stderr, "FAIL: %.2f s exceeds --max-seconds %.2f\n", seconds,
+                 max_seconds);
+    ok = false;
+  }
+  if (max_rss_mb > 0.0 && rss_mib > max_rss_mb) {
+    std::fprintf(stderr, "FAIL: peak RSS %.1f MiB exceeds --max-rss-mb %.1f\n",
+                 rss_mib, max_rss_mb);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

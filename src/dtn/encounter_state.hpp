@@ -1,0 +1,136 @@
+// EncounterState: struct-of-arrays encounter bookkeeping for a whole run.
+//
+// Every contact start touches both endpoints' encounter history (the
+// dynamic-TTL enhancement reads it). Keeping that history inside each
+// DtnNode — four std::optional<double>s, a counter and an unordered_map —
+// meant two scattered cache lines plus two hash probes per contact event; at
+// city scale the contact path spends more time missing on bookkeeping than
+// simulating. This class owns the same state as parallel arrays indexed by
+// NodeId: one contact start is two writes into five contiguous vectors, and
+// "never seen" is the sentinel kNever instead of an optional's flag byte.
+//
+// DtnNode keeps its query surface (last_session_interval() etc.) by holding
+// a pointer into this table, so protocol code is oblivious to the layout.
+//
+// Per-peer interval tracking (what the iMote devices actually log) is kept,
+// but opt-in: no production consumer exists, and the per-contact hash-map
+// update was pure overhead on the hot path. Tests and analysis tooling can
+// switch it on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace epi::dtn {
+
+class EncounterState {
+ public:
+  EncounterState() = default;
+
+  /// `session_gap` groups contact starts into encounter sessions: a contact
+  /// beginning within the gap of a node's previous contact belongs to the
+  /// same session (human traces are bursty — one gathering produces several
+  /// contact starts within minutes; Algo 1's "interval between the last two
+  /// encounters" is only meaningful between sessions).
+  EncounterState(std::uint32_t node_count, SimTime session_gap)
+      : session_gap_(session_gap),
+        last_contact_(node_count, kNever),
+        prev_contact_(node_count, kNever),
+        session_start_(node_count, kNever),
+        prev_session_(node_count, kNever),
+        contact_count_(node_count, 0) {}
+
+  /// Books one contact start between `a` and `b` at time `t` (t >= 0).
+  void on_contact_start(NodeId a, NodeId b, SimTime t) {
+    note(a, t);
+    note(b, t);
+    if (track_peers_) {
+      PairHistory& h = peer_history_[pair_key(a, b)];
+      h.prev = h.last;
+      h.last = t;
+    }
+  }
+
+  /// The raw interval between the last two contact starts witnessed by `n`;
+  /// nullopt until the node has seen two contacts.
+  [[nodiscard]] std::optional<SimTime> last_interval(NodeId n) const {
+    if (prev_contact_[n] == kNever) return std::nullopt;
+    return last_contact_[n] - prev_contact_[n];
+  }
+
+  /// The interval between the starts of the node's last two encounter
+  /// sessions — the quantity Algo 1 doubles into a TTL. nullopt until the
+  /// node has witnessed two sessions.
+  [[nodiscard]] std::optional<SimTime> last_session_interval(NodeId n) const {
+    if (prev_session_[n] == kNever) return std::nullopt;
+    return session_start_[n] - prev_session_[n];
+  }
+
+  [[nodiscard]] std::optional<SimTime> last_contact_start(NodeId n) const {
+    if (last_contact_[n] == kNever) return std::nullopt;
+    return last_contact_[n];
+  }
+
+  /// Total number of contacts node `n` has participated in.
+  [[nodiscard]] std::uint64_t contact_count(NodeId n) const noexcept {
+    return contact_count_[n];
+  }
+
+  // --- per-peer history (opt-in) --------------------------------------------
+
+  /// Enables per-pair interval tracking for subsequent contacts.
+  void track_peer_intervals(bool on) { track_peers_ = on; }
+
+  /// Interval between the last two encounter starts of the pair (a, b);
+  /// nullopt until two tracked encounters of that pair have been seen.
+  [[nodiscard]] std::optional<SimTime> last_interval_between(NodeId a,
+                                                            NodeId b) const {
+    const auto it = peer_history_.find(pair_key(a, b));
+    if (it == peer_history_.end() || it->second.prev == kNever) {
+      return std::nullopt;
+    }
+    return it->second.last - it->second.prev;
+  }
+
+ private:
+  /// "Never seen": all real contact times are >= 0.
+  static constexpr SimTime kNever = -1.0;
+
+  void note(NodeId n, SimTime t) {
+    if (last_contact_[n] == kNever || t - last_contact_[n] > session_gap_) {
+      prev_session_[n] = session_start_[n];
+      session_start_[n] = t;
+    }
+    prev_contact_[n] = last_contact_[n];
+    last_contact_[n] = t;
+    ++contact_count_[n];
+  }
+
+  /// Order-independent pair key (contacts are symmetric).
+  [[nodiscard]] static std::uint64_t pair_key(NodeId a, NodeId b) noexcept {
+    const NodeId lo = a < b ? a : b;
+    const NodeId hi = a < b ? b : a;
+    return (std::uint64_t{hi} << 32) | lo;
+  }
+
+  struct PairHistory {
+    SimTime last = kNever;
+    SimTime prev = kNever;
+  };
+
+  SimTime session_gap_ = 1'800.0;
+  std::vector<SimTime> last_contact_;
+  std::vector<SimTime> prev_contact_;
+  std::vector<SimTime> session_start_;
+  std::vector<SimTime> prev_session_;
+  std::vector<std::uint64_t> contact_count_;
+
+  bool track_peers_ = false;
+  std::unordered_map<std::uint64_t, PairHistory> peer_history_;
+};
+
+}  // namespace epi::dtn

@@ -7,9 +7,9 @@
 #pragma once
 
 #include <optional>
-#include <unordered_map>
 
 #include "dtn/buffer.hpp"
+#include "dtn/encounter_state.hpp"
 #include "dtn/immunity.hpp"
 #include "dtn/summary_vector.hpp"
 
@@ -35,65 +35,50 @@ class DtnNode {
   }
 
   // --- encounter history (dynamic TTL, Algo 1) ------------------------------
+  //
+  // The history itself lives in the engine-owned struct-of-arrays
+  // EncounterState (two contiguous writes per contact instead of scattered
+  // per-node optionals); the node keeps the query surface so protocol code
+  // stays oblivious to the layout.
 
-  /// Called at each contact start this node participates in. Contacts that
-  /// begin within `session_gap` of the node's previous contact belong to the
-  /// same *encounter session* (human traces are bursty: one gathering
-  /// produces several contact starts within minutes; Algo 1's "interval
-  /// between the last two encounters" is only meaningful between sessions).
-  void note_contact_start(SimTime t, SimTime session_gap = 1'800.0) {
-    if (!last_contact_ || t - *last_contact_ > session_gap) {
-      prev_session_ = session_start_;
-      session_start_ = t;
-    }
-    prev_contact_ = last_contact_;
-    last_contact_ = t;
+  /// Wires this node to the run's shared encounter table. The engine calls
+  /// this once at construction; a detached node answers every encounter
+  /// query with nullopt / zero.
+  void attach_encounters(const EncounterState* encounters) noexcept {
+    encounters_ = encounters;
   }
 
   /// The raw interval between the last two contact starts witnessed by this
   /// node; nullopt until the node has seen two contacts.
   [[nodiscard]] std::optional<SimTime> last_interval() const {
-    if (!prev_contact_ || !last_contact_) return std::nullopt;
-    return *last_contact_ - *prev_contact_;
+    if (encounters_ == nullptr) return std::nullopt;
+    return encounters_->last_interval(id_);
   }
 
   /// The interval between the starts of the node's last two encounter
   /// sessions — the quantity Algo 1 doubles into a TTL. nullopt until the
   /// node has witnessed two sessions.
   [[nodiscard]] std::optional<SimTime> last_session_interval() const {
-    if (!prev_session_ || !session_start_) return std::nullopt;
-    return *session_start_ - *prev_session_;
+    if (encounters_ == nullptr) return std::nullopt;
+    return encounters_->last_session_interval(id_);
   }
 
   [[nodiscard]] std::optional<SimTime> last_contact_start() const {
-    return last_contact_;
+    if (encounters_ == nullptr) return std::nullopt;
+    return encounters_->last_contact_start(id_);
   }
 
   /// Total number of contacts this node has participated in.
   [[nodiscard]] std::uint64_t contact_count() const noexcept {
-    return contact_count_;
-  }
-  void bump_contact_count() noexcept { ++contact_count_; }
-
-  /// Per-peer encounter history: called at each contact start with `peer`.
-  /// Human traces are bursty (one gathering = several contact starts within
-  /// minutes), so the node-level interval collapses during bursts; the
-  /// per-peer interval is what the iMote devices actually log ("each device
-  /// records ... for every node it encounters: begin times, duration").
-  void note_peer_contact(NodeId peer, SimTime t) {
-    auto& h = peer_history_[peer];
-    h.prev = h.last;
-    h.last = t;
+    return encounters_ == nullptr ? 0 : encounters_->contact_count(id_);
   }
 
   /// Interval between the last two encounter starts with `peer`; nullopt
-  /// until two encounters with that peer have been seen.
+  /// until two encounters with that peer have been seen (requires the
+  /// encounter table's opt-in peer tracking).
   [[nodiscard]] std::optional<SimTime> last_interval_with(NodeId peer) const {
-    const auto it = peer_history_.find(peer);
-    if (it == peer_history_.end() || !it->second.prev || !it->second.last) {
-      return std::nullopt;
-    }
-    return *it->second.last - *it->second.prev;
+    if (encounters_ == nullptr) return std::nullopt;
+    return encounters_->last_interval_between(id_, peer);
   }
 
   // --- destination-side state -----------------------------------------------
@@ -138,17 +123,7 @@ class DtnNode {
   NodeId id_;
   BundleBuffer buffer_;
 
-  std::optional<SimTime> last_contact_;
-  std::optional<SimTime> prev_contact_;
-  std::optional<SimTime> session_start_;
-  std::optional<SimTime> prev_session_;
-  std::uint64_t contact_count_ = 0;
-
-  struct PeerHistory {
-    std::optional<SimTime> last;
-    std::optional<SimTime> prev;
-  };
-  std::unordered_map<NodeId, PeerHistory> peer_history_;
+  const EncounterState* encounters_ = nullptr;  ///< shared SoA table
 
   SummaryVector delivered_;
   DeliveredPrefixTracker prefix_;

@@ -128,6 +128,14 @@ inline constexpr std::uint32_t kCapacityLoad = 25;
 /// ("capacity"), not bundle load; load is pinned at kCapacityLoad.
 [[nodiscard]] Figure run_capacity(const FigureOptions& o, Metric metric);
 
+// --- city-scale sweeps ----------------------------------------------------------
+
+/// One metric vs bundle load on the city_scale(1024) scenario (heterogeneous
+/// point densities + commuter itineraries; see exp::city_scale) for the
+/// large-suite protocol families. Not a paper figure: the paper stops at 12
+/// nodes, this extrapolates its protocols to a city-sized contact process.
+[[nodiscard]] Figure run_city(const FigureOptions& o, Metric metric);
+
 // --- figure registry ------------------------------------------------------------
 
 /// One registered figure: canonical id, the paper's qualitative shape claim

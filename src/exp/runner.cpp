@@ -24,10 +24,14 @@ FlowEndpoints pick_endpoints(std::uint64_t master_seed, std::uint32_t load,
   return flow;
 }
 
-metrics::RunSummary run_single(const RunSpec& spec,
-                               const mobility::ContactTrace& trace) {
+namespace {
+
+/// Shared config derivation of both run_single overloads. `node_count` is
+/// the trace's (or stream's) declared max node id + 1, floored at 2.
+SimulationConfig make_run_config(const RunSpec& spec,
+                                 std::uint32_t node_count) {
   SimulationConfig config;
-  config.node_count = std::max(trace.node_count(), 2u);
+  config.node_count = std::max(node_count, 2u);
   config.buffer_capacity = spec.buffer_capacity;
   config.node_capacities = spec.node_capacities;
   config.eviction_policy = spec.eviction;
@@ -44,15 +48,22 @@ metrics::RunSummary run_single(const RunSpec& spec,
   }
   config.encounter_session_gap = spec.session_gap;
   config.protocol = spec.protocol;
+  return config;
+}
 
-  // The engine seed mixes in the protocol kind so probabilistic protocols
-  // do not share decision streams with the flow-endpoint derivation.
-  const std::uint64_t run_seed = SplitMix64(spec.master_seed ^
-                                            (std::uint64_t{spec.load} << 32) ^
-                                            spec.replication)
-                                     .next();
-  routing::Engine engine(config, trace, routing::make_protocol(spec.protocol),
-                         run_seed);
+/// The engine seed mixes in the protocol kind so probabilistic protocols
+/// do not share decision streams with the flow-endpoint derivation.
+std::uint64_t derive_run_seed(const RunSpec& spec) {
+  return SplitMix64(spec.master_seed ^ (std::uint64_t{spec.load} << 32) ^
+                    spec.replication)
+      .next();
+}
+
+/// Wires sinks and faults onto a constructed engine, executes it, and
+/// attaches the optional stats profile — identical for both contact inputs.
+metrics::RunSummary execute_run(const RunSpec& spec,
+                                const SimulationConfig& config,
+                                routing::Engine& engine) {
   // Stats collection interposes a per-run collector between the engine and
   // the (optional, possibly shared) trace sink; the engine still sees one
   // TraceSink*, so its hook points are unchanged either way.
@@ -84,6 +95,24 @@ metrics::RunSummary run_single(const RunSpec& spec,
         stats->take_profile());
   }
   return summary;
+}
+
+}  // namespace
+
+metrics::RunSummary run_single(const RunSpec& spec,
+                               const mobility::ContactTrace& trace) {
+  const SimulationConfig config = make_run_config(spec, trace.node_count());
+  routing::Engine engine(config, trace, routing::make_protocol(spec.protocol),
+                         derive_run_seed(spec));
+  return execute_run(spec, config, engine);
+}
+
+metrics::RunSummary run_single(const RunSpec& spec,
+                               mobility::ContactSource& source) {
+  const SimulationConfig config = make_run_config(spec, source.node_count());
+  routing::Engine engine(config, source, routing::make_protocol(spec.protocol),
+                         derive_run_seed(spec));
+  return execute_run(spec, config, engine);
 }
 
 namespace {
@@ -145,6 +174,16 @@ std::string store_key(const ScenarioSpec& scenario, const RunSpec& run) {
       kv(key, "vmax", p.max_speed_mps);
       kv(key, "cmax", p.max_contact_s);
       kv(key, "cmin", p.min_contact_s);
+      // City-scale extensions join only when non-default (hotspot_side_frac
+      // is inert while hotspot_points == 0), so every pre-existing rwp key
+      // stays byte-identical — the flows/evict/caps discipline.
+      if (p.hotspot_points > 0) {
+        kv(key, "hot", std::uint64_t{p.hotspot_points});
+        kv(key, "hfrac", p.hotspot_side_frac);
+      }
+      if (p.commuter_bias != 0.0) {
+        kv(key, "bias", p.commuter_bias);
+      }
       key += '}';
       break;
     }

@@ -15,6 +15,7 @@
 #include "core/config.hpp"
 #include "fault/plan.hpp"
 #include "metrics/summary.hpp"
+#include "mobility/contact_source.hpp"
 #include "mobility/contact_trace.hpp"
 #include "obs/trace_sink.hpp"
 
@@ -81,6 +82,13 @@ struct FlowEndpoints {
 /// Runs one simulation on the shared `trace` and returns its summary.
 [[nodiscard]] metrics::RunSummary run_single(
     const RunSpec& spec, const mobility::ContactTrace& trace);
+
+/// Streaming variant: contacts are pulled from `source` chunk by chunk, so
+/// the run never materialises the full contact vector — the path city-scale
+/// scenarios use. For identical contacts the summary is bit-identical to the
+/// materialised overload (the engine's feed cursor is the same either way).
+[[nodiscard]] metrics::RunSummary run_single(const RunSpec& spec,
+                                             mobility::ContactSource& source);
 
 struct ScenarioSpec;
 

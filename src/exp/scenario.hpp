@@ -11,6 +11,7 @@
 // so the trace is generated once per scenario from the master seed.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -75,8 +76,32 @@ struct ScenarioSpec {
                                                 std::uint32_t flow_count,
                                                 std::uint32_t load_per_flow);
 
+/// City-scale scenario family (ROADMAP item 1, after Thakur et al.'s
+/// spatio-temporal preference analysis): subscriber-point RWP with
+/// heterogeneous point densities — a quarter of the points packed into a
+/// central hotspot core — and commuter itineraries (each node favours a
+/// home/work anchor pair with probability `commuter_bias`). Densities and
+/// horizon are sized so contact volume per node stays bench-comparable as N
+/// grows; generate through RwpContactSource to keep memory bounded.
+[[nodiscard]] ScenarioSpec city_scale(std::uint32_t node_count);
+
+/// The commuter workload paired with city_scale(): `flow_count` flows whose
+/// sources spread across the node range but whose destinations funnel into a
+/// handful of hub nodes — the many-to-few pattern of a commuter city.
+[[nodiscard]] std::vector<FlowSpec> city_flows(std::uint32_t node_count,
+                                               std::uint32_t flow_count,
+                                               std::uint32_t load_per_flow);
+
 /// Materialises the scenario's contact process (deterministic in `seed`).
 [[nodiscard]] mobility::ContactTrace build_contact_trace(
+    const ScenarioSpec& spec, std::uint64_t seed);
+
+/// Streaming variant of build_contact_trace: RWP scenarios get the windowed
+/// spatial-hash generator (bounded memory, the city-scale path); the other
+/// generators have no streaming implementation yet, so their trace is
+/// materialised once and owned by the returned source. Contacts are
+/// identical to build_contact_trace either way.
+[[nodiscard]] std::unique_ptr<mobility::ContactSource> build_contact_source(
     const ScenarioSpec& spec, std::uint64_t seed);
 
 }  // namespace epi::exp

@@ -1,0 +1,72 @@
+// ContactSource: a pull-based stream of contacts in start-time order.
+//
+// The engine feeds contacts lazily from a cursor; for city-scale runs the
+// full contact vector no longer fits comfortably in memory, so the cursor is
+// generalised into this interface: the producer hands out bounded chunks and
+// may recycle the backing storage between pulls. A ContactTrace-backed
+// adapter keeps every existing call site (and every golden pin) on the exact
+// same code path — a materialised trace is just a source with one big chunk.
+//
+// Contract:
+//   * next_chunk() returns the next block of contacts; an empty span means
+//     the stream is exhausted (and stays exhausted on further calls).
+//   * Contacts are normalized (a < b) and globally ordered by ContactBefore
+//     across chunk boundaries — the concatenation of all chunks is exactly
+//     a sorted ContactTrace.
+//   * The returned span is valid only until the next call to next_chunk();
+//     consumers must not hold references across pulls.
+//   * node_count() is known up front (max node id + 1 over the full stream)
+//     so the engine can size per-node state before the first pull.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "mobility/contact_trace.hpp"
+
+namespace epi::mobility {
+
+class ContactSource {
+ public:
+  virtual ~ContactSource() = default;
+
+  /// Next block of contacts (see the ordering contract above). Empty span =
+  /// exhausted.
+  [[nodiscard]] virtual std::span<const Contact> next_chunk() = 0;
+
+  /// Max node id + 1 over the whole stream.
+  [[nodiscard]] virtual std::uint32_t node_count() const = 0;
+};
+
+/// Adapter presenting a materialised ContactTrace as a stream. By default
+/// the whole trace is handed out as a single chunk (zero copies, identical
+/// memory behaviour to the pre-streaming engine); a non-zero `chunk_size`
+/// slices it, which tests use to exercise chunk-boundary handling.
+class TraceContactSource final : public ContactSource {
+ public:
+  explicit TraceContactSource(const ContactTrace& trace,
+                              std::size_t chunk_size = 0) noexcept
+      : remaining_(trace.contacts()),
+        node_count_(trace.node_count()),
+        chunk_size_(chunk_size) {}
+
+  [[nodiscard]] std::span<const Contact> next_chunk() override {
+    const std::size_t take = chunk_size_ == 0
+                                 ? remaining_.size()
+                                 : std::min(chunk_size_, remaining_.size());
+    const std::span<const Contact> chunk = remaining_.first(take);
+    remaining_ = remaining_.subspan(take);
+    return chunk;
+  }
+
+  [[nodiscard]] std::uint32_t node_count() const override {
+    return node_count_;
+  }
+
+ private:
+  std::span<const Contact> remaining_;
+  std::uint32_t node_count_ = 0;
+  std::size_t chunk_size_ = 0;
+};
+
+}  // namespace epi::mobility

@@ -111,7 +111,13 @@ std::vector<Contact> ContactTrace::contacts_of(NodeId n) const {
 ContactTrace ContactTrace::truncated(SimTime cutoff) const {
   std::vector<Contact> kept;
   for (const auto& c : contacts_) {
-    if (c.start < cutoff) kept.push_back(c);
+    if (c.start >= cutoff) continue;
+    Contact clipped = c;
+    // Clamp straddling contacts so the truncated trace really ends at the
+    // cutoff; contacts whose clipped duration collapses to zero are dropped
+    // (the ContactTrace constructor rejects end <= start).
+    clipped.end = std::min(clipped.end, cutoff);
+    if (clipped.end > clipped.start) kept.push_back(clipped);
   }
   return ContactTrace(std::move(kept));
 }

@@ -10,6 +10,12 @@
 namespace epi::mobility {
 namespace {
 
+/// Overflow-safe sanity bound on the point count: the bucket tables are
+/// O(points) words, so 2^20 points cost a few MiB of scratch — enough for a
+/// metropolitan layout, small enough that a typo'd count fails fast instead
+/// of attempting a multi-GiB allocation.
+constexpr std::uint32_t kMaxSubscriberPoints = 1u << 20;
+
 struct Point {
   double x = 0.0;
   double y = 0.0;
@@ -29,13 +35,134 @@ struct Visit {
   SimTime depart;
 };
 
+/// Subscriber-point layout, shared by every node. Hotspot points (the first
+/// `hotspot_points` of the array) land in a central core square; the rest
+/// cover the whole area. With hotspot_points == 0 the draw sequence is the
+/// historical one: x then y, uniform over the full side, per point.
+std::vector<Point> layout_points(const RwpParams& params, std::uint64_t seed) {
+  Rng layout_rng = Rng::derive(seed, 0x527770ULL /*'Rwp'*/, 0xA11);
+  std::vector<Point> points(params.subscriber_points);
+  const double core_side = params.area_side_m * params.hotspot_side_frac;
+  const double core_lo = 0.5 * (params.area_side_m - core_side);
+  for (std::uint32_t i = 0; i < points.size(); ++i) {
+    if (i < params.hotspot_points) {
+      points[i].x = core_lo + layout_rng.uniform(0.0, core_side);
+      points[i].y = core_lo + layout_rng.uniform(0.0, core_side);
+    } else {
+      points[i].x = layout_rng.uniform(0.0, params.area_side_m);
+      points[i].y = layout_rng.uniform(0.0, params.area_side_m);
+    }
+  }
+  return points;
+}
+
+/// Generates one node's itinerary visit by visit. Both generators run the
+/// exact same cursor so their visit streams — and hence their contacts —
+/// are bit-identical.
+class ItineraryCursor {
+ public:
+  ItineraryCursor(const RwpParams& params, const std::vector<Point>& points,
+                  std::uint64_t seed, NodeId node)
+      : params_(&params), points_(&points), node_(node),
+        rng_(Rng::derive(seed, 0x527770ULL, 0xB0D1E5, node)) {
+    current_ =
+        static_cast<std::uint32_t>(rng_.below(params.subscriber_points));
+    // Commuter anchors: drawn once per node, only when the feature is on,
+    // so bias == 0 leaves the historical draw sequence untouched.
+    if (params.commuter_bias > 0.0) {
+      home_ = static_cast<std::uint32_t>(rng_.below(params.subscriber_points));
+      work_ = static_cast<std::uint32_t>(rng_.below(params.subscriber_points));
+    }
+    t_ = rng_.uniform(0.0, params.max_pause_s);  // staggered start
+  }
+
+  /// Produces the next visit; false once the horizon is reached.
+  bool next(Visit& out) {
+    if (done_ || t_ >= params_->horizon) return false;
+    // Pause bounded by max_pause_s even when it is < 1 s (the historical
+    // uniform(1.0, max_pause) inverted the range in that case and silently
+    // exceeded the configured maximum).
+    const SimTime pause = rng_.uniform(std::min(1.0, params_->max_pause_s),
+                                       params_->max_pause_s);
+    const SimTime depart = std::min(t_ + pause, params_->horizon);
+    out = Visit{node_, current_, t_, depart};
+    if (depart >= params_->horizon) {
+      done_ = true;
+      return true;
+    }
+
+    // Travel to a different point: a commuter leg heads for the node's
+    // opposite anchor with probability `commuter_bias`, otherwise (or when
+    // the anchor is where the node already stands) a uniform re-draw — the
+    // historical rule. Speed drawn per leg so derived speeds stay inside
+    // (min_speed, max_speed].
+    std::uint32_t next_point = current_;
+    if (params_->commuter_bias > 0.0 &&
+        rng_.uniform() < params_->commuter_bias) {
+      const std::uint32_t anchor = current_ == home_ ? work_ : home_;
+      if (anchor != current_) next_point = anchor;
+    }
+    while (next_point == current_) {
+      next_point =
+          static_cast<std::uint32_t>(rng_.below(params_->subscriber_points));
+    }
+    const double dist = distance((*points_)[current_], (*points_)[next_point]);
+    const double speed =
+        rng_.uniform(params_->min_speed_mps, params_->max_speed_mps);
+    t_ = depart + dist / speed;
+    current_ = next_point;
+    return true;
+  }
+
+ private:
+  const RwpParams* params_;
+  const std::vector<Point>* points_;
+  NodeId node_;
+  Rng rng_;
+  std::uint32_t current_ = 0;
+  std::uint32_t home_ = 0;
+  std::uint32_t work_ = 0;
+  SimTime t_ = 0.0;
+  bool done_ = false;
+};
+
+/// Emits every pairwise co-presence contact of one point-bucket into `out`.
+/// `bucket` must be sorted by (arrive, node); only pairs whose start falls
+/// at or after `emit_from` are emitted (the windowed caller uses this to
+/// dedupe pairs already produced by an earlier window; the reference sweep
+/// passes 0). The iteration order and arithmetic mirror the historical
+/// sweep exactly.
+void sweep_bucket(const RwpParams& params, std::span<const Visit> bucket,
+                  SimTime emit_from, std::vector<Contact>& out) {
+  for (std::size_t i = 0; i < bucket.size(); ++i) {
+    for (std::size_t j = i + 1; j < bucket.size(); ++j) {
+      const Visit& u = bucket[i];
+      const Visit& v = bucket[j];
+      if (v.arrive >= u.depart) break;
+      if (v.node == u.node) continue;
+      const SimTime start = std::max(u.arrive, v.arrive);
+      if (start < emit_from) continue;
+      const SimTime end =
+          std::min({u.depart, v.depart, start + params.max_contact_s});
+      if (end - start >= params.min_contact_s) {
+        out.push_back(Contact{u.node, v.node, start, end}.normalized());
+      }
+    }
+  }
+}
+
+bool visit_before(const Visit& u, const Visit& v) noexcept {
+  if (u.arrive != v.arrive) return u.arrive < v.arrive;
+  return u.node < v.node;
+}
+
 }  // namespace
 
 void RwpParams::validate() const {
   if (node_count < 2) throw ConfigError("rwp: need at least two nodes");
   if (horizon <= 0.0) throw ConfigError("rwp: horizon must be positive");
-  if (subscriber_points < 2 || subscriber_points >= 100)
-    throw ConfigError("rwp: subscriber_points must lie in [2, 99]");
+  if (subscriber_points < 2 || subscriber_points > kMaxSubscriberPoints)
+    throw ConfigError("rwp: subscriber_points must lie in [2, 2^20]");
   if (area_side_m <= 0.0) throw ConfigError("rwp: area must be positive");
   if (max_pause_s <= 0.0) throw ConfigError("rwp: max_pause must be positive");
   if (min_speed_mps <= 0.0 || max_speed_mps <= min_speed_mps)
@@ -43,68 +170,173 @@ void RwpParams::validate() const {
   if (max_contact_s <= 0.0 || min_contact_s < 0.0 ||
       min_contact_s > max_contact_s)
     throw ConfigError("rwp: invalid contact duration bounds");
+  if (hotspot_points > subscriber_points)
+    throw ConfigError("rwp: hotspot_points exceed subscriber_points");
+  if (hotspot_points > 0 &&
+      (hotspot_side_frac <= 0.0 || hotspot_side_frac > 1.0))
+    throw ConfigError("rwp: hotspot_side_frac must lie in (0, 1]");
+  if (commuter_bias < 0.0 || commuter_bias >= 1.0)
+    throw ConfigError("rwp: commuter_bias must lie in [0, 1)");
+}
+
+// -- Streaming spatial-hash generator ---------------------------------------
+//
+// The subscriber-point model has a natural uniform grid: two nodes can only
+// meet while visiting the *same* point, so the point id is the grid cell and
+// co-presence matching is exact bucketing — no neighbour-cell probing. Time
+// is processed in windows of a few pause-lengths; a window's live visits are
+// bucketed by point with a counting sort, each bucket swept like the naive
+// generator, and visits that outlive the window are carried into the next
+// one. A pair is emitted by the window containing the later visit's arrival
+// (start >= window start), so carried/carried pairs are never re-emitted.
+struct RwpContactSource::Impl {
+  RwpParams params;
+  std::vector<Point> points;
+  std::vector<ItineraryCursor> cursors;
+  std::vector<Visit> pending;        // per-node lookahead visit (arrive >= w0_)
+  std::vector<std::uint8_t> has_pending;
+  std::vector<Visit> carried;        // visits straddling the window boundary
+  std::vector<Visit> window_visits;  // this window's candidates (unsorted)
+  std::vector<Visit> buckets;        // counting-sorted by point
+  std::vector<std::uint32_t> bucket_starts;  // size points + 1
+  std::vector<Contact> chunk;
+  SimTime window_len = 0.0;
+  SimTime w0 = 0.0;  // start of the next window to process
+  std::size_t live = 0;  // cursors or pendings still producing
+
+  Impl(const RwpParams& p, std::uint64_t seed)
+      : params(p), points(layout_points(p, seed)) {
+    // A visit lasts at most max(1, max_pause) seconds, so with windows four
+    // pause-lengths long a visit straddles at most one boundary and the
+    // carried set stays a small fraction of a window's visits.
+    window_len = 4.0 * std::max(1.0, p.max_pause_s);
+    cursors.reserve(p.node_count);
+    pending.resize(p.node_count);
+    has_pending.assign(p.node_count, 0);
+    for (NodeId n = 0; n < p.node_count; ++n) {
+      cursors.emplace_back(params, points, seed, n);
+      if (cursors.back().next(pending[n])) {
+        has_pending[n] = 1;
+        ++live;
+      }
+    }
+    bucket_starts.assign(static_cast<std::size_t>(p.subscriber_points) + 1, 0);
+  }
+
+  std::span<const Contact> produce() {
+    chunk.clear();
+    while (chunk.empty() && w0 < params.horizon && (live > 0 || !carried.empty())) {
+      const SimTime w1 = std::min(w0 + window_len, params.horizon);
+
+      // Candidates: carried visits (arrive < w0 < depart) plus every visit
+      // arriving inside [w0, w1).
+      window_visits = carried;
+      for (NodeId n = 0; n < params.node_count; ++n) {
+        while (has_pending[n] != 0 && pending[n].arrive < w1) {
+          window_visits.push_back(pending[n]);
+          if (!cursors[n].next(pending[n])) {
+            has_pending[n] = 0;
+            --live;
+          }
+        }
+      }
+
+      // Counting sort by point id, then order each bucket by (arrive, node)
+      // — the same order the global (point, arrive, node) sort gave the
+      // naive sweep within one point group.
+      std::fill(bucket_starts.begin(), bucket_starts.end(), 0u);
+      for (const Visit& v : window_visits) ++bucket_starts[v.point + 1];
+      for (std::size_t p = 1; p < bucket_starts.size(); ++p) {
+        bucket_starts[p] += bucket_starts[p - 1];
+      }
+      buckets.resize(window_visits.size());
+      {
+        std::vector<std::uint32_t> cursor(bucket_starts.begin(),
+                                          bucket_starts.end() - 1);
+        for (const Visit& v : window_visits) buckets[cursor[v.point]++] = v;
+      }
+      for (std::uint32_t p = 0; p < params.subscriber_points; ++p) {
+        const auto lo = buckets.begin() + bucket_starts[p];
+        const auto hi = buckets.begin() + bucket_starts[p + 1];
+        if (hi - lo < 2) continue;
+        std::sort(lo, hi, visit_before);
+        sweep_bucket(params,
+                     std::span<const Visit>(&*lo, static_cast<std::size_t>(hi - lo)),
+                     w0, chunk);
+      }
+      std::sort(chunk.begin(), chunk.end(), ContactBefore{});
+
+      // Carry visits outliving this window.
+      carried.clear();
+      for (const Visit& v : window_visits) {
+        if (v.depart > w1) carried.push_back(v);
+      }
+      w0 = w1;
+    }
+    return chunk;
+  }
+};
+
+RwpContactSource::RwpContactSource(const RwpParams& params, std::uint64_t seed) {
+  params.validate();
+  impl_ = std::make_unique<Impl>(params, seed);
+}
+
+RwpContactSource::~RwpContactSource() = default;
+RwpContactSource::RwpContactSource(RwpContactSource&&) noexcept = default;
+RwpContactSource& RwpContactSource::operator=(RwpContactSource&&) noexcept =
+    default;
+
+std::span<const Contact> RwpContactSource::next_chunk() {
+  return impl_->produce();
+}
+
+std::uint32_t RwpContactSource::node_count() const {
+  return impl_->params.node_count;
 }
 
 ContactTrace generate_rwp(const RwpParams& params, std::uint64_t seed) {
-  params.validate();
-
-  // Subscriber points placed uniformly in the area; shared by all nodes.
-  Rng layout_rng = Rng::derive(seed, 0x527770ULL /*'Rwp'*/, 0xA11);
-  std::vector<Point> points(params.subscriber_points);
-  for (auto& p : points) {
-    p.x = layout_rng.uniform(0.0, params.area_side_m);
-    p.y = layout_rng.uniform(0.0, params.area_side_m);
+  RwpContactSource source(params, seed);
+  std::vector<Contact> contacts;
+  for (std::span<const Contact> chunk = source.next_chunk(); !chunk.empty();
+       chunk = source.next_chunk()) {
+    contacts.insert(contacts.end(), chunk.begin(), chunk.end());
   }
+  return ContactTrace(std::move(contacts));
+}
 
-  // Each node's itinerary: pause at a point, travel to another, repeat.
+ContactTrace generate_rwp_reference(const RwpParams& params,
+                                    std::uint64_t seed) {
+  params.validate();
+  const std::vector<Point> points = layout_points(params, seed);
+
+  // Each node's itinerary: pause at a point, travel to another, repeat —
+  // fully materialised.
   std::vector<Visit> visits;
   for (NodeId n = 0; n < params.node_count; ++n) {
-    Rng rng = Rng::derive(seed, 0x527770ULL, 0xB0D1E5, n);
-    auto current =
-        static_cast<std::uint32_t>(rng.below(params.subscriber_points));
-    SimTime t = rng.uniform(0.0, params.max_pause_s);  // staggered start
-    while (t < params.horizon) {
-      const SimTime pause = rng.uniform(1.0, params.max_pause_s);
-      const SimTime depart = std::min(t + pause, params.horizon);
-      visits.push_back(Visit{n, current, t, depart});
-      if (depart >= params.horizon) break;
-
-      // Travel to a different random point; speed drawn per leg so derived
-      // speeds stay inside (min_speed, max_speed].
-      std::uint32_t next = current;
-      while (next == current) {
-        next = static_cast<std::uint32_t>(rng.below(params.subscriber_points));
-      }
-      const double dist = distance(points[current], points[next]);
-      const double speed =
-          rng.uniform(params.min_speed_mps, params.max_speed_mps);
-      t = depart + dist / speed;
-      current = next;
-    }
+    ItineraryCursor cursor(params, points, seed, n);
+    Visit v{};
+    while (cursor.next(v)) visits.push_back(v);
   }
 
   // Contacts = pairwise co-presence intervals at the same point.
   // Sort visits by (point, arrive) and sweep within each point group.
   std::sort(visits.begin(), visits.end(), [](const Visit& u, const Visit& v) {
     if (u.point != v.point) return u.point < v.point;
-    if (u.arrive != v.arrive) return u.arrive < v.arrive;
-    return u.node < v.node;
+    return visit_before(u, v);
   });
 
   std::vector<Contact> contacts;
-  for (std::size_t i = 0; i < visits.size(); ++i) {
-    for (std::size_t j = i + 1; j < visits.size(); ++j) {
-      const Visit& u = visits[i];
-      const Visit& v = visits[j];
-      if (v.point != u.point || v.arrive >= u.depart) break;
-      if (v.node == u.node) continue;
-      const SimTime start = std::max(u.arrive, v.arrive);
-      const SimTime end =
-          std::min({u.depart, v.depart, start + params.max_contact_s});
-      if (end - start >= params.min_contact_s) {
-        contacts.push_back(Contact{u.node, v.node, start, end});
-      }
+  std::size_t group = 0;
+  while (group < visits.size()) {
+    std::size_t end = group;
+    while (end < visits.size() && visits[end].point == visits[group].point) {
+      ++end;
     }
+    sweep_bucket(params,
+                 std::span<const Visit>(visits.data() + group, end - group),
+                 0.0, contacts);
+    group = end;
   }
   return ContactTrace(std::move(contacts));
 }

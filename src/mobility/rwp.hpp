@@ -3,7 +3,9 @@
 // The paper deliberately does not use classic RWP: it cites the known decay
 // pathologies (Resta & Santi) and instead moves nodes along randomly chosen
 // *subscriber points*. We implement exactly the variant described:
-//   * fewer than 100 subscriber points in a 1 km^2 area;
+//   * the paper's own runs use fewer than 100 subscriber points in a 1 km^2
+//     area (our defaults: 40) — larger counts are allowed for the city-scale
+//     family, which needs hundreds to thousands of points;
 //   * a node pauses at a point for less than 1000 s, then travels to another
 //     randomly chosen point; point spacing is below 1000 m;
 //   * derived speeds lie in (0, 10] m/s (the paper computes
@@ -14,10 +16,18 @@
 //
 // Contacts are the co-presence intervals of two nodes at one point, clipped
 // to the 500 s cap.
+//
+// Two generators produce byte-identical traces from the same params + seed:
+//   * generate_rwp — windowed spatial-hash sweep (subscriber point = grid
+//     cell), streamed through RwpContactSource in bounded memory;
+//   * generate_rwp_reference — the original materialise-everything sweep,
+//     kept as the differential-test oracle.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
+#include "mobility/contact_source.hpp"
 #include "mobility/contact_trace.hpp"
 
 namespace epi::mobility {
@@ -25,7 +35,7 @@ namespace epi::mobility {
 struct RwpParams {
   std::uint32_t node_count = 12;          // paper SIV: 12 nodes
   SimTime horizon = defaults::kRwpHorizon;  // 600,000 s
-  std::uint32_t subscriber_points = 40;   // "< 100 in one square kilometre"
+  std::uint32_t subscriber_points = 40;   // paper: "< 100 in one square km"
   double area_side_m = 1'000.0;           // 1 km x 1 km
   double max_pause_s = 1'000.0;           // "randomly stop for less than 1000 s"
   double min_speed_mps = 0.5;             // derived speeds in (0, 10]
@@ -33,11 +43,47 @@ struct RwpParams {
   SimTime max_contact_s = 500.0;          // contact cap (paper SIV)
   SimTime min_contact_s = 1.0;            // drop degenerate co-presences
 
+  // City-scale extensions (Thakur et al.: spatio-temporal preferences).
+  // The defaults are inert: with hotspot_points == 0 and commuter_bias == 0
+  // the RNG draw sequence — and hence every trace — is byte-identical to the
+  // paper baseline above.
+  std::uint32_t hotspot_points = 0;  ///< first K points packed in the core
+  double hotspot_side_frac = 0.25;   ///< core square side / area side
+  double commuter_bias = 0.0;        ///< P(next point is the node's anchor)
+
   void validate() const;  ///< throws ConfigError on nonsense values
 };
 
-/// Generates the contact trace deterministically from `seed`.
+/// Generates the contact trace deterministically from `seed` by draining the
+/// streaming generator (kept for every materialised call site).
 [[nodiscard]] ContactTrace generate_rwp(const RwpParams& params,
                                         std::uint64_t seed);
+
+/// Naive reference generator: materialises every visit, sorts them all, and
+/// runs the quadratic per-point sweep. Same output, unbounded memory; exists
+/// as the oracle for the spatial-hash differential tests.
+[[nodiscard]] ContactTrace generate_rwp_reference(const RwpParams& params,
+                                                  std::uint64_t seed);
+
+/// Streaming spatial-hash generator. Itineraries advance window by window;
+/// each window buckets the live visits by subscriber point (the grid cell),
+/// sweeps each bucket, and emits one sorted chunk of contacts. Peak memory
+/// is O(nodes + visits per window + contacts per window) regardless of the
+/// horizon, which is what makes 10k+ node traces generable at all.
+class RwpContactSource final : public ContactSource {
+ public:
+  RwpContactSource(const RwpParams& params, std::uint64_t seed);
+  ~RwpContactSource() override;
+
+  RwpContactSource(RwpContactSource&&) noexcept;
+  RwpContactSource& operator=(RwpContactSource&&) noexcept;
+
+  [[nodiscard]] std::span<const Contact> next_chunk() override;
+  [[nodiscard]] std::uint32_t node_count() const override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace epi::mobility

@@ -8,7 +8,7 @@
 
 namespace epi::routing {
 
-Engine::Engine(SimulationConfig config, const mobility::ContactTrace& trace,
+Engine::Engine(FromSource, SimulationConfig config,
                std::unique_ptr<Protocol> protocol, std::uint64_t seed)
     : config_(std::move(config)),
       protocol_(std::move(protocol)),
@@ -18,17 +18,17 @@ Engine::Engine(SimulationConfig config, const mobility::ContactTrace& trace,
   config_.validate();
   if (!protocol_) throw ConfigError("engine needs a protocol");
   protocol_name_ = to_string(protocol_->kind());
-  if (trace.node_count() > config_.node_count) {
-    throw TraceError("trace uses node ids beyond config.node_count (" +
-                     std::to_string(trace.node_count()) + " > " +
-                     std::to_string(config_.node_count) + ")");
-  }
 
+  // Per-node state splits hot from cold: the encounter history every contact
+  // event touches lives in the struct-of-arrays table, the nodes themselves
+  // (buffer, exchange sets) are held by value in one contiguous vector.
+  encounters_ = dtn::EncounterState(config_.node_count,
+                                    config_.encounter_session_gap);
   nodes_.reserve(config_.node_count);
   for (NodeId id = 0; id < config_.node_count; ++id) {
-    nodes_.push_back(
-        std::make_unique<dtn::DtnNode>(id, config_.capacity_of(id)));
+    nodes_.emplace_back(id, config_.capacity_of(id));
   }
+  for (auto& n : nodes_) n.attach_encounters(&encounters_);
   // Heterogeneous capacities change the occupancy normalisation; the
   // recorder keeps the legacy uniform expression when this is empty.
   recorder_.set_node_capacities(config_.node_capacities);
@@ -46,7 +46,7 @@ Engine::Engine(SimulationConfig config, const mobility::ContactTrace& trace,
   // Pre-size every per-node dense-id bitset for the full id range 1..load:
   // contact-path inserts and merges then never grow word storage.
   for (auto& n : nodes_) {
-    n->reserve_bundle_ids(static_cast<BundleId>(total_load_));
+    n.reserve_bundle_ids(static_cast<BundleId>(total_load_));
   }
 
   // Both contact-path scratch buffers are bounded by the largest buffer
@@ -56,31 +56,100 @@ Engine::Engine(SimulationConfig config, const mobility::ContactTrace& trace,
   offer_scratch_.reserve(config_.max_capacity());
   purge_scratch_.reserve(config_.max_capacity());
 
-  // Contacts are fed lazily from a cursor over the sorted trace: only the
-  // next start instant is ever pending, instead of one event per contact up
-  // front (the former design's peak queue depth was the whole trace).
-  contacts_ = trace.contacts();
-  if (!contacts_.empty() && contacts_.front().start <= config_.horizon) {
-    at_clamped(contacts_.front().start, core::EventClass::kFeeder,
-               [this] { feed_contacts(); });
-  }
-
-  // The timeline sampler is likewise self-rescheduling; sample k fires at
-  // exactly k * sample_interval.
+  // The timeline sampler is self-rescheduling; sample k fires at exactly
+  // k * sample_interval. (Scheduling it before the feeder is primed is
+  // harmless: EventClass tiers, not insertion order, break same-time ties.)
   if (config_.record_timeline) {
     at_clamped(0.0, core::EventClass::kSampler, [this] { take_sample(); });
   }
 }
 
+Engine::Engine(SimulationConfig config, const mobility::ContactTrace& trace,
+               std::unique_ptr<Protocol> protocol, std::uint64_t seed)
+    : Engine(FromSource{}, std::move(config), std::move(protocol), seed) {
+  if (trace.node_count() > config_.node_count) {
+    throw TraceError("trace uses node ids beyond config.node_count (" +
+                     std::to_string(trace.node_count()) + " > " +
+                     std::to_string(config_.node_count) + ")");
+  }
+  // The adapter hands the whole trace out as one chunk: the lazy cursor
+  // walks the trace's own storage, exactly as before streaming existed. The
+  // ContactTrace constructor already validated it.
+  trace_adapter_.emplace(trace);
+  source_ = &*trace_adapter_;
+  validate_chunks_ = false;
+  prime_feeder();
+}
+
+Engine::Engine(SimulationConfig config, mobility::ContactSource& source,
+               std::unique_ptr<Protocol> protocol, std::uint64_t seed)
+    : Engine(FromSource{}, std::move(config), std::move(protocol), seed) {
+  if (source.node_count() > config_.node_count) {
+    throw TraceError("trace uses node ids beyond config.node_count (" +
+                     std::to_string(source.node_count()) + " > " +
+                     std::to_string(config_.node_count) + ")");
+  }
+  source_ = &source;
+  validate_chunks_ = true;
+  prime_feeder();
+}
+
+const mobility::Contact* Engine::peek_contact() {
+  while (feed_cursor_ >= chunk_.size()) {
+    if (source_done_ || source_ == nullptr) return nullptr;
+    chunk_ = source_->next_chunk();
+    feed_cursor_ = 0;
+    if (chunk_.empty()) {
+      source_done_ = true;
+      return nullptr;
+    }
+    if (validate_chunks_) validate_chunk(chunk_);
+  }
+  return &chunk_[feed_cursor_];
+}
+
+void Engine::validate_chunk(std::span<const mobility::Contact> chunk) {
+  for (const mobility::Contact& c : chunk) {
+    if (c.a >= c.b) {
+      throw TraceError("contact source: contacts must be normalized (a < b)");
+    }
+    if (c.b >= config_.node_count) {
+      throw TraceError("contact source: node id " + std::to_string(c.b) +
+                       " beyond config.node_count");
+    }
+    if (c.start < 0.0 || c.end <= c.start) {
+      throw TraceError(
+          "contact source: non-positive duration or negative time");
+    }
+    if (any_validated_ && mobility::ContactBefore{}(c, last_validated_)) {
+      throw TraceError(
+          "contact source: chunks must be globally start-time ordered");
+    }
+    last_validated_ = c;
+    any_validated_ = true;
+  }
+}
+
+void Engine::prime_feeder() {
+  // Contacts are fed lazily: only the next start instant is ever pending,
+  // instead of one event per contact up front (the former design's peak
+  // queue depth was the whole trace).
+  const mobility::Contact* first = peek_contact();
+  if (first != nullptr && first->start <= config_.horizon) {
+    at_clamped(first->start, core::EventClass::kFeeder,
+               [this] { feed_contacts(); });
+  }
+}
+
 void Engine::feed_contacts() {
   const SimTime now = sim_.now();
-  while (feed_cursor_ < contacts_.size() &&
-         contacts_[feed_cursor_].start <= now) {
-    start_contact(contacts_[feed_cursor_++]);
+  const mobility::Contact* next = nullptr;
+  while ((next = peek_contact()) != nullptr && next->start <= now) {
+    ++feed_cursor_;
+    start_contact(*next);
   }
-  if (feed_cursor_ < contacts_.size() &&
-      contacts_[feed_cursor_].start <= config_.horizon) {
-    at_clamped(contacts_[feed_cursor_].start, core::EventClass::kFeeder,
+  if (next != nullptr && next->start <= config_.horizon) {
+    at_clamped(next->start, core::EventClass::kFeeder,
                [this] { feed_contacts(); });
   }
 }
@@ -182,12 +251,8 @@ void Engine::start_contact(const mobility::Contact& contact) {
       ev.count = std::uint64_t{a.buffer().size()} + b.buffer().size();
     });
   }
-  a.note_contact_start(now, config_.encounter_session_gap);
-  b.note_contact_start(now, config_.encounter_session_gap);
-  a.note_peer_contact(b.id(), now);
-  b.note_peer_contact(a.id(), now);
-  a.bump_contact_count();
-  b.bump_contact_count();
+  // One SoA write pair instead of scattering over both nodes' members.
+  encounters_.on_contact_start(contact.a, contact.b, now);
 
   // Control-plane impairment: the contact-start exchange is suppressed when
   // the control draw says drop or when either endpoint is duty-cycled down

@@ -26,13 +26,17 @@
 #include <unordered_set>
 #include <vector>
 
+#include <optional>
+
 #include "core/config.hpp"
 #include "core/rng.hpp"
 #include "core/simulator.hpp"
+#include "dtn/encounter_state.hpp"
 #include "dtn/node.hpp"
 #include "fault/injector.hpp"
 #include "metrics/recorder.hpp"
 #include "metrics/summary.hpp"
+#include "mobility/contact_source.hpp"
 #include "mobility/contact_trace.hpp"
 #include "obs/trace_sink.hpp"
 #include "routing/protocol.hpp"
@@ -47,6 +51,15 @@ class Engine {
   /// (not just the constructor).
   Engine(SimulationConfig config, const mobility::ContactTrace& trace,
          std::unique_ptr<Protocol> protocol, std::uint64_t seed);
+
+  /// Streaming variant: contacts are pulled chunk by chunk from `source`
+  /// (which must outlive the engine), so a run never materialises the full
+  /// contact vector. Chunks are validated as they arrive — normalized pairs,
+  /// in-range node ids, global start-time order — and a violation throws
+  /// TraceError at the offending pull, not at construction.
+  Engine(SimulationConfig config, mobility::ContactSource& source,
+         std::unique_ptr<Protocol> protocol, std::uint64_t seed);
+
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -81,9 +94,15 @@ class Engine {
   [[nodiscard]] const SimulationConfig& config() const noexcept {
     return config_;
   }
-  [[nodiscard]] dtn::DtnNode& node(NodeId id) { return *nodes_.at(id); }
+  [[nodiscard]] dtn::DtnNode& node(NodeId id) { return nodes_.at(id); }
   [[nodiscard]] const dtn::Bundle& bundle(BundleId id) const {
     return bundles_.at(id);
+  }
+
+  /// The run's shared struct-of-arrays encounter table (see
+  /// dtn::EncounterState); nodes answer their encounter queries out of it.
+  [[nodiscard]] const dtn::EncounterState& encounters() const noexcept {
+    return encounters_;
   }
 
   /// Removes a copy from `holder`, cancelling its expiry event, feeding the
@@ -223,6 +242,25 @@ class Engine {
     trace_batch_.clear();
   }
 
+  /// Tag + common constructor: everything both public constructors share
+  /// (validation, nodes, flows, scratch) except the contact-source hookup.
+  struct FromSource {};
+  Engine(FromSource, SimulationConfig config, std::unique_ptr<Protocol> protocol,
+         std::uint64_t seed);
+
+  /// The next contact of the stream without consuming it, pulling (and
+  /// validating) fresh chunks as the current one drains; nullptr once the
+  /// source is exhausted. The pointer is invalidated by the next peek that
+  /// crosses a chunk boundary.
+  [[nodiscard]] const mobility::Contact* peek_contact();
+
+  /// Enforces the ContactSource contract on an externally produced chunk.
+  void validate_chunk(std::span<const mobility::Contact> chunk);
+
+  /// Schedules the first feeder event (constructor tail, after the source
+  /// is wired up).
+  void prime_feeder();
+
   /// Starts every contact beginning at the current instant and reschedules
   /// itself for the next distinct start time within the horizon. Runs in
   /// EventClass::kFeeder so same-time ties resolve exactly as the former
@@ -277,11 +315,22 @@ class Engine {
 
   core::Simulator sim_;
   metrics::Recorder recorder_;
-  std::vector<std::unique_ptr<dtn::DtnNode>> nodes_;
+  std::vector<dtn::DtnNode> nodes_;   ///< contiguous; index == NodeId
+  dtn::EncounterState encounters_;    ///< SoA encounter history (hot path)
   std::vector<dtn::Bundle> bundles_;  // index 0 unused; ids are 1-based
 
-  std::span<const mobility::Contact> contacts_;  ///< sorted; owned by caller
-  std::size_t feed_cursor_ = 0;   ///< next contact to start
+  /// Contact input: a stream of sorted chunks. For the ContactTrace
+  /// constructor the stream is the owned adapter below (one chunk, zero
+  /// copies — the pre-streaming memory behaviour); for the ContactSource
+  /// constructor it is caller-owned and every chunk is validated on arrival.
+  mobility::ContactSource* source_ = nullptr;
+  std::optional<mobility::TraceContactSource> trace_adapter_;
+  std::span<const mobility::Contact> chunk_;  ///< current chunk (source-owned)
+  std::size_t feed_cursor_ = 0;   ///< next contact within chunk_
+  bool source_done_ = false;      ///< saw the empty (exhausted) chunk
+  bool validate_chunks_ = false;  ///< off for the pre-validated trace adapter
+  mobility::Contact last_validated_{};  ///< cross-chunk ordering check
+  bool any_validated_ = false;
   std::uint64_t sample_index_ = 0;  ///< next timeline sample number
 
   std::vector<BundleId> offer_scratch_;  ///< reused by try_transfer

@@ -1,0 +1,128 @@
+// ContactSource seam tests: the TraceContactSource adapter's chunking
+// contract, the owning build_contact_source() facade, and — the load-bearing
+// one — streaming-vs-materialised engine equivalence across all 14 golden
+// cases. The engine must produce a bit-identical RunSummary whether it is
+// handed the whole trace up front or pulls the same contacts chunk by chunk.
+#include "mobility/contact_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "golden_cases.hpp"
+#include "metrics/summary.hpp"
+#include "mobility/contact_trace.hpp"
+#include "test_util.hpp"
+
+namespace epi {
+namespace {
+
+using epi::test::make_trace;
+
+TEST(TraceContactSource, WholeTraceInOneChunkByDefault) {
+  const auto trace = make_trace(
+      {{0, 1, 0.0, 5.0}, {1, 2, 10.0, 15.0}, {0, 2, 20.0, 25.0}});
+  mobility::TraceContactSource source(trace);
+  EXPECT_EQ(source.node_count(), trace.node_count());
+  const auto chunk = source.next_chunk();
+  ASSERT_EQ(chunk.size(), trace.size());
+  EXPECT_TRUE(source.next_chunk().empty());
+  EXPECT_TRUE(source.next_chunk().empty());  // exhausted stays exhausted
+}
+
+TEST(TraceContactSource, ChunkedIterationCoversTraceInOrder) {
+  const auto trace = make_trace({{0, 1, 0.0, 5.0},
+                                 {1, 2, 10.0, 15.0},
+                                 {0, 2, 20.0, 25.0},
+                                 {2, 3, 30.0, 35.0},
+                                 {0, 3, 40.0, 45.0}});
+  for (const std::size_t chunk_size : {1u, 2u, 3u, 4u, 5u, 7u}) {
+    mobility::TraceContactSource source(trace, chunk_size);
+    std::vector<mobility::Contact> streamed;
+    for (auto chunk = source.next_chunk(); !chunk.empty();
+         chunk = source.next_chunk()) {
+      EXPECT_LE(chunk.size(), chunk_size);
+      streamed.insert(streamed.end(), chunk.begin(), chunk.end());
+    }
+    ASSERT_EQ(streamed.size(), trace.size()) << "chunk_size=" << chunk_size;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      EXPECT_EQ(streamed[i].a, trace[i].a);
+      EXPECT_EQ(streamed[i].b, trace[i].b);
+      EXPECT_DOUBLE_EQ(streamed[i].start, trace[i].start);
+      EXPECT_DOUBLE_EQ(streamed[i].end, trace[i].end);
+    }
+  }
+}
+
+TEST(TraceContactSource, EmptyTraceIsImmediatelyExhausted) {
+  const mobility::ContactTrace trace;
+  mobility::TraceContactSource source(trace);
+  EXPECT_TRUE(source.next_chunk().empty());
+  EXPECT_EQ(source.node_count(), 0u);
+}
+
+TEST(BuildContactSource, OwnsMaterialisedTraceForNonRwpKinds) {
+  // The facade must keep the wrapped trace alive itself: stream the synthetic
+  // Haggle scenario and check the contacts match a fresh materialisation.
+  const auto spec = exp::trace_scenario();
+  const auto trace = exp::build_contact_trace(spec, 42);
+  const auto source = exp::build_contact_source(spec, 42);
+  ASSERT_NE(source, nullptr);
+  EXPECT_EQ(source->node_count(), trace.node_count());
+  std::vector<mobility::Contact> streamed;
+  for (auto chunk = source->next_chunk(); !chunk.empty();
+       chunk = source->next_chunk()) {
+    streamed.insert(streamed.end(), chunk.begin(), chunk.end());
+  }
+  ASSERT_EQ(streamed.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_DOUBLE_EQ(streamed[i].start, trace[i].start);
+    EXPECT_DOUBLE_EQ(streamed[i].end, trace[i].end);
+  }
+}
+
+// Streaming-vs-materialised equivalence on every golden pin: same scenario,
+// same protocol, same seed — one run over the materialised trace, one over
+// the scenario's ContactSource (the true streaming generator for rwp cases).
+class StreamedGoldenRun : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(StreamedGoldenRun, MatchesMaterialisedRunBitIdentically) {
+  const GoldenCase& c = GetParam();
+  const bool is_rwp = std::string_view(c.scenario) == "rwp";
+  const auto spec_template =
+      is_rwp ? exp::rwp_scenario() : exp::trace_scenario();
+  const auto trace = exp::build_contact_trace(spec_template, 42);
+
+  exp::RunSpec spec;
+  spec.protocol.kind = protocol_from_string(c.protocol);
+  spec.load = c.load;
+  spec.replication = c.replication;
+  spec.horizon = spec_template.horizon();
+  spec.session_gap = spec_template.session_gap;
+
+  const auto materialised = exp::run_single(spec, trace);
+  const auto source = exp::build_contact_source(spec_template, 42);
+  const auto streamed = exp::run_single(spec, *source);
+  EXPECT_TRUE(metrics::deterministic_equal(streamed, materialised));
+  // Golden spot checks so a deterministic_equal definition bug cannot let a
+  // divergent streamed run slip through.
+  EXPECT_DOUBLE_EQ(streamed.delivery_ratio, c.delivery_ratio);
+  EXPECT_EQ(streamed.contacts, c.contacts);
+  EXPECT_EQ(streamed.bundle_transmissions, c.bundle_transmissions);
+  EXPECT_DOUBLE_EQ(streamed.end_time, c.end_time);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCases, StreamedGoldenRun, ::testing::ValuesIn(kGolden),
+    [](const ::testing::TestParamInfo<GoldenCase>& param_info) {
+      const GoldenCase& c = param_info.param;
+      return std::string(c.scenario) + "_" + c.protocol + "_" +
+             std::to_string(c.load) + "_r" + std::to_string(c.replication);
+    });
+
+}  // namespace
+}  // namespace epi

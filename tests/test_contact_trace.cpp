@@ -114,6 +114,29 @@ TEST(ContactTrace, TruncatedKeepsEarlyStarts) {
   EXPECT_EQ(cut.size(), 2u);
 }
 
+TEST(ContactTrace, TruncatedClampsStraddlingContacts) {
+  // Regression: a contact straddling the cutoff used to be kept at full
+  // length, so the "truncated" trace still extended past the cutoff and
+  // leaked post-cutoff slots into stats and fault plans.
+  const auto trace = make_trace(
+      {{0, 1, 0.0, 5.0}, {1, 2, 10.0, 40.0}, {0, 2, 20.0, 25.0}});
+  const auto cut = trace.truncated(15.0);
+  ASSERT_EQ(cut.size(), 2u);
+  EXPECT_DOUBLE_EQ(cut.end_time(), 15.0);
+  EXPECT_DOUBLE_EQ(cut[1].start, 10.0);
+  EXPECT_DOUBLE_EQ(cut[1].end, 15.0);  // clamped, not dropped
+}
+
+TEST(ContactTrace, TruncatedDropsContactsClampedToNothing) {
+  // A contact starting exactly at (or a hair before) the cutoff would clamp
+  // to a zero-length interval, which the ContactTrace constructor rejects —
+  // it must be dropped instead.
+  const auto trace = make_trace({{0, 1, 0.0, 5.0}, {1, 2, 15.0, 40.0}});
+  const auto cut = trace.truncated(15.0);
+  ASSERT_EQ(cut.size(), 1u);
+  EXPECT_DOUBLE_EQ(cut.end_time(), 5.0);
+}
+
 TEST(TraceStats, BasicAggregates) {
   const auto trace = make_trace(
       {{0, 1, 0.0, 100.0}, {0, 1, 200.0, 260.0}, {1, 2, 300.0, 340.0}});

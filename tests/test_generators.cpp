@@ -160,7 +160,9 @@ TEST(Rwp, ValidatesParams) {
   p.subscriber_points = 1;
   EXPECT_THROW(generate_rwp(p, 1), ConfigError);
   p = {};
-  p.subscriber_points = 100;  // "< 100 subscriber points"
+  // The former arbitrary "< 100" rejection is lifted (city-scale layouts
+  // need hundreds of points); only the overflow-safe sanity bound remains.
+  p.subscriber_points = (1u << 20) + 1;
   EXPECT_THROW(generate_rwp(p, 1), ConfigError);
   p = {};
   p.min_speed_mps = 0.0;
@@ -171,7 +173,126 @@ TEST(Rwp, ValidatesParams) {
   p = {};
   p.min_contact_s = p.max_contact_s + 1.0;
   EXPECT_THROW(generate_rwp(p, 1), ConfigError);
+  p = {};
+  p.hotspot_points = p.subscriber_points + 1;
+  EXPECT_THROW(generate_rwp(p, 1), ConfigError);
+  p = {};
+  p.hotspot_points = 4;
+  p.hotspot_side_frac = 0.0;
+  EXPECT_THROW(generate_rwp(p, 1), ConfigError);
+  p = {};
+  p.commuter_bias = 1.0;  // must stay < 1: a node needs some exploration
+  EXPECT_THROW(generate_rwp(p, 1), ConfigError);
 }
+
+TEST(Rwp, AcceptsCityScalePointCounts) {
+  // Hundreds of points used to be rejected outright; a small-area smoke run
+  // with 256 points must now generate a valid trace.
+  RwpParams p;
+  p.node_count = 24;
+  p.horizon = 20'000.0;
+  p.subscriber_points = 256;
+  const ContactTrace trace = generate_rwp(p, 7);
+  for (const auto& c : trace.contacts()) {
+    EXPECT_LT(c.b, p.node_count);
+    EXPECT_GE(c.duration(), p.min_contact_s);
+  }
+}
+
+TEST(Rwp, PauseNeverExceedsSmallMaxPause) {
+  // Regression: the pause draw used to be uniform(1.0, max_pause_s), which
+  // inverts the range when max_pause_s < 1 and silently produced pauses
+  // beyond the configured maximum. With the bound respected, no visit — and
+  // hence no contact — can outlast max_pause_s.
+  RwpParams p;
+  p.node_count = 8;
+  p.horizon = 5'000.0;
+  p.max_pause_s = 0.9;
+  p.min_contact_s = 0.0;
+  p.max_contact_s = 500.0;
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    const ContactTrace trace = generate_rwp(p, seed);
+    for (const auto& c : trace.contacts()) {
+      EXPECT_LE(c.duration(), p.max_pause_s + 1e-9)
+          << "seed " << seed << ": contact outlives the maximum pause";
+    }
+  }
+}
+
+TEST(Rwp, StreamedChunksMatchMaterialisedTrace) {
+  // The streaming source must emit exactly the materialised trace, in
+  // order, across its chunk boundaries.
+  RwpParams p;
+  p.horizon = 60'000.0;
+  const ContactTrace trace = generate_rwp(p, 42);
+  RwpContactSource source(p, 42);
+  EXPECT_EQ(source.node_count(), p.node_count);
+  std::size_t i = 0;
+  for (auto chunk = source.next_chunk(); !chunk.empty();
+       chunk = source.next_chunk()) {
+    for (const auto& c : chunk) {
+      ASSERT_LT(i, trace.size());
+      EXPECT_EQ(c, trace[i]) << "at contact " << i;
+      ++i;
+    }
+  }
+  EXPECT_EQ(i, trace.size());
+  EXPECT_TRUE(source.next_chunk().empty());  // exhausted stays exhausted
+}
+
+/// Differential: the windowed spatial-hash generator against the naive
+/// materialise-everything sweep — exact contact lists, same sort order —
+/// across seeds and across parameter corners (hotspots, commuter bias,
+/// sub-second pauses, many points).
+class RwpDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RwpDifferential, SpatialHashMatchesNaiveSweep) {
+  RwpParams p;
+  p.node_count = 10;
+  p.horizon = 30'000.0;
+  p.subscriber_points = 12;
+  const ContactTrace fast = generate_rwp(p, GetParam());
+  const ContactTrace naive = generate_rwp_reference(p, GetParam());
+  ASSERT_EQ(fast.size(), naive.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    ASSERT_EQ(fast[i], naive[i]) << "seed " << GetParam() << ", contact " << i;
+  }
+}
+
+TEST_P(RwpDifferential, SpatialHashMatchesNaiveSweepCityParams) {
+  RwpParams p;
+  p.node_count = 16;
+  p.horizon = 15'000.0;
+  p.subscriber_points = 64;
+  p.hotspot_points = 16;
+  p.hotspot_side_frac = 0.3;
+  p.commuter_bias = 0.6;
+  p.max_pause_s = 700.0;
+  const ContactTrace fast = generate_rwp(p, GetParam());
+  const ContactTrace naive = generate_rwp_reference(p, GetParam());
+  ASSERT_EQ(fast.size(), naive.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    ASSERT_EQ(fast[i], naive[i]) << "seed " << GetParam() << ", contact " << i;
+  }
+}
+
+TEST_P(RwpDifferential, SpatialHashMatchesNaiveSweepSubSecondPause) {
+  RwpParams p;
+  p.node_count = 6;
+  p.horizon = 2'000.0;
+  p.subscriber_points = 4;  // crowded: many co-presences
+  p.max_pause_s = 0.5;
+  p.min_contact_s = 0.0;
+  const ContactTrace fast = generate_rwp(p, GetParam());
+  const ContactTrace naive = generate_rwp_reference(p, GetParam());
+  ASSERT_EQ(fast.size(), naive.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    ASSERT_EQ(fast[i], naive[i]) << "seed " << GetParam() << ", contact " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RwpDifferential,
+                         ::testing::Values(1, 2, 7, 13, 42, 97, 1234, 31337));
 
 // -------------------------------------------------------------- interval ----
 

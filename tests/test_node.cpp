@@ -2,8 +2,24 @@
 
 #include <gtest/gtest.h>
 
+#include "dtn/encounter_state.hpp"
+
 namespace epi::dtn {
 namespace {
+
+/// Encounter bookkeeping moved into the shared struct-of-arrays table; these
+/// fixtures wire one node (id 0) to a two-node table and drive contacts
+/// through it, exercising both the table's arithmetic and the node's
+/// pointer-backed query surface.
+struct WiredNode {
+  explicit WiredNode(SimTime session_gap = 1'800.0)
+      : encounters(2, session_gap), node(0, 10) {
+    node.attach_encounters(&encounters);
+  }
+  void contact(SimTime t) { encounters.on_contact_start(0, 1, t); }
+  EncounterState encounters;
+  DtnNode node;
+};
 
 TEST(DtnNode, Construction) {
   const DtnNode node(3, 10);
@@ -12,64 +28,103 @@ TEST(DtnNode, Construction) {
   EXPECT_EQ(node.contact_count(), 0u);
 }
 
+TEST(DtnNode, DetachedNodeHasNoEncounterHistory) {
+  const DtnNode node(0, 10);
+  EXPECT_FALSE(node.last_interval().has_value());
+  EXPECT_FALSE(node.last_session_interval().has_value());
+  EXPECT_FALSE(node.last_contact_start().has_value());
+  EXPECT_FALSE(node.last_interval_with(1).has_value());
+  EXPECT_EQ(node.contact_count(), 0u);
+}
+
 TEST(DtnNode, NoIntervalBeforeTwoContacts) {
-  DtnNode node(0, 10);
-  EXPECT_FALSE(node.last_interval().has_value());
-  node.note_contact_start(100.0);
-  EXPECT_FALSE(node.last_interval().has_value());
-  EXPECT_EQ(node.last_contact_start(), 100.0);
+  WiredNode w;
+  EXPECT_FALSE(w.node.last_interval().has_value());
+  w.contact(100.0);
+  EXPECT_FALSE(w.node.last_interval().has_value());
+  EXPECT_EQ(w.node.last_contact_start(), 100.0);
 }
 
 TEST(DtnNode, IntervalBetweenLastTwoContacts) {
-  DtnNode node(0, 10);
-  node.note_contact_start(100.0);
-  node.note_contact_start(400.0);
-  ASSERT_TRUE(node.last_interval().has_value());
-  EXPECT_DOUBLE_EQ(*node.last_interval(), 300.0);
-  node.note_contact_start(10'000.0);
-  EXPECT_DOUBLE_EQ(*node.last_interval(), 9'600.0);
+  WiredNode w;
+  w.contact(100.0);
+  w.contact(400.0);
+  ASSERT_TRUE(w.node.last_interval().has_value());
+  EXPECT_DOUBLE_EQ(*w.node.last_interval(), 300.0);
+  w.contact(10'000.0);
+  EXPECT_DOUBLE_EQ(*w.node.last_interval(), 9'600.0);
 }
 
 TEST(DtnNode, SessionClusteringMergesBursts) {
-  DtnNode node(0, 10);
+  WiredNode w(1'800.0);
   // A gathering: three contacts within minutes -> one session.
-  node.note_contact_start(1'000.0, 1'800.0);
-  node.note_contact_start(1'200.0, 1'800.0);
-  node.note_contact_start(1'900.0, 1'800.0);
-  EXPECT_FALSE(node.last_session_interval().has_value());
+  w.contact(1'000.0);
+  w.contact(1'200.0);
+  w.contact(1'900.0);
+  EXPECT_FALSE(w.node.last_session_interval().has_value());
   // Next gathering hours later -> second session.
-  node.note_contact_start(20'000.0, 1'800.0);
-  ASSERT_TRUE(node.last_session_interval().has_value());
-  EXPECT_DOUBLE_EQ(*node.last_session_interval(), 19'000.0);
+  w.contact(20'000.0);
+  ASSERT_TRUE(w.node.last_session_interval().has_value());
+  EXPECT_DOUBLE_EQ(*w.node.last_session_interval(), 19'000.0);
 }
 
 TEST(DtnNode, SessionGapBoundaryIsExclusive) {
-  DtnNode node(0, 10);
-  node.note_contact_start(0.0, 100.0);
-  node.note_contact_start(100.0, 100.0);  // exactly the gap: same session
-  EXPECT_FALSE(node.last_session_interval().has_value());
-  node.note_contact_start(201.0, 100.0);  // 101 > gap: new session
-  ASSERT_TRUE(node.last_session_interval().has_value());
-  EXPECT_DOUBLE_EQ(*node.last_session_interval(), 201.0);
+  WiredNode w(100.0);
+  w.contact(0.0);
+  w.contact(100.0);  // exactly the gap: same session
+  EXPECT_FALSE(w.node.last_session_interval().has_value());
+  w.contact(201.0);  // 101 > gap: new session
+  ASSERT_TRUE(w.node.last_session_interval().has_value());
+  EXPECT_DOUBLE_EQ(*w.node.last_session_interval(), 201.0);
 }
 
 TEST(DtnNode, PerPeerIntervals) {
+  EncounterState encounters(3, 1'800.0);
+  encounters.track_peer_intervals(true);
   DtnNode node(0, 10);
+  node.attach_encounters(&encounters);
   EXPECT_FALSE(node.last_interval_with(1).has_value());
-  node.note_peer_contact(1, 100.0);
-  node.note_peer_contact(2, 150.0);
+  encounters.on_contact_start(0, 1, 100.0);
+  encounters.on_contact_start(0, 2, 150.0);
   EXPECT_FALSE(node.last_interval_with(1).has_value());
-  node.note_peer_contact(1, 700.0);
+  encounters.on_contact_start(0, 1, 700.0);
   ASSERT_TRUE(node.last_interval_with(1).has_value());
   EXPECT_DOUBLE_EQ(*node.last_interval_with(1), 600.0);
   EXPECT_FALSE(node.last_interval_with(2).has_value());
 }
 
+TEST(DtnNode, PerPeerIntervalsAreSymmetricAndOptIn) {
+  EncounterState encounters(2, 1'800.0);
+  // Tracking off (the engine's default): contacts leave no pair history.
+  encounters.on_contact_start(0, 1, 10.0);
+  encounters.on_contact_start(0, 1, 20.0);
+  EXPECT_FALSE(encounters.last_interval_between(0, 1).has_value());
+  encounters.track_peer_intervals(true);
+  encounters.on_contact_start(0, 1, 100.0);
+  encounters.on_contact_start(1, 0, 700.0);  // order must not matter
+  ASSERT_TRUE(encounters.last_interval_between(0, 1).has_value());
+  EXPECT_DOUBLE_EQ(*encounters.last_interval_between(1, 0), 600.0);
+}
+
 TEST(DtnNode, ContactCounter) {
-  DtnNode node(0, 10);
-  node.bump_contact_count();
-  node.bump_contact_count();
-  EXPECT_EQ(node.contact_count(), 2u);
+  WiredNode w;
+  w.contact(10.0);
+  w.contact(20.0);
+  EXPECT_EQ(w.node.contact_count(), 2u);
+  EXPECT_EQ(w.encounters.contact_count(1), 2u);  // both endpoints booked
+}
+
+TEST(DtnNode, EncounterTableTracksBothEndpointsIndependently) {
+  EncounterState encounters(3, 100.0);
+  encounters.on_contact_start(0, 1, 50.0);
+  encounters.on_contact_start(1, 2, 300.0);
+  EXPECT_EQ(encounters.contact_count(0), 1u);
+  EXPECT_EQ(encounters.contact_count(1), 2u);
+  EXPECT_EQ(encounters.contact_count(2), 1u);
+  ASSERT_TRUE(encounters.last_interval(1).has_value());
+  EXPECT_DOUBLE_EQ(*encounters.last_interval(1), 250.0);
+  EXPECT_FALSE(encounters.last_interval(0).has_value());
+  EXPECT_FALSE(encounters.last_interval(2).has_value());
 }
 
 TEST(DtnNode, DeliveredTracking) {
