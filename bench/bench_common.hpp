@@ -16,6 +16,12 @@
 //                       ones appended; Ctrl-C drains + saves, rerun resumes
 //   --no-store          disable the run store for this invocation
 //   --store-stats       print hit/miss/append counts at the end
+//   --store-shards N    fingerprint shards for newly written segments
+//                       (default 8; readers union all segments, so any
+//                       value yields identical results)
+//   --claim             partition missing runs with store work-unit claims,
+//                       so N concurrent invocations sharing one store split
+//                       the sweep instead of duplicating it
 //   --evict POLICY      receiver-side admission policy when a buffer is
 //                       full: drop_tail (default, the paper's behavior),
 //                       drop_oldest, drop_most_replicated, drop_largest_ec
@@ -56,6 +62,7 @@ struct Args {
   std::string stats_out;   ///< empty = stats collection off
   std::string store_dir = "results/runstore";  ///< empty = store off
   bool store_stats = false;
+  std::size_t store_shards = 8;  ///< shard count for new segments
 };
 
 /// Parses a full unsigned decimal value; exits 2 on anything else (empty,
@@ -145,6 +152,14 @@ inline Args parse_args(int argc, char** argv) {
       args.store_dir.clear();
     } else if (arg == "--store-stats") {
       args.store_stats = boolean();
+    } else if (arg == "--store-shards") {
+      args.store_shards = parse_unsigned<std::size_t>(arg, next());
+      if (args.store_shards == 0) {
+        std::cerr << "--store-shards must be at least 1\n";
+        std::exit(2);
+      }
+    } else if (arg == "--claim") {
+      args.options.claim_units = boolean();
     } else if (arg == "--evict") {
       try {
         args.options.eviction = eviction_policy_from_string(next());
@@ -158,7 +173,8 @@ inline Args parse_args(int argc, char** argv) {
                 << " [--reps N] [--seed S] [--threads T] [--csv] [--perf]"
                    " [--trace-out=FILE] [--chrome-trace=FILE]"
                    " [--stats-out=FILE] [--store=DIR] [--no-store]"
-                   " [--store-stats] [--evict=POLICY]\n";
+                   " [--store-stats] [--store-shards=N] [--claim]"
+                   " [--evict=POLICY]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
@@ -201,7 +217,8 @@ struct Observability {
     }
     if (!args.store_dir.empty()) {
       try {
-        store = std::make_unique<store::RunStore>(args.store_dir);
+        store = std::make_unique<store::RunStore>(
+            args.store_dir, store::StoreOptions{args.store_shards});
         args.options.store = store.get();
         // Ctrl-C now drains and saves instead of discarding finished runs.
         sigint = std::make_unique<store::SigintDrain>();

@@ -1,0 +1,110 @@
+// store_tool: operate on run-store directories from the command line.
+//
+//   store_tool stats DIR            record/segment/claim census
+//   store_tool merge DEST SRC...    union each SRC store into DEST
+//   store_tool compact DIR          rewrite DIR into one segment per shard
+//
+// merge is the fleet-aggregation path: N machines (or N result trees) each
+// produce a store, and one merge folds them into a single cache that can
+// serve every figure. It is idempotent — records are visited in key-sorted
+// order and already-present identical records are skipped — and it hard-
+// errors when two stores disagree on the same key's deterministic content,
+// because silently picking a side would let a corrupted store poison the
+// merged one.
+//
+// compact refuses while any other process holds the store open or while
+// any work-unit claim is held, so it can never rewrite segments under a
+// live writer.
+#include <cinttypes>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "store/run_store.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " stats DIR | merge DEST SRC... | compact DIR\n";
+  return 2;
+}
+
+int cmd_stats(const std::filesystem::path& dir) {
+  const epi::store::RunStore store(dir);
+  const epi::store::RunStore::Stats s = store.stats();
+  const epi::store::ClaimDir::Stats c = store.claim_stats();
+  std::cout << dir.string() << ": " << s.records << " records in "
+            << s.segments << " segment(s), " << s.shards
+            << " shard(s) for new writes";
+  if (s.corrupt_lines > 0) {
+    std::cout << ", " << s.corrupt_lines << " corrupt line(s) skipped";
+  }
+  std::cout << "\n";
+  if (c.total > 0) {
+    std::cout << "claims: " << c.held << " held, " << c.reclaimable
+              << " reclaimable (owner gone), " << c.stuck
+              << " stuck (no flock; not yet stale)\n";
+  } else {
+    std::cout << "claims: none\n";
+  }
+  return 0;
+}
+
+int cmd_merge(const std::filesystem::path& dest_dir, char** sources,
+              int count) {
+  epi::store::RunStore dest(dest_dir);
+  std::size_t added = 0, identical = 0;
+  for (int i = 0; i < count; ++i) {
+    const std::filesystem::path src = sources[i];
+    const epi::store::MergeReport report = epi::store::merge_into(dest, src);
+    std::cout << src.string() << " -> " << dest_dir.string() << ": "
+              << report.scanned << " scanned, " << report.added << " added, "
+              << report.identical << " identical\n";
+    added += report.added;
+    identical += report.identical;
+  }
+  const epi::store::RunStore::Stats s = dest.stats();
+  std::cout << "merged " << count << " store(s): " << added << " added, "
+            << identical << " identical; " << dest_dir.string() << " now has "
+            << s.records << " records\n";
+  return 0;
+}
+
+int cmd_compact(const std::filesystem::path& dir) {
+  epi::store::RunStore store(dir);
+  const std::size_t before = store.stats().segments;
+  store.compact();
+  const epi::store::RunStore::Stats s = store.stats();
+  std::cout << dir.string() << ": " << before << " segment(s) -> "
+            << s.segments << ", " << s.records << " records\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage(argv[0]);
+  const std::string_view cmd = argv[1];
+  try {
+    if (cmd == "stats") {
+      if (argc != 3) return usage(argv[0]);
+      return cmd_stats(argv[2]);
+    }
+    if (cmd == "merge") {
+      if (argc < 4) return usage(argv[0]);
+      return cmd_merge(argv[2], argv + 3, argc - 3);
+    }
+    if (cmd == "compact") {
+      if (argc != 3) return usage(argv[0]);
+      return cmd_compact(argv[2]);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage(argv[0]);
+}

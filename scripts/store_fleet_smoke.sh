@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Fleet smoke test for the sharded run store + multi-process sweep driver:
+#
+#   1. `bench_figure --all --jobs 2` on a cold shared store produces figure
+#      JSON byte-identical to a single-process, single-thread reference.
+#   2. Two CONCURRENT invocations sharing one store partition the figures
+#      via claims; SIGKILL one mid-run and the survivor adopts its units
+#      and still completes every figure, byte-identical to the reference.
+#   3. Rerunning the killed invocation resumes from the store (its missing
+#      outputs appear, again byte-identical).
+#   4. `store_tool merge` unions the independently produced stores; a rerun
+#      against the merged store does zero simulation work.
+#
+# Usage: store_fleet_smoke.sh BENCH_FIGURE_BINARY STORE_TOOL_BINARY [WORK_DIR]
+set -euo pipefail
+
+bench_figure=$(readlink -f "$1")
+store_tool=$(readlink -f "$2")
+work=${3:-$(mktemp -d)}
+figs=${FIGS:-fig07,fig08,robust_trace_delay}
+reps=${REPS:-30}          # enough work that the SIGKILL lands mid-sweep
+kill_after=${KILL_AFTER:-2}
+
+mkdir -p "$work"
+cd "$work"
+
+compare_figs() {  # compare_figs DIR — byte-compare every figure JSON vs ref
+  local count=0 id
+  for id in ${figs//,/ }; do
+    cmp "ref/$id.json" "$1/$id.json"
+    count=$((count + 1))
+  done
+  echo "$1: $count figure file(s) byte-identical to the reference"
+}
+
+echo "== stage 0: serial reference (--jobs 1 --threads 1) =="
+"$bench_figure" --all --only "$figs" --jobs 1 --threads 1 --reps "$reps" \
+    --out ref --store store_ref >/dev/null
+
+echo "== stage 1: cold two-process fleet (--jobs 2) =="
+"$bench_figure" --all --only "$figs" --jobs 2 --reps "$reps" \
+    --out par --store store_par >/dev/null 2>&1
+compare_figs par
+
+echo "== stage 2: concurrent invocations, SIGKILL one mid-run =="
+"$bench_figure" --all --only "$figs" --jobs 1 --threads 2 --reps "$reps" \
+    --out out_a --store store_shared >/dev/null 2>&1 &
+victim=$!
+"$bench_figure" --all --only "$figs" --jobs 1 --threads 2 --reps "$reps" \
+    --out out_b --store store_shared >/dev/null 2>&1 &
+survivor=$!
+sleep "$kill_after"
+if ! kill -9 "$victim" 2>/dev/null; then
+  echo "error: the victim finished before the kill landed; raise REPS" >&2
+  kill -9 "$survivor" 2>/dev/null || true
+  exit 1
+fi
+wait "$victim" 2>/dev/null || true
+if ! wait "$survivor"; then
+  echo "error: the surviving invocation failed" >&2
+  exit 1
+fi
+compare_figs out_b
+
+echo "== stage 3: rerun the killed invocation (resumes from the store) =="
+"$bench_figure" --all --only "$figs" --jobs 1 --threads 2 --reps "$reps" \
+    --out out_a --store store_shared >/dev/null 2>&1
+compare_figs out_a
+
+echo "== stage 4: merge the stores, then a zero-work cached rerun =="
+"$store_tool" merge store_merged store_ref store_par store_shared
+"$store_tool" stats store_merged
+merged_stats=$("$bench_figure" --all --only "$figs" --jobs 1 --threads 1 \
+    --reps "$reps" --out out_merged --store store_merged --store-stats |
+  grep -F '[store]')
+echo "$merged_stats"
+case "$merged_stats" in
+  *" 0 simulated, 0 appended"*) ;;
+  *)
+    echo "error: rerun against the merged store still simulated something" >&2
+    exit 1 ;;
+esac
+compare_figs out_merged
+
+echo "store fleet smoke: OK"

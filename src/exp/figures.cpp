@@ -5,6 +5,7 @@
 #include <iomanip>
 #include <map>
 #include <memory>
+#include <optional>
 #include <ostream>
 #include <utility>
 
@@ -65,6 +66,29 @@ ProtocolParams cumulative_immunity_params() {
 
 // --- generic driver -----------------------------------------------------------
 
+namespace {
+
+/// Builds the reporter a figure asked for: the live stderr line, the JSONL
+/// mirror for the fleet driver, both, or neither. A mirror-only reporter
+/// writes its terminal output into the bit bucket so N worker processes
+/// never interleave carriage-return lines on one console.
+std::unique_ptr<obs::ProgressReporter> make_progress(
+    const FigureOptions& options, const std::string& id,
+    std::size_t total_runs) {
+  if (!options.progress && options.progress_path.empty()) return nullptr;
+  auto reporter =
+      options.progress
+          ? std::make_unique<obs::ProgressReporter>(id, total_runs)
+          : std::make_unique<obs::ProgressReporter>(id, total_runs,
+                                                    obs::null_stream());
+  if (!options.progress_path.empty()) {
+    reporter->mirror_to(options.progress_path);
+  }
+  return reporter;
+}
+
+}  // namespace
+
 Figure run_figure(std::string id, std::string title, Metric metric,
                   std::vector<SeriesDef> series,
                   const FigureOptions& options,
@@ -74,23 +98,17 @@ Figure run_figure(std::string id, std::string title, Metric metric,
   figure.title = std::move(title);
   figure.metric = metric;
 
-  // Build each distinct mobility input once; all series over the same
-  // scenario share the trace (paper SIV: one trace, many runs).
+  // Each distinct mobility input is built at most once, on first need, and
+  // shared by every series over the same scenario (paper SIV: one trace,
+  // many runs). Lazily, because a fully-warm store serves every run
+  // without simulating — regeneration then skips mobility entirely, which
+  // is most of the wall time of a cached figure.
   std::map<std::string, mobility::ContactTrace> traces;
-  for (const auto& def : series) {
-    if (!traces.contains(def.scenario.name)) {
-      traces.emplace(def.scenario.name,
-                     build_contact_trace(def.scenario, options.master_seed));
-    }
-  }
 
   const std::size_t load_points =
       loads.empty() ? paper_loads().size() : loads.size();
-  std::unique_ptr<obs::ProgressReporter> progress;
-  if (options.progress) {
-    progress = std::make_unique<obs::ProgressReporter>(
-        figure.id, series.size() * load_points * options.replications);
-  }
+  std::unique_ptr<obs::ProgressReporter> progress = make_progress(
+      options, figure.id, series.size() * load_points * options.replications);
 
   for (auto& def : series) {
     SweepSpec spec;
@@ -105,11 +123,24 @@ Figure run_figure(std::string id, std::string title, Metric metric,
     spec.progress = progress.get();
     spec.collect_stats = options.collect_stats;
     spec.store = options.store;
+    spec.claim_units = options.claim_units;
     spec.eviction = options.eviction;
 
+    const ScenarioSpec& scenario = def.scenario;
     figure.labels.push_back(def.label);
-    figure.results.push_back(
-        run_sweep_on(spec, traces.at(def.scenario.name)));
+    figure.results.push_back(run_sweep_on(
+        spec,
+        TraceProvider([&traces, &scenario, seed = options.master_seed]()
+                          -> const mobility::ContactTrace& {
+          auto it = traces.find(scenario.name);
+          if (it == traces.end()) {
+            it = traces
+                     .emplace(scenario.name,
+                              build_contact_trace(scenario, seed))
+                     .first;
+          }
+          return it->second;
+        })));
   }
   return figure;
 }
@@ -326,8 +357,15 @@ const char* metric_slug(Metric metric) noexcept {
 Figure run_robustness(const FigureOptions& o, Metric metric, bool rwp) {
   const ScenarioSpec scenario =
       ScenarioSpecBuilder(rwp ? rwp_scenario() : trace_scenario()).build();
-  const mobility::ContactTrace trace =
-      build_contact_trace(scenario, o.master_seed);
+  // Shared across every (protocol, loss point) sweep; built on first miss
+  // only, so a warm store replays the whole figure without it.
+  std::optional<mobility::ContactTrace> trace;
+  const TraceProvider provider = [&]() -> const mobility::ContactTrace& {
+    if (!trace.has_value()) {
+      trace = build_contact_trace(scenario, o.master_seed);
+    }
+    return *trace;
+  };
 
   // All protocol families: the SV-A originals plus every SV-B enhancement.
   struct Def {
@@ -354,11 +392,8 @@ Figure run_robustness(const FigureOptions& o, Metric metric, bool rwp) {
   figure.metric = metric;
   figure.axis = "loss %";
 
-  std::unique_ptr<obs::ProgressReporter> progress;
-  if (o.progress) {
-    progress = std::make_unique<obs::ProgressReporter>(
-        figure.id, defs.size() * percents.size() * o.replications);
-  }
+  std::unique_ptr<obs::ProgressReporter> progress = make_progress(
+      o, figure.id, defs.size() * percents.size() * o.replications);
 
   for (const auto& def : defs) {
     // One sweep per loss point (the sweep machinery's axis is load, pinned
@@ -384,7 +419,8 @@ Figure run_robustness(const FigureOptions& o, Metric metric, bool rwp) {
       spec.progress = progress.get();
       spec.collect_stats = o.collect_stats;
       spec.store = o.store;
-      SweepResult point = run_sweep_on(spec, trace);
+      spec.claim_units = o.claim_units;
+      SweepResult point = run_sweep_on(spec, provider);
       series.loads.push_back(percent);
       series.points.push_back(std::move(point.points.front()));
       series.runs.push_back(std::move(point.runs.front()));
@@ -406,8 +442,13 @@ std::vector<std::uint32_t> capacity_points() { return {4, 6, 8, 10, 14, 20}; }
 
 Figure run_capacity(const FigureOptions& o, Metric metric) {
   const ScenarioSpec scenario = trace_scenario();
-  const mobility::ContactTrace trace =
-      build_contact_trace(scenario, o.master_seed);
+  std::optional<mobility::ContactTrace> trace;
+  const TraceProvider provider = [&]() -> const mobility::ContactTrace& {
+    if (!trace.has_value()) {
+      trace = build_contact_trace(scenario, o.master_seed);
+    }
+    return *trace;
+  };
 
   // Two families spanning the admission spectrum: P-Q has no rule of its
   // own (the configured policy decides everything), EC applies its
@@ -438,12 +479,9 @@ Figure run_capacity(const FigureOptions& o, Metric metric) {
   figure.metric = metric;
   figure.axis = "capacity";
 
-  std::unique_ptr<obs::ProgressReporter> progress;
-  if (o.progress) {
-    progress = std::make_unique<obs::ProgressReporter>(
-        figure.id,
-        defs.size() * policies.size() * capacities.size() * o.replications);
-  }
+  std::unique_ptr<obs::ProgressReporter> progress = make_progress(
+      o, figure.id,
+      defs.size() * policies.size() * capacities.size() * o.replications);
 
   for (const auto& def : defs) {
     for (const EvictionPolicy policy : policies) {
@@ -468,7 +506,8 @@ Figure run_capacity(const FigureOptions& o, Metric metric) {
         spec.progress = progress.get();
         spec.collect_stats = o.collect_stats;
         spec.store = o.store;
-        SweepResult point = run_sweep_on(spec, trace);
+        spec.claim_units = o.claim_units;
+        SweepResult point = run_sweep_on(spec, provider);
         series.loads.push_back(capacity);
         series.points.push_back(std::move(point.points.front()));
         series.runs.push_back(std::move(point.runs.front()));

@@ -34,6 +34,17 @@ struct FigureOptions {
   /// Persistent run cache (non-owning, optional); see SweepSpec::store.
   store::RunStore* store = nullptr;
 
+  /// Partition missing runs across concurrent invocations sharing the
+  /// store via work-unit claims; see SweepSpec::claim_units.
+  bool claim_units = false;
+
+  /// When non-empty, every reporter additionally appends machine-readable
+  /// ProgressSnapshot lines to this file (see obs::progress). The fleet
+  /// driver points each worker process here and tails the files into one
+  /// aggregate line; combine with `progress = false` to keep worker
+  /// stderr quiet.
+  std::string progress_path;
+
   /// Receiver-side admission policy applied to every run (see
   /// RunSpec::eviction). Drop-tail (the default) is the paper's behavior
   /// and keeps every figure bit-identical to older builds.

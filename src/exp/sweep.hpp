@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,16 @@ struct SweepSpec {
   /// stats profiles require the events to happen), though fresh results are
   /// still appended.
   store::RunStore* store = nullptr;
+
+  /// Partition pending runs with store-level work-unit claims, so N
+  /// concurrent invocations of run_sweep_on against one store directory
+  /// each execute a disjoint subset of the missing runs and serve the rest
+  /// from the peers' appends as they land (see store/claim.hpp). Requires
+  /// `store`; ignored when the cache is bypassed (`trace_sink` /
+  /// `collect_stats`), because a peer's record cannot stand in for a run
+  /// whose events or profile this invocation needs locally. Results are
+  /// bit-identical with or without claims, for any worker count.
+  bool claim_units = false;
 };
 
 struct SweepResult {
@@ -89,6 +100,19 @@ struct SweepResult {
 /// across protocols — every figure — use this to avoid regenerating it).
 [[nodiscard]] SweepResult run_sweep_on(const SweepSpec& spec,
                                        const mobility::ContactTrace& trace);
+
+/// Produces the sweep's contact trace on first use. The returned reference
+/// must stay valid until the sweep finishes; the provider is invoked at
+/// most once, and — the point — not at all when every run is served from
+/// the store, which makes fully-warm figure regeneration skip mobility
+/// generation entirely.
+using TraceProvider = std::function<const mobility::ContactTrace&()>;
+
+/// Same sweep, but the trace is built lazily via `provider` only if at
+/// least one run actually needs simulating (store keys derive from the
+/// scenario spec, never from trace contents).
+[[nodiscard]] SweepResult run_sweep_on(const SweepSpec& spec,
+                                       const TraceProvider& provider);
 
 /// Convenience: run the same scenario/loads for several protocols (the shape
 /// of every multi-series figure in the paper). The mobility trace is built

@@ -1,10 +1,79 @@
 #include "obs/progress.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <stdexcept>
 
 namespace epi::obs {
+
+std::string encode_progress_line(const ProgressSnapshot& snap) {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "{\"label\":\"%s\",\"completed\":%zu,\"cached\":%zu,"
+                "\"total\":%zu,\"events\":%llu,\"elapsed\":%.3f,"
+                "\"final\":%s}\n",
+                snap.label.c_str(), snap.completed, snap.cached, snap.total,
+                static_cast<unsigned long long>(snap.events),
+                snap.elapsed_seconds, snap.final ? "true" : "false");
+  return buf;
+}
+
+bool parse_progress_line(std::string_view line, ProgressSnapshot& out) {
+  // Strict companion to encode_progress_line: fixed field order, one
+  // object per line. Anything else (notably a torn tail) parses false.
+  const auto eat = [&](std::string_view token) {
+    if (!line.starts_with(token)) return false;
+    line.remove_prefix(token.size());
+    return true;
+  };
+  const auto number = [&](auto& value) {
+    const auto [ptr, ec] =
+        std::from_chars(line.data(), line.data() + line.size(), value);
+    if (ec != std::errc{} || ptr == line.data()) return false;
+    line.remove_prefix(static_cast<std::size_t>(ptr - line.data()));
+    return true;
+  };
+  while (line.ends_with('\n') || line.ends_with('\r')) line.remove_suffix(1);
+  if (!eat("{\"label\":\"")) return false;
+  const std::size_t quote = line.find('"');
+  if (quote == std::string_view::npos) return false;
+  out.label = std::string(line.substr(0, quote));
+  line.remove_prefix(quote + 1);
+  if (!eat(",\"completed\":") || !number(out.completed)) return false;
+  if (!eat(",\"cached\":") || !number(out.cached)) return false;
+  if (!eat(",\"total\":") || !number(out.total)) return false;
+  if (!eat(",\"events\":") || !number(out.events)) return false;
+  if (!eat(",\"elapsed\":")) return false;
+  {
+    // from_chars(double) is still spotty on some libstdc++ configs the CI
+    // matrix builds with; strtod on a bounded copy does the job.
+    const std::size_t end = line.find_first_not_of("0123456789.+-eE");
+    const std::string token(line.substr(0, end));
+    char* done = nullptr;
+    out.elapsed_seconds = std::strtod(token.c_str(), &done);
+    if (done != token.c_str() + token.size() || token.empty()) return false;
+    line.remove_prefix(token.size());
+  }
+  if (eat(",\"final\":true}")) {
+    out.final = true;
+  } else if (eat(",\"final\":false}")) {
+    out.final = false;
+  } else {
+    return false;
+  }
+  return line.empty();
+}
+
+std::ostream& null_stream() {
+  // A null streambuf puts the stream in a permanent badbit state; every
+  // insertion becomes a no-op without touching any buffer, so sharing one
+  // instance across reporters (and threads) is safe.
+  static std::ostream stream(nullptr);
+  return stream;
+}
 
 std::string humanize_rate(double per_second) {
   char buf[32];
@@ -62,7 +131,19 @@ void ProgressReporter::finish() {
   std::lock_guard lock(mutex_);
   if (finished_) return;
   finished_ = true;
-  if (printed_) print_line(/*final=*/true);
+  // A mirrored reporter always seals its file with a final snapshot, even
+  // if the terminal never saw a redraw — the fleet driver distinguishes
+  // "worker finished" from "worker died" by that final line.
+  if (printed_ || mirror_.is_open()) print_line(/*final=*/true);
+}
+
+void ProgressReporter::mirror_to(const std::filesystem::path& path) {
+  std::lock_guard lock(mutex_);
+  mirror_.open(path, std::ios::app);
+  if (!mirror_) {
+    throw std::runtime_error("cannot open progress mirror file " +
+                             path.string());
+  }
 }
 
 std::size_t ProgressReporter::completed() const {
@@ -127,6 +208,18 @@ void ProgressReporter::print_line(bool final) {
   }
   out_ << line;
   out_.flush();
+  if (mirror_.is_open()) {
+    ProgressSnapshot snap;
+    snap.label = label_;
+    snap.completed = completed_;
+    snap.cached = cached_;
+    snap.total = total_;
+    snap.events = events_;
+    snap.elapsed_seconds = elapsed;
+    snap.final = final;
+    mirror_ << encode_progress_line(snap);
+    mirror_.flush();
+  }
   printed_ = true;
 }
 

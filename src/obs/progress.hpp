@@ -12,11 +12,41 @@
 
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <iosfwd>
 #include <mutex>
 #include <string>
+#include <string_view>
 
 namespace epi::obs {
+
+/// One machine-readable progress sample, as mirrored to a JSONL file by
+/// mirror_to() and aggregated across worker processes by the fleet driver
+/// (`bench_figure --all --jobs N`): each worker appends snapshots, the
+/// driver tails every file and sums the latest ones into one honest line.
+struct ProgressSnapshot {
+  std::string label;
+  std::size_t completed = 0;
+  std::size_t cached = 0;
+  std::size_t total = 0;
+  std::uint64_t events = 0;
+  double elapsed_seconds = 0.0;
+  bool final = false;
+};
+
+/// `{"label":"fig07","completed":12,...}\n` — one snapshot per line.
+[[nodiscard]] std::string encode_progress_line(const ProgressSnapshot& snap);
+
+/// Parses one mirrored line; false on malformation (a torn tail line from
+/// a live writer parses false and is simply skipped by the tailer).
+[[nodiscard]] bool parse_progress_line(std::string_view line,
+                                       ProgressSnapshot& out);
+
+/// A stream that discards everything written to it. Fleet workers hand
+/// this to their reporters so N processes don't interleave carriage-return
+/// lines on one terminal while the JSONL mirror still records progress.
+[[nodiscard]] std::ostream& null_stream();
 
 class ProgressReporter {
  public:
@@ -43,6 +73,11 @@ class ProgressReporter {
   /// Prints the final line (idempotent; also called by the destructor).
   void finish();
 
+  /// Additionally appends a ProgressSnapshot line to `path` on every
+  /// redraw (rate-limited with the terminal line) and a `final` one on
+  /// finish(). Throws std::runtime_error when the file cannot be opened.
+  void mirror_to(const std::filesystem::path& path);
+
   [[nodiscard]] std::size_t completed() const;
   [[nodiscard]] std::size_t cached() const;
   [[nodiscard]] std::uint64_t total_events() const;
@@ -60,6 +95,7 @@ class ProgressReporter {
   std::string label_;
   std::size_t total_;
   std::ostream& out_;
+  std::ofstream mirror_;  // optional JSONL snapshot stream
   mutable std::mutex mutex_;
   std::size_t completed_ = 0;
   std::size_t cached_ = 0;

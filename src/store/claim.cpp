@@ -1,0 +1,177 @@
+#include "store/claim.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <system_error>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "core/error.hpp"
+#include "store/fingerprint.hpp"
+
+namespace epi::store {
+namespace {
+
+/// Writes all of `text` to `fd`, retrying on EINTR and short writes.
+void write_full(int fd, std::string_view text) {
+  while (!text.empty()) {
+    const ssize_t n = ::write(fd, text.data(), text.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // stamp is advisory; losing it never affects correctness
+    }
+    text.remove_prefix(static_cast<std::size_t>(n));
+  }
+}
+
+/// True when `errno_value` means "this filesystem has no flock support".
+bool flock_unsupported(int errno_value) {
+  return errno_value == ENOLCK || errno_value == ENOTSUP ||
+         errno_value == EOPNOTSUPP || errno_value == EINVAL;
+}
+
+double age_seconds(const struct stat& st) {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const double now_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(now).count();
+  return now_s - static_cast<double>(st.st_mtime);
+}
+
+}  // namespace
+
+Claim::Claim(Claim&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+Claim& Claim::operator=(Claim&& other) noexcept {
+  if (this != &other) {
+    release();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Claim::~Claim() { release(); }
+
+void Claim::release() noexcept {
+  if (fd_ < 0) return;
+  // Unlink while the lock is still held: a racing try_claim that opened the
+  // old inode sees its fstat/stat mismatch and retries against the new name.
+  ::unlink(path_.c_str());
+  ::close(fd_);  // drops the flock
+  fd_ = -1;
+}
+
+ClaimDir::ClaimDir(std::filesystem::path dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    throw StoreError("cannot create claim directory " + dir_.string() + ": " +
+                     ec.message());
+  }
+}
+
+std::optional<Claim> ClaimDir::try_claim(std::string_view unit_key) {
+  const std::filesystem::path path =
+      dir_ / (fingerprint_hex(unit_key) + ".claim");
+  const std::string stamp = "pid=" + std::to_string(::getpid()) +
+                            "\nkey=" + std::string(unit_key) + "\n";
+
+  for (int attempt = 0; attempt < 3 && flock_works_; ++attempt) {
+    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      throw StoreError("cannot open claim file " + path.string() + ": " +
+                       std::strerror(errno));
+    }
+    if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+      const int err = errno;
+      ::close(fd);
+      if (err == EWOULDBLOCK || err == EINTR) return std::nullopt;
+      if (flock_unsupported(err)) {
+        flock_works_ = false;
+        break;  // degrade to the O_EXCL protocol below
+      }
+      throw StoreError("flock failed on " + path.string() + ": " +
+                       std::strerror(err));
+    }
+    // We hold the lock — but possibly on an inode the previous owner
+    // unlinked between our open and our flock. Only a descriptor that
+    // still names `path` is a valid claim.
+    struct stat by_fd{};
+    struct stat by_name{};
+    if (::fstat(fd, &by_fd) == 0 && ::stat(path.c_str(), &by_name) == 0 &&
+        by_fd.st_ino == by_name.st_ino && by_fd.st_dev == by_name.st_dev) {
+      if (::ftruncate(fd, 0) == 0) write_full(fd, stamp);
+      return Claim(fd, path);
+    }
+    ::close(fd);  // stale inode; the live file (if any) gets the next try
+  }
+  if (flock_works_) return std::nullopt;  // three stale-inode races in a row
+
+  // Fallback for filesystems without flock: O_EXCL creation is the claim,
+  // and only age can tell a live owner from a dead one.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const int fd =
+        ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+    if (fd >= 0) {
+      write_full(fd, stamp);
+      return Claim(fd, path);
+    }
+    if (errno != EEXIST) {
+      throw StoreError("cannot create claim file " + path.string() + ": " +
+                       std::strerror(errno));
+    }
+    struct stat st{};
+    if (::stat(path.c_str(), &st) != 0) continue;  // vanished; retry create
+    if (age_seconds(st) < kStaleClaimSeconds) return std::nullopt;
+    ::unlink(path.c_str());  // stale — steal it (best effort; see header)
+  }
+  return std::nullopt;
+}
+
+ClaimDir::Stats ClaimDir::scan() const {
+  Stats stats;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir_, ec);
+  if (ec) return stats;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file() ||
+        entry.path().extension() != ".claim") {
+      continue;
+    }
+    ++stats.total;
+    const int fd = ::open(entry.path().c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      ++stats.reclaimable;  // unlinked under us — owner just released
+      continue;
+    }
+    struct stat st{};
+    const bool stale =
+        ::fstat(fd, &st) == 0 && age_seconds(st) > kStaleClaimSeconds;
+    if (::flock(fd, LOCK_EX | LOCK_NB) == 0) {
+      ::flock(fd, LOCK_UN);
+      ++stats.reclaimable;
+    } else if (errno == EWOULDBLOCK) {
+      ++stats.held;
+      if (stale) ++stats.stuck;
+    } else {
+      // No flock support: only age distinguishes live from dead.
+      if (stale) ++stats.reclaimable; else ++stats.held;
+    }
+    ::close(fd);
+  }
+  return stats;
+}
+
+bool ClaimDir::any_held() const { return scan().held > 0; }
+
+}  // namespace epi::store

@@ -1,0 +1,112 @@
+// Work-unit claims: the advisory-lock protocol that lets N concurrent
+// processes partition a sweep over one shared run store without duplicating
+// work (ROADMAP item 3; the partition-by-fingerprint idiom of up4w-core's
+// swarm dispatch tables).
+//
+// One claim file per work unit, named by the unit key's FNV-1a fingerprint
+// (`claims/<fp>.claim` under the store directory). Ownership is an
+// exclusive flock(2) held on the file for the lifetime of the unit's
+// execution:
+//
+//   * try_claim() opens the file (creating it if needed) and takes
+//     LOCK_EX | LOCK_NB. Failure means a live worker owns the unit —
+//     skip it and await its result.
+//   * The kernel releases a flock when its holder dies, however it dies
+//     (SIGKILL, OOM, power loss of the whole box releases everything), so
+//     a killed worker's units become reclaimable the moment it is gone —
+//     no timeout ever gates crash recovery.
+//   * Claimants MUST re-check the store for the unit's record *after*
+//     acquiring the claim: between a cache miss and the claim, another
+//     worker may have completed the unit and released (released claim
+//     files are unlinked). The claim guarantees mutual exclusion, the
+//     re-check guarantees exactly-once execution.
+//   * release() unlinks the file before closing the descriptor, so the
+//     lock is still held while the name disappears; try_claim() verifies
+//     (fstat == stat) that the descriptor it locked still names the claim
+//     path and retries otherwise, closing the unlink/re-create race.
+//
+// Filesystems without working flock (some NFS setups) degrade to an
+// O_EXCL-create protocol where a claim older than kStaleClaimSeconds may
+// be stolen; that fallback is best-effort (a steal can race) and only
+// risks duplicated work, never wrong results — records are idempotent.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <optional>
+#include <string_view>
+
+namespace epi::store {
+
+/// RAII ownership of one claimed work unit. Move-only; releasing (or
+/// destroying) unlinks the claim file and drops the lock.
+class Claim {
+ public:
+  Claim() = default;
+  Claim(Claim&& other) noexcept;
+  Claim& operator=(Claim&& other) noexcept;
+  ~Claim();
+  Claim(const Claim&) = delete;
+  Claim& operator=(const Claim&) = delete;
+
+  /// True while this handle owns the unit.
+  [[nodiscard]] bool held() const noexcept { return fd_ >= 0; }
+
+  /// Unlinks the claim file and releases the lock (idempotent). Called by
+  /// the destructor; call it explicitly to release before going out of
+  /// scope.
+  void release() noexcept;
+
+  [[nodiscard]] const std::filesystem::path& path() const noexcept {
+    return path_;
+  }
+
+ private:
+  friend class ClaimDir;
+  Claim(int fd, std::filesystem::path path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  std::filesystem::path path_;
+};
+
+class ClaimDir {
+ public:
+  /// Age past which a claim may be stolen when flock is unavailable, and
+  /// past which scan() reports a still-locked claim as `stuck` (a live but
+  /// hung owner — never stolen, only reported).
+  static constexpr double kStaleClaimSeconds = 900.0;
+
+  /// Opens (creating if needed) the claim directory. Throws StoreError
+  /// when it cannot be created.
+  explicit ClaimDir(std::filesystem::path dir);
+
+  /// Claims the unit identified by `unit_key`, or nullopt when a live
+  /// worker holds it. The claim file records the owner pid and the key
+  /// for debuggability; its mtime is the claim time.
+  [[nodiscard]] std::optional<Claim> try_claim(std::string_view unit_key);
+
+  struct Stats {
+    std::size_t total = 0;        ///< claim files present
+    std::size_t held = 0;         ///< flock currently held by a live owner
+    std::size_t reclaimable = 0;  ///< owner gone; next try_claim wins it
+    std::size_t stuck = 0;        ///< held longer than kStaleClaimSeconds
+  };
+  /// Probes every claim file (a transient non-blocking flock each; benign
+  /// to racing claimants, who simply defer and retry).
+  [[nodiscard]] Stats scan() const;
+
+  /// True when any claim is held by a live owner. Cheap form of scan()
+  /// used by RunStore::compact() to refuse while writers are mid-unit.
+  [[nodiscard]] bool any_held() const;
+
+  [[nodiscard]] const std::filesystem::path& dir() const noexcept {
+    return dir_;
+  }
+
+ private:
+  std::filesystem::path dir_;
+  bool flock_works_ = true;  // flipped on ENOTSUP/ENOLCK; see fallback note
+};
+
+}  // namespace epi::store

@@ -1,15 +1,22 @@
 #include "store/run_store.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
+#include <cerrno>
 #include <charconv>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string_view>
 #include <system_error>
+#include <utility>
 #include <vector>
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 #include "core/error.hpp"
@@ -364,121 +371,248 @@ class RecordParser {
   std::size_t pos_ = 0;
 };
 
+// --- file plumbing ------------------------------------------------------------
+
 bool is_segment_file(const std::filesystem::path& p) {
   const std::string name = p.filename().string();
   return name.starts_with("seg-") && name.ends_with(".jsonl");
 }
 
+/// Writes all of `text` with a single logical append. O_APPEND makes each
+/// write(2) land atomically at end-of-file, and records are far below the
+/// pipe-buffer-style atomicity limits for regular files, so concurrent
+/// writers never interleave within a line. Retries EINTR and short writes.
+void write_full(int fd, std::string_view text, const std::string& path) {
+  while (!text.empty()) {
+    const ssize_t n = ::write(fd, text.data(), text.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw StoreError("write failed on " + path + ": " +
+                       std::strerror(errno));
+    }
+    text.remove_prefix(static_cast<std::size_t>(n));
+  }
+}
+
+/// Process-wide counter making segment names unique across RunStore
+/// instances within one process (the pid alone is not enough: tests and
+/// the fleet driver open several stores on one directory).
+std::atomic<std::uint64_t> g_segment_seq{0};
+
+std::string segment_name(std::size_t shard) {
+  char name[96];
+  std::snprintf(name, sizeof(name), "seg-%03zu-%ld-%" PRIu64 ".jsonl", shard,
+                static_cast<long>(::getpid()),
+                g_segment_seq.fetch_add(1, std::memory_order_relaxed) + 1);
+  return name;
+}
+
 }  // namespace
 
-RunStore::RunStore(std::filesystem::path dir) : dir_(std::move(dir)) {
+RunStore::RunStore(std::filesystem::path dir, StoreOptions options)
+    : dir_(std::move(dir)), options_(options) {
+  options_.shards = std::clamp<std::size_t>(options_.shards, 1, 4096);
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   if (ec) {
     throw StoreError("cannot create run store directory " + dir_.string() +
                      ": " + ec.message());
   }
-  load_segments();
+  shards_.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  claims_ = std::make_unique<ClaimDir>(dir_ / "claims");
+
+  // Mark the store open: LOCK_SH here, so compact() (which upgrades to
+  // LOCK_EX) can tell when any other process still has the directory open.
+  const std::filesystem::path lock_path = dir_ / "store.lock";
+  lock_fd_ = ::open(lock_path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (lock_fd_ >= 0) {
+    (void)::flock(lock_fd_, LOCK_SH);  // unsupported flock degrades silently
+  }
+
+  std::lock_guard scan_lock(scan_mutex_);
+  refresh_locked();
 }
 
-RunStore::~RunStore() { flush(); }
-
-void RunStore::load_segments() {
-  std::vector<std::filesystem::path> segments;
-  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
-    if (entry.is_regular_file() && is_segment_file(entry.path())) {
-      segments.push_back(entry.path());
+RunStore::~RunStore() {
+  std::lock_guard scan_lock(scan_mutex_);
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    if (shard->fd >= 0) {
+      ::close(shard->fd);
+      shard->fd = -1;
     }
   }
-  // Name order == creation order (zero-padded index first), so later
-  // segments win on duplicate keys.
-  std::sort(segments.begin(), segments.end());
-  stats_.segments = segments.size();
+  if (lock_fd_ >= 0) ::close(lock_fd_);
+}
 
-  for (const auto& path : segments) {
-    std::ifstream in(path);
-    std::string line;
-    while (std::getline(in, line)) {
+std::size_t RunStore::shard_of(std::string_view key) const {
+  return static_cast<std::size_t>(fnv1a64(key) % options_.shards);
+}
+
+void RunStore::refresh() {
+  std::lock_guard scan_lock(scan_mutex_);
+  refresh_locked();
+}
+
+void RunStore::refresh_locked() {
+  std::vector<std::string> own;
+  {
+    std::lock_guard own_lock(own_mutex_);
+    own = own_segments_;
+  }
+  std::vector<std::pair<std::string, std::uintmax_t>> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (!entry.is_regular_file() || !is_segment_file(entry.path())) continue;
+    std::string name = entry.path().filename().string();
+    if (std::find(own.begin(), own.end(), name) != own.end()) {
+      continue;  // our own appends are already in memory
+    }
+    std::error_code ec;
+    const std::uintmax_t size = entry.file_size(ec);
+    if (ec) continue;
+    files.emplace_back(std::move(name), size);
+  }
+  // Name order keeps replay deterministic (duplicate keys across files are
+  // deterministically equal anyway — they describe the same inputs).
+  std::sort(files.begin(), files.end());
+
+  for (const auto& [name, size] : files) {
+    std::uint64_t& cursor = cursors_[name];
+    if (size <= cursor) continue;
+    std::ifstream in(dir_ / name, std::ios::binary);
+    if (!in) continue;
+    in.seekg(static_cast<std::streamoff>(cursor));
+    std::string chunk(static_cast<std::size_t>(size - cursor), '\0');
+    in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+    chunk.resize(static_cast<std::size_t>(in.gcount()));
+
+    // Consume only '\n'-terminated lines: a live writer's torn tail is
+    // simply not ours yet, and will be once its newline lands.
+    const std::size_t end = chunk.rfind('\n');
+    if (end == std::string::npos) continue;
+    std::size_t begin = 0;
+    while (begin <= end) {
+      const std::size_t nl = chunk.find('\n', begin);
+      std::string_view line(chunk.data() + begin, nl - begin);
+      begin = nl + 1;
       if (line.empty()) continue;
       try {
         std::string key;
         metrics::RunSummary summary;
         if (RecordParser(line).parse(key, summary)) {
-          index_.insert_or_assign(std::move(key), std::move(summary));
+          Shard& shard = *shards_[shard_of(key)];
+          std::lock_guard lock(shard.mutex);
+          shard.index.insert_or_assign(std::move(key), std::move(summary));
         }
         // A foreign schema version parses fine but is never served.
       } catch (const StoreError&) {
         // A killed writer leaves at most one torn line at a segment's tail;
         // anything else unreadable is equally just a missing cache entry.
-        ++stats_.corrupt_lines;
+        ++corrupt_lines_;
       }
     }
+    cursor += end + 1;
   }
-  stats_.records = index_.size();
 }
 
-void RunStore::open_active_segment() {
-  // One segment per writing process: an index one past the largest on disk,
-  // made collision-proof across concurrent openers by the pid suffix.
-  std::size_t next = 1;
-  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
-    if (!entry.is_regular_file() || !is_segment_file(entry.path())) continue;
-    const std::string name = entry.path().filename().string();
-    std::size_t index = 0;
-    const char* begin = name.c_str() + 4;  // past "seg-"
-    const auto [p, ec] = std::from_chars(begin, name.c_str() + name.size(),
-                                         index);
-    (void)p;
-    if (ec == std::errc{} && index >= next) next = index + 1;
+void RunStore::open_shard_segment(Shard& shard, std::size_t shard_index) {
+  const std::string name = segment_name(shard_index);
+  shard.path = dir_ / name;
+  shard.fd = ::open(shard.path.c_str(),
+                    O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  if (shard.fd < 0) {
+    throw StoreError("cannot open run store segment " + shard.path.string() +
+                     ": " + std::strerror(errno));
   }
-  char name[64];
-  std::snprintf(name, sizeof(name), "seg-%05zu-%ld.jsonl", next,
-                static_cast<long>(::getpid()));
-  active_path_ = dir_ / name;
-  active_.open(active_path_, std::ios::app);
-  if (!active_) {
-    throw StoreError("cannot open run store segment " +
-                     active_path_.string());
-  }
-  ++stats_.segments;
+  std::lock_guard own_lock(own_mutex_);
+  own_segments_.push_back(name);
 }
 
 std::optional<metrics::RunSummary> RunStore::find(const std::string& key) {
-  std::lock_guard lock(mutex_);
-  const auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++stats_.misses;
-    return std::nullopt;
+  Shard& shard = *shards_[shard_of(key)];
+  std::optional<metrics::RunSummary> found;
+  {
+    std::lock_guard lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) found = it->second;
   }
-  ++stats_.hits;
-  return it->second;
+  std::lock_guard counters(counter_mutex_);
+  if (found) ++hits_; else ++misses_;
+  return found;
 }
 
 void RunStore::put(const std::string& key,
                    const metrics::RunSummary& summary) {
   const std::string record = encode_record(key, summary);
-  std::lock_guard lock(mutex_);
-  if (!active_.is_open()) open_active_segment();
-  active_ << record;
-  // Flush to the OS per record: a killed process loses at most the line
-  // being written (and reload tolerates that torn tail).
-  active_.flush();
-  index_.insert_or_assign(key, summary);
-  ++stats_.appended;
-  stats_.records = index_.size();
+  const std::size_t shard_index = shard_of(key);
+  Shard& shard = *shards_[shard_index];
+  {
+    std::lock_guard lock(shard.mutex);
+    if (shard.fd < 0) open_shard_segment(shard, shard_index);
+    // One whole line per write(2): durable to the OS immediately, and
+    // atomic against concurrent appenders on the same directory.
+    write_full(shard.fd, record, shard.path.string());
+    shard.index.insert_or_assign(key, summary);
+  }
+  std::lock_guard counters(counter_mutex_);
+  ++appended_;
 }
 
 void RunStore::flush() {
-  std::lock_guard lock(mutex_);
-  if (active_.is_open()) active_.flush();
+  // put() writes each record straight through with write(2); there is no
+  // userspace buffer left to flush.
+}
+
+std::optional<Claim> RunStore::try_claim(std::string_view unit_key) {
+  return claims_->try_claim(unit_key);
+}
+
+ClaimDir::Stats RunStore::claim_stats() const { return claims_->scan(); }
+
+void RunStore::for_each(
+    const std::function<void(const std::string&, const metrics::RunSummary&)>&
+        fn) const {
+  std::vector<std::pair<std::string, metrics::RunSummary>> snapshot;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    snapshot.insert(snapshot.end(), shard->index.begin(), shard->index.end());
+  }
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [key, summary] : snapshot) fn(key, summary);
 }
 
 void RunStore::compact() {
-  std::lock_guard lock(mutex_);
-  if (active_.is_open()) {
-    active_.flush();
-    active_.close();
+  std::lock_guard scan_lock(scan_mutex_);
+
+  // Refuse while any worker is mid-unit: its result is about to be
+  // appended to a segment this rewrite would delete.
+  const ClaimDir::Stats claims = claims_->scan();
+  if (claims.held > 0) {
+    throw StoreError("refusing to compact " + dir_.string() + ": " +
+                     std::to_string(claims.held) +
+                     " work-unit claim(s) held by live workers");
   }
+  // Refuse while any other process has the store open (it may append at
+  // any time). Our own LOCK_SH upgrades to LOCK_EX only when we are the
+  // sole opener.
+  if (lock_fd_ >= 0 && ::flock(lock_fd_, LOCK_EX | LOCK_NB) != 0) {
+    if (errno == EWOULDBLOCK) {
+      throw StoreError("refusing to compact " + dir_.string() +
+                       ": another process has this store open");
+    }
+    // flock unsupported here: the claims check above is the only guard.
+  }
+
+  // Fold in anything dead writers completed before they went away, then
+  // freeze our own writers for the rewrite.
+  refresh_locked();
+  std::vector<std::unique_lock<std::mutex>> shard_locks;
+  shard_locks.reserve(shards_.size());
+  for (const auto& shard : shards_) shard_locks.emplace_back(shard->mutex);
 
   std::vector<std::filesystem::path> old_segments;
   for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
@@ -487,42 +621,117 @@ void RunStore::compact() {
     }
   }
 
-  // Write everything into a tmp file, then atomically publish it as the next
-  // segment. A crash before the rename leaves the old segments untouched; a
-  // crash after it leaves duplicates, which reload deduplicates.
-  const std::filesystem::path tmp = dir_ / "compact.tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) throw StoreError("cannot write " + tmp.string());
-    for (const auto& [key, summary] : index_) {
-      out << encode_record(key, summary);
+  for (const auto& shard : shards_) {
+    if (shard->fd >= 0) {
+      ::close(shard->fd);
+      shard->fd = -1;
     }
-    out.flush();
-    if (!out) throw StoreError("failed writing " + tmp.string());
   }
-  std::size_t next = 1;
-  for (const auto& seg : old_segments) {
-    const std::string name = seg.filename().string();
-    std::size_t index = 0;
-    const auto [p, ec] = std::from_chars(
-        name.c_str() + 4, name.c_str() + name.size(), index);
-    (void)p;
-    if (ec == std::errc{} && index >= next) next = index + 1;
+  {
+    std::lock_guard own_lock(own_mutex_);
+    own_segments_.clear();
   }
-  char name[64];
-  std::snprintf(name, sizeof(name), "seg-%05zu-%ld.jsonl", next,
-                static_cast<long>(::getpid()));
-  std::filesystem::rename(tmp, dir_ / name);
+  cursors_.clear();
+
+  // Per shard: write the shard's records in key order into a tmp file,
+  // then atomically publish it as a fresh segment. A crash before a
+  // rename leaves old segments untouched; a crash after leaves
+  // duplicates, which reload deduplicates. Sorted output makes repeated
+  // compactions byte-stable.
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    if (shard.index.empty()) continue;
+    std::vector<const std::string*> keys;
+    keys.reserve(shard.index.size());
+    for (const auto& [key, summary] : shard.index) keys.push_back(&key);
+    std::sort(keys.begin(), keys.end(),
+              [](const std::string* a, const std::string* b) {
+                return *a < *b;
+              });
+    char tmp_name[48];
+    std::snprintf(tmp_name, sizeof(tmp_name), "compact-%03zu.tmp", i);
+    const std::filesystem::path tmp = dir_ / tmp_name;
+    std::uint64_t bytes = 0;
+    {
+      std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+      if (!out) throw StoreError("cannot write " + tmp.string());
+      for (const std::string* key : keys) {
+        const std::string record = encode_record(*key, shard.index.at(*key));
+        out << record;
+        bytes += record.size();
+      }
+      out.flush();
+      if (!out) throw StoreError("failed writing " + tmp.string());
+    }
+    const std::string name = segment_name(i);
+    std::filesystem::rename(tmp, dir_ / name);
+    // Already in memory in full: mark the fresh segment fully consumed.
+    cursors_[name] = bytes;
+  }
+
   for (const auto& seg : old_segments) {
     std::error_code ec;
     std::filesystem::remove(seg, ec);  // best effort; duplicates are benign
   }
-  stats_.segments = 1;
+  // Released claim files are unlinked by their owners; anything left here
+  // is a dead worker's leftover (none are held — checked above).
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(claims_->dir(), ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".claim") {
+      std::error_code rm;
+      std::filesystem::remove(entry.path(), rm);
+    }
+  }
+
+  if (lock_fd_ >= 0) (void)::flock(lock_fd_, LOCK_SH);
 }
 
 RunStore::Stats RunStore::stats() const {
-  std::lock_guard lock(mutex_);
-  return stats_;
+  Stats stats;
+  stats.shards = options_.shards;
+  {
+    std::lock_guard scan_lock(scan_mutex_);
+    stats.segments = cursors_.size();
+    stats.corrupt_lines = corrupt_lines_;
+  }
+  {
+    std::lock_guard own_lock(own_mutex_);
+    stats.segments += own_segments_.size();
+  }
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    stats.records += shard->index.size();
+  }
+  std::lock_guard counters(counter_mutex_);
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.appended = appended_;
+  return stats;
+}
+
+MergeReport merge_into(RunStore& dest,
+                       const std::filesystem::path& source_dir) {
+  RunStore source(source_dir);
+  MergeReport report;
+  source.for_each([&](const std::string& key,
+                      const metrics::RunSummary& summary) {
+    ++report.scanned;
+    if (auto existing = dest.find(key)) {
+      if (!metrics::deterministic_equal(*existing, summary)) {
+        throw StoreError(
+            "merge conflict on fp " + fingerprint_hex(key) + " (" +
+            source_dir.string() + " vs " + dest.dir().string() +
+            "): same key, different deterministic content — one store is "
+            "wrong, refusing to pick; key: " + key);
+      }
+      ++report.identical;
+      return;
+    }
+    dest.put(key, summary);
+    ++report.added;
+  });
+  return report;
 }
 
 }  // namespace epi::store

@@ -1,46 +1,83 @@
-// RunStore: a persistent, content-addressed cache of RunSummary values.
+// RunStore: a persistent, content-addressed, multi-writer cache of
+// RunSummary values.
 //
-// Layout: a directory of append-only JSONL segment files (`seg-*.jsonl`),
+// Layout: a directory of append-only JSONL segment files sharded by key
+// fingerprint —
+//
+//   seg-<shard>-<pid>-<seq>.jsonl     shard = fnv1a64(key) % shard_count
+//   claims/<fp>.claim                 in-flight work units (see claim.hpp)
+//   store.lock                        open-store marker (LOCK_SH per opener)
+//
 // one JSON record per completed run:
 //
-//   {"schema":1,"fp":"9c0f...","key":"schema=1|scenario=...","load":25,...}
+//   {"schema":2,"fp":"9c0f...","key":"schema=2|scenario=...","load":25,...}
+//
+// Multi-writer model:
+//   * Every writing process appends to its own per-shard files (the
+//     <pid>-<seq> suffix makes names collision-proof), opened O_APPEND and
+//     written one whole line per ::write(), so concurrent stores on one
+//     directory never interleave bytes and never contend on a file.
+//   * Readers union every `seg-*.jsonl` regardless of shard count or
+//     naming vintage, so any (threads × processes × shard count) mix sees
+//     the same records — and pre-sharding stores load unchanged.
+//   * refresh() incrementally tails peers' segments (byte-offset cursors,
+//     only '\n'-terminated lines are consumed) so a long-lived store sees
+//     records appended by concurrent processes without reopening.
+//   * try_claim() hands out advisory-locked work units so N invocations of
+//     run_sweep_on partition pending runs instead of duplicating them.
 //
 // Durability model:
-//   * put() appends one line and flushes it to the OS, so a killed process
+//   * put() appends one line with a single write(2), so a killed process
 //     (SIGKILL, OOM, power-button) loses at most the record being written;
-//   * reload tolerates a corrupt or truncated final line — and, defensively,
-//     corrupt lines anywhere — by skipping them (counted in stats);
-//   * compact() rewrites all live records into a single fresh segment via
-//     the tmp+rename idiom, so a crash mid-compaction never loses data
-//     (worst case: old segments survive next to the new one; duplicate
-//     records are idempotent because cached results are bit-identical).
+//   * reload tolerates a corrupt or truncated final line — and,
+//     defensively, corrupt lines anywhere — by skipping them (counted in
+//     stats); a partial tail of a *live* writer is simply not consumed
+//     until its newline arrives;
+//   * compact() rewrites live records into fresh per-shard segments via
+//     tmp+rename, and refuses while any other process has the store open
+//     (store.lock) or any claim is held — it never drops a concurrent
+//     writer's appends.
 //
 // Every numeric field is serialized with max_digits10 precision, so a
 // summary read back from disk is bit-identical to the one written — the
-// invariant that lets sweeps mix cached and fresh runs freely.
+// invariant that lets sweeps mix cached and fresh runs freely, across any
+// number of producing processes.
 //
-// Concurrency: find()/put()/stats() are thread-safe (one mutex); a store is
-// meant to be owned by one process at a time, but concurrent processes on
-// POSIX degrade gracefully because each process appends to its own segment.
+// The record schema version is unchanged by sharding: records are
+// byte-identical to pre-sharding stores, readers never depended on segment
+// names, and simulation semantics did not move — only file layout did.
 #pragma once
 
 #include <cstdint>
 #include <filesystem>
-#include <fstream>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "metrics/summary.hpp"
+#include "store/claim.hpp"
 
 namespace epi::store {
+
+struct StoreOptions {
+  /// Number of fingerprint shards for *newly written* segments. Purely a
+  /// contention knob: readers union all segments, so any value (and any
+  /// mix of values across processes) yields identical contents.
+  std::size_t shards = 8;
+};
 
 class RunStore {
  public:
   /// Opens (creating if needed) the store rooted at `dir` and loads every
-  /// segment. Throws StoreError when the directory cannot be created.
-  explicit RunStore(std::filesystem::path dir);
+  /// segment. Holds a shared advisory lock on `store.lock` for the
+  /// store's lifetime (compact() needs the exclusive upgrade). Throws
+  /// StoreError when the directory cannot be created.
+  explicit RunStore(std::filesystem::path dir, StoreOptions options = {});
 
   RunStore(const RunStore&) = delete;
   RunStore& operator=(const RunStore&) = delete;
@@ -51,24 +88,49 @@ class RunStore {
       const std::string& key);
 
   /// Caches `summary` under `key`: updates the in-memory index and durably
-  /// appends one record to the active segment (opened lazily on first put).
+  /// appends one record to the key's shard segment (opened lazily).
   void put(const std::string& key, const metrics::RunSummary& summary);
 
-  /// Flushes the active segment to the OS (put() already flushes per
-  /// record; this is a cheap no-op barrier for end-of-sweep callers).
+  /// No-op barrier retained for end-of-sweep callers: put() already hands
+  /// each record to the OS with an unbuffered write(2).
   void flush();
 
-  /// Rewrites every live record into one fresh segment (tmp+rename), then
-  /// removes the old segments. Call when segment count grows unwieldy.
+  /// Folds in records appended by other processes since open/last refresh.
+  /// Incremental (per-file byte cursors); a torn tail still being written
+  /// is left unconsumed, not counted corrupt. Thread-safe.
+  void refresh();
+
+  /// Rewrites every live record into fresh per-shard segments (tmp+rename,
+  /// sorted by key for byte-stable output), then removes old segments.
+  /// Refuses with StoreError while another process has the store open or
+  /// any work-unit claim is held, so a concurrent writer's appends are
+  /// never dropped. Also sweeps released/stale claim files.
   void compact();
+
+  /// Claims the work unit `unit_key` (usually a run key, or a
+  /// "figure/<id>" task key), or nullopt when a live worker owns it. After
+  /// claiming a run unit, re-check the store (refresh() + find()) before
+  /// executing: the previous owner may have completed it. See claim.hpp.
+  [[nodiscard]] std::optional<Claim> try_claim(std::string_view unit_key);
+
+  /// Claim-directory census (held / reclaimable / stuck).
+  [[nodiscard]] ClaimDir::Stats claim_stats() const;
+
+  /// Visits every live record in key-sorted order (snapshot taken under
+  /// the shard locks; the callback runs unlocked).
+  void for_each(
+      const std::function<void(const std::string& key,
+                               const metrics::RunSummary& summary)>& fn)
+      const;
 
   struct Stats {
     std::size_t records = 0;        ///< live (deduplicated) records
-    std::size_t segments = 0;       ///< segment files on disk at open
-    std::size_t corrupt_lines = 0;  ///< lines skipped on load
+    std::size_t segments = 0;       ///< segment files known
+    std::size_t shards = 0;         ///< shard count for new segments
+    std::size_t corrupt_lines = 0;  ///< lines skipped on load/refresh
     std::size_t hits = 0;
     std::size_t misses = 0;
-    std::size_t appended = 0;       ///< records written by this process
+    std::size_t appended = 0;       ///< records written by this store
   };
   [[nodiscard]] Stats stats() const;
 
@@ -77,15 +139,56 @@ class RunStore {
   }
 
  private:
-  void load_segments();
-  void open_active_segment();  // callers hold mutex_
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, metrics::RunSummary> index;
+    int fd = -1;  ///< lazily opened O_APPEND segment owned by this store
+    std::filesystem::path path;
+  };
+
+  [[nodiscard]] std::size_t shard_of(std::string_view key) const;
+  void open_shard_segment(Shard& shard, std::size_t shard_index);
+  void refresh_locked();  // callers hold scan_mutex_
 
   std::filesystem::path dir_;
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, metrics::RunSummary> index_;
-  std::ofstream active_;       // lazily opened append stream
-  std::filesystem::path active_path_;
-  Stats stats_;
+  StoreOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<ClaimDir> claims_;
+  int lock_fd_ = -1;  ///< store.lock descriptor, LOCK_SH while open
+
+  /// Guards the refresh cursors; ordering: scan_mutex_ before any shard
+  /// mutex, never the reverse.
+  mutable std::mutex scan_mutex_;
+  std::unordered_map<std::string, std::uint64_t> cursors_;  // name -> bytes
+  std::size_t corrupt_lines_ = 0;
+
+  /// Guards own_segments_ only. Always taken last (it is acquired under a
+  /// shard mutex by the lazy segment open, and under scan_mutex_ by
+  /// refresh), so it must never wrap another lock.
+  mutable std::mutex own_mutex_;
+  std::vector<std::string> own_segments_;  // names this store appends to
+
+  mutable std::mutex counter_mutex_;  // hits/misses/appended
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t appended_ = 0;
 };
+
+/// Result of merging one source directory into a destination store.
+struct MergeReport {
+  std::size_t scanned = 0;    ///< records read from the source
+  std::size_t added = 0;      ///< records new to the destination
+  std::size_t identical = 0;  ///< already present with equal content
+};
+
+/// Unions the store at `source_dir` into `dest` (in key-sorted order, so
+/// repeated merges are idempotent and byte-stable). Records already in
+/// `dest` with deterministically equal content are skipped; a key whose
+/// source and destination records disagree on any deterministic field
+/// raises StoreError — two stores claiming different results for the same
+/// inputs means one of them is wrong, and merge refuses to pick.
+/// (Wall-clock perf timings legitimately differ across machines and are
+/// not compared.)
+MergeReport merge_into(RunStore& dest, const std::filesystem::path& source_dir);
 
 }  // namespace epi::store

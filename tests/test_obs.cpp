@@ -256,7 +256,7 @@ TEST(PerfCounters, DeterministicFieldsIdenticalAcrossThreadCounts) {
 }
 
 TEST(JsonlSink, SweepTraceReconcilesWithAggregates) {
-  // The acceptance check behind `bench_fig07 --trace-out=...`: per-event
+  // The acceptance check behind `bench_figure --fig 07 --trace-out=...`: per-event
   // record counts must reconcile with the run summaries' printed aggregates.
   const mobility::ContactTrace trace =
       exp::build_contact_trace(exp::trace_scenario(), 42);

@@ -1,0 +1,476 @@
+// Multi-writer store behavior: shard layout, cross-process visibility via
+// refresh(), the work-unit claim protocol (exactly-once execution under
+// contention, dead-owner reclaim), compact's refusal conditions, merge
+// semantics, and the fleet progress snapshot format.
+//
+// "Processes" here are mostly threads each holding their OWN RunStore
+// instance on one directory — that exercises the same file-level protocol
+// (separate open file descriptions, separate flocks, separate segment
+// files) without fork() inside gtest; the true multi-process path is
+// covered end-to-end by scripts/store_fleet_smoke.sh.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
+#include "metrics/summary.hpp"
+#include "mobility/contact_trace.hpp"
+#include "obs/progress.hpp"
+#include "store/claim.hpp"
+#include "store/fingerprint.hpp"
+#include "store/run_store.hpp"
+
+namespace epi {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("epi_fleet_" + name);
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::vector<fs::path> segment_files(const fs::path& dir) {
+  std::vector<fs::path> segments;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string n = entry.path().filename().string();
+    if (n.starts_with("seg-") && n.ends_with(".jsonl")) {
+      segments.push_back(entry.path());
+    }
+  }
+  return segments;
+}
+
+metrics::RunSummary summary_with(double delivery_ratio) {
+  metrics::RunSummary s;
+  s.load = 25;
+  s.seed = 7;
+  s.delivery_ratio = delivery_ratio;
+  s.mean_bundle_delay = 123.456;
+  s.perf.wall_seconds = 0.5;
+  return s;
+}
+
+// --- shard layout -------------------------------------------------------------
+
+TEST(ShardedStore, DistributesRecordsAcrossShardSegments) {
+  const fs::path dir = fresh_dir("distribute");
+  {
+    store::RunStore store(dir, store::StoreOptions{8});
+    for (int i = 0; i < 64; ++i) {
+      store.put("key-" + std::to_string(i), summary_with(0.5));
+    }
+    EXPECT_EQ(store.stats().shards, 8u);
+  }
+  // 64 FNV-fingerprinted keys over 8 shards: all shards essentially
+  // certainly see at least one record, and no shard sees all of them.
+  const auto segments = segment_files(dir);
+  EXPECT_GT(segments.size(), 1u);
+  EXPECT_LE(segments.size(), 8u);
+
+  store::RunStore reopened(dir);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(reopened.find("key-" + std::to_string(i)).has_value()) << i;
+  }
+}
+
+TEST(ShardedStore, ShardCountIsAWritePreferenceNotAFormat) {
+  const fs::path dir = fresh_dir("recount");
+  {
+    store::RunStore store(dir, store::StoreOptions{8});
+    for (int i = 0; i < 16; ++i) {
+      store.put("eight-" + std::to_string(i), summary_with(0.25));
+    }
+  }
+  // Reopening with a different shard count reads everything — readers
+  // union all segments regardless of who sharded them how.
+  store::RunStore store(dir, store::StoreOptions{3});
+  EXPECT_EQ(store.stats().records, 16u);
+  for (int i = 0; i < 16; ++i) {
+    store.put("three-" + std::to_string(i), summary_with(0.75));
+  }
+  store::RunStore reopened(dir, store::StoreOptions{1});
+  EXPECT_EQ(reopened.stats().records, 32u);
+}
+
+// --- cross-instance visibility ------------------------------------------------
+
+TEST(ShardedStore, RefreshSeesPeerAppends) {
+  const fs::path dir = fresh_dir("peer");
+  store::RunStore a(dir);
+  store::RunStore b(dir);
+  b.put("from-b", summary_with(0.125));
+  // a's in-memory index predates the append...
+  EXPECT_FALSE(a.find("from-b").has_value());
+  // ...and refresh() folds the peer's segment in, bit-identically.
+  a.refresh();
+  const auto loaded = a.find("from-b");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->delivery_ratio, 0.125);
+}
+
+TEST(ShardedStore, RefreshLeavesTornTailPendingThenConsumesCompletion) {
+  // Get one canonical encoded record line by writing a single-shard store.
+  const fs::path donor_dir = fresh_dir("torn_donor");
+  {
+    store::RunStore donor(donor_dir, store::StoreOptions{1});
+    donor.put("torn-key", summary_with(0.625));
+  }
+  const auto donor_segments = segment_files(donor_dir);
+  ASSERT_EQ(donor_segments.size(), 1u);
+  std::string line;
+  {
+    std::ifstream in(donor_segments[0]);
+    ASSERT_TRUE(std::getline(in, line));
+  }
+  line.push_back('\n');
+  const std::size_t half = line.size() / 2;
+
+  // Replay it into a foreign segment of a watched store, half at a time —
+  // exactly what a reader sees racing a live writer mid-append.
+  const fs::path dir = fresh_dir("torn_live");
+  store::RunStore watcher(dir);
+  const fs::path foreign = dir / "seg-000-99999-1.jsonl";
+  {
+    std::ofstream out(foreign, std::ios::binary);
+    out << line.substr(0, half);
+  }
+  watcher.refresh();
+  EXPECT_FALSE(watcher.find("torn-key").has_value());
+  EXPECT_EQ(watcher.stats().corrupt_lines, 0u);
+  {
+    std::ofstream out(foreign, std::ios::binary | std::ios::app);
+    out << line.substr(half);
+  }
+  watcher.refresh();
+  EXPECT_TRUE(watcher.find("torn-key").has_value());
+}
+
+// --- claims -------------------------------------------------------------------
+
+TEST(Claims, SecondClaimantLosesUntilRelease) {
+  const fs::path dir = fresh_dir("contend");
+  store::RunStore a(dir);
+  store::RunStore b(dir);
+  std::optional<store::Claim> held = a.try_claim("unit-1");
+  ASSERT_TRUE(held.has_value());
+  EXPECT_TRUE(held->held());
+  // The peer cannot take it while the lock lives...
+  EXPECT_FALSE(b.try_claim("unit-1").has_value());
+  // ...a different unit is free...
+  EXPECT_TRUE(b.try_claim("unit-2").has_value());
+  // ...and release hands unit-1 over.
+  held->release();
+  EXPECT_FALSE(held->held());
+  EXPECT_TRUE(b.try_claim("unit-1").has_value());
+}
+
+TEST(Claims, DeadOwnersFileIsReclaimable) {
+  const fs::path dir = fresh_dir("reclaim");
+  store::RunStore store(dir);
+  // A claim file with no flock on it is exactly what a SIGKILLed owner
+  // leaves behind (the kernel released the lock with the process).
+  fs::create_directories(dir / "claims");
+  {
+    std::ofstream out(dir / "claims" /
+                      (store::fingerprint_hex("unit-dead") + ".claim"));
+    out << "pid=99999\nkey=unit-dead\n";
+  }
+  const auto census = store.claim_stats();
+  EXPECT_EQ(census.total, 1u);
+  EXPECT_EQ(census.held, 0u);
+  EXPECT_EQ(census.reclaimable, 1u);
+  EXPECT_TRUE(store.try_claim("unit-dead").has_value());
+}
+
+TEST(Claims, ExactlyOnceUnderThreadContention) {
+  const fs::path dir = fresh_dir("exactly_once");
+  constexpr int kWorkers = 4;
+  constexpr int kUnits = 32;
+  std::atomic<int> executed[kUnits] = {};
+  // Claims go into one shared pen so none releases until every worker has
+  // finished claiming — a released claim is reclaimable BY DESIGN (that is
+  // how dead workers' units get adopted), so exactly-once across release
+  // additionally needs the publish-then-recheck step the sweep performs
+  // (covered by FleetSweep.ConcurrentClaimedSweepsExecuteEachRunExactlyOnce).
+  std::mutex pen_mutex;
+  std::vector<store::Claim> pen;
+  std::vector<std::thread> workers;
+  workers.reserve(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&] {
+      // Each worker is its own "process": own store instance, own fds.
+      store::RunStore store(dir);
+      for (int u = 0; u < kUnits; ++u) {
+        auto claim = store.try_claim("unit-" + std::to_string(u));
+        if (claim.has_value()) {
+          executed[u].fetch_add(1);
+          std::lock_guard lock(pen_mutex);
+          pen.push_back(std::move(*claim));
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  for (int u = 0; u < kUnits; ++u) {
+    EXPECT_EQ(executed[u].load(), 1) << "unit " << u;
+  }
+  EXPECT_EQ(pen.size(), static_cast<std::size_t>(kUnits));
+}
+
+// --- claimed sweeps -----------------------------------------------------------
+
+exp::SweepSpec claimed_sweep_spec(store::RunStore* store) {
+  exp::SweepSpec spec;
+  spec.scenario = exp::trace_scenario();
+  spec.protocol.kind = ProtocolKind::kFixedTtl;
+  spec.loads = {5, 10, 15};
+  spec.replications = 2;
+  spec.threads = 2;
+  spec.store = store;
+  spec.claim_units = true;
+  return spec;
+}
+
+void expect_sweeps_deterministic_equal(const exp::SweepResult& a,
+                                       const exp::SweepResult& b) {
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t li = 0; li < a.runs.size(); ++li) {
+    ASSERT_EQ(a.runs[li].size(), b.runs[li].size());
+    for (std::size_t r = 0; r < a.runs[li].size(); ++r) {
+      EXPECT_TRUE(metrics::deterministic_equal(a.runs[li][r], b.runs[li][r]))
+          << "load index " << li << ", replication " << r;
+    }
+  }
+}
+
+TEST(FleetSweep, ConcurrentClaimedSweepsExecuteEachRunExactlyOnce) {
+  const fs::path dir = fresh_dir("claimed_pair");
+  const mobility::ContactTrace trace =
+      exp::build_contact_trace(exp::trace_scenario(), 42);
+  exp::SweepSpec reference_spec = claimed_sweep_spec(nullptr);
+  reference_spec.claim_units = false;
+  const exp::SweepResult reference = run_sweep_on(reference_spec, trace);
+
+  // Two concurrent invocations of the same sweep over one store. The claim
+  // protocol — not timing luck — guarantees each of the 6 runs simulates
+  // in exactly one of them; the other serves it from the store after the
+  // owner's append lands.
+  exp::SweepResult result_a, result_b;
+  std::size_t appended_a = 0, appended_b = 0;
+  std::thread worker_a([&] {
+    store::RunStore store(dir);
+    result_a = run_sweep_on(claimed_sweep_spec(&store), trace);
+    appended_a = store.stats().appended;
+  });
+  std::thread worker_b([&] {
+    store::RunStore store(dir);
+    result_b = run_sweep_on(claimed_sweep_spec(&store), trace);
+    appended_b = store.stats().appended;
+  });
+  worker_a.join();
+  worker_b.join();
+
+  EXPECT_EQ(appended_a + appended_b, 6u)
+      << "every run must be simulated exactly once across the pair";
+  expect_sweeps_deterministic_equal(reference, result_a);
+  expect_sweeps_deterministic_equal(reference, result_b);
+
+  store::RunStore reopened(dir);
+  EXPECT_EQ(reopened.stats().records, 6u);
+  EXPECT_EQ(reopened.claim_stats().held, 0u);
+}
+
+TEST(FleetSweep, WarmSweepNeverBuildsTheTrace) {
+  const fs::path dir = fresh_dir("warm_lazy");
+  const mobility::ContactTrace trace =
+      exp::build_contact_trace(exp::trace_scenario(), 42);
+  {
+    store::RunStore store(dir);
+    exp::SweepSpec spec = claimed_sweep_spec(&store);
+    spec.claim_units = false;
+    (void)run_sweep_on(spec, trace);
+  }
+  // Fully warm: the provider must never fire. This is the property that
+  // makes resumed fleets fast — no mobility trace is built for figures
+  // that are already entirely cached.
+  store::RunStore store(dir);
+  exp::SweepSpec spec = claimed_sweep_spec(&store);
+  const exp::TraceProvider provider = [&]() -> const mobility::ContactTrace& {
+    ADD_FAILURE() << "trace built for a fully-cached sweep";
+    return trace;
+  };
+  const exp::SweepResult cached = run_sweep_on(spec, provider);
+  EXPECT_EQ(store.stats().hits, 6u);
+  EXPECT_EQ(store.stats().appended, 0u);
+  (void)cached;
+}
+
+// --- compact refusal ----------------------------------------------------------
+
+TEST(Compact, RefusesWhileAClaimIsHeld) {
+  const fs::path dir = fresh_dir("compact_claimed");
+  store::RunStore store(dir);
+  store.put("key", summary_with(0.5));
+  auto claim = store.try_claim("unit-busy");
+  ASSERT_TRUE(claim.has_value());
+  // A held claim means a worker is mid-unit somewhere; rewriting segments
+  // under it could orphan the append it is about to make.
+  EXPECT_THROW(store.compact(), StoreError);
+  claim->release();
+  EXPECT_NO_THROW(store.compact());
+  EXPECT_TRUE(store.find("key").has_value());
+}
+
+TEST(Compact, RefusesWhileAnotherInstanceHasTheStoreOpen) {
+  const fs::path dir = fresh_dir("compact_open");
+  store::RunStore store(dir);
+  store.put("key", summary_with(0.5));
+  {
+    store::RunStore peer(dir);  // holds its own shared lock on store.lock
+    EXPECT_THROW(store.compact(), StoreError);
+  }
+  EXPECT_NO_THROW(store.compact());
+  store::RunStore reopened(dir);
+  EXPECT_TRUE(reopened.find("key").has_value());
+}
+
+// --- merge --------------------------------------------------------------------
+
+std::string store_bytes(const fs::path& dir) {
+  std::string all;
+  auto segments = segment_files(dir);
+  std::sort(segments.begin(), segments.end());
+  for (const auto& path : segments) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream chunk;
+    chunk << in.rdbuf();
+    all += path.filename().string();
+    all += '\0';
+    all += chunk.str();
+  }
+  return all;
+}
+
+TEST(Merge, UnionsAndIsIdempotent) {
+  const fs::path dest_dir = fresh_dir("merge_dest");
+  const fs::path src_dir = fresh_dir("merge_src");
+  {
+    store::RunStore dest(dest_dir);
+    dest.put("shared", summary_with(0.5));
+  }
+  {
+    store::RunStore src(src_dir);
+    metrics::RunSummary shared = summary_with(0.5);
+    shared.perf.wall_seconds = 99.0;  // machines time differently: no conflict
+    src.put("shared", shared);
+    src.put("only-src", summary_with(0.25));
+  }
+  store::RunStore dest(dest_dir);
+  const store::MergeReport first = store::merge_into(dest, src_dir);
+  EXPECT_EQ(first.scanned, 2u);
+  EXPECT_EQ(first.added, 1u);
+  EXPECT_EQ(first.identical, 1u);
+  EXPECT_TRUE(dest.find("only-src").has_value());
+
+  // Merging again changes nothing — not the counts, not a single byte.
+  const std::string before = store_bytes(dest_dir);
+  const store::MergeReport second = store::merge_into(dest, src_dir);
+  EXPECT_EQ(second.added, 0u);
+  EXPECT_EQ(second.identical, 2u);
+  EXPECT_EQ(store_bytes(dest_dir), before);
+}
+
+TEST(Merge, ConflictingRecordsHardError) {
+  const fs::path dest_dir = fresh_dir("conflict_dest");
+  const fs::path src_dir = fresh_dir("conflict_src");
+  {
+    store::RunStore dest(dest_dir);
+    dest.put("key", summary_with(0.5));
+  }
+  {
+    store::RunStore src(src_dir);
+    src.put("key", summary_with(0.75));  // deterministic field disagrees
+  }
+  store::RunStore dest(dest_dir);
+  // Two stores disagreeing on one key's result means one is wrong; merge
+  // must refuse rather than pick a side.
+  EXPECT_THROW((void)store::merge_into(dest, src_dir), StoreError);
+}
+
+// --- progress snapshots -------------------------------------------------------
+
+TEST(ProgressSnapshot, EncodeParseRoundTrip) {
+  obs::ProgressSnapshot snap;
+  snap.label = "fig07";
+  snap.completed = 42;
+  snap.cached = 10;
+  snap.total = 110;
+  snap.events = 123456789;
+  snap.elapsed_seconds = 3.25;
+  snap.final = true;
+  obs::ProgressSnapshot parsed;
+  ASSERT_TRUE(obs::parse_progress_line(obs::encode_progress_line(snap),
+                                       parsed));
+  EXPECT_EQ(parsed.label, "fig07");
+  EXPECT_EQ(parsed.completed, 42u);
+  EXPECT_EQ(parsed.cached, 10u);
+  EXPECT_EQ(parsed.total, 110u);
+  EXPECT_EQ(parsed.events, 123456789u);
+  EXPECT_EQ(parsed.elapsed_seconds, 3.25);
+  EXPECT_TRUE(parsed.final);
+}
+
+TEST(ProgressSnapshot, TornLineParsesFalse) {
+  obs::ProgressSnapshot snap;
+  snap.label = "figXX";
+  const std::string line = obs::encode_progress_line(snap);
+  obs::ProgressSnapshot out;
+  EXPECT_FALSE(obs::parse_progress_line(line.substr(0, line.size() / 2), out));
+  EXPECT_FALSE(obs::parse_progress_line("", out));
+  EXPECT_FALSE(obs::parse_progress_line("not json\n", out));
+}
+
+TEST(ProgressSnapshot, MirrorFileEndsWithFinalLine) {
+  const fs::path dir = fresh_dir("mirror");
+  fs::create_directories(dir);
+  const fs::path path = dir / "progress.jsonl";
+  {
+    obs::ProgressReporter reporter("figXX", 2, obs::null_stream());
+    reporter.mirror_to(path);
+    reporter.tick_cached();
+    reporter.tick(1'000);
+    reporter.finish();
+  }
+  std::ifstream in(path);
+  std::string line;
+  obs::ProgressSnapshot last;
+  std::size_t parsed = 0;
+  while (std::getline(in, line)) {
+    obs::ProgressSnapshot snap;
+    ASSERT_TRUE(obs::parse_progress_line(line + "\n", snap)) << line;
+    last = snap;
+    ++parsed;
+  }
+  ASSERT_GT(parsed, 0u);
+  EXPECT_TRUE(last.final);
+  EXPECT_EQ(last.completed, 2u);
+  EXPECT_EQ(last.cached, 1u);
+  EXPECT_EQ(last.total, 2u);
+}
+
+}  // namespace
+}  // namespace epi
