@@ -42,6 +42,12 @@ struct CaseResult {
   std::uint64_t control_dropped = 0;
   std::uint64_t contacts_truncated = 0;
   std::uint64_t transfers_refused_full = 0;
+  // Deterministic signaling counters (ad bytes are codec-dependent; the
+  // suppression counter is nonzero only under a compact codec's FPs).
+  std::uint64_t summary_exchanges = 0;
+  std::uint64_t summary_ad_bytes = 0;
+  std::uint64_t control_bytes = 0;
+  std::uint64_t transfers_suppressed_fp = 0;
 };
 
 constexpr const char* kTraceProtocols[] = {
@@ -66,6 +72,7 @@ void run_suite_impl(
     const char* const (&protocols)[N], std::uint32_t reps,
     const std::vector<epi::FlowSpec>& flows,
     const epi::fault::FaultPlan& fault, epi::EvictionPolicy eviction,
+    const epi::SummaryCodecParams& summary,
     const std::function<epi::metrics::RunSummary(const epi::exp::RunSpec&)>&
         run_once) {
   using clock = std::chrono::steady_clock;
@@ -85,6 +92,7 @@ void run_suite_impl(
             .replication(1)  // fixed: every rep times the identical run
             .fault(fault)
             .eviction(eviction)
+            .summary(summary)
             .build();
     double best_seconds = std::numeric_limits<double>::infinity();
     for (std::uint32_t rep = 0; rep < reps; ++rep) {
@@ -102,12 +110,19 @@ void run_suite_impl(
         r.control_dropped = summary.perf.control_dropped;
         r.contacts_truncated = summary.perf.contacts_truncated;
         r.transfers_refused_full = summary.perf.transfers_refused_full;
+        r.summary_exchanges = summary.perf.summary_exchanges;
+        r.summary_ad_bytes = summary.perf.summary_ad_bytes;
+        r.control_bytes = summary.perf.control_bytes;
+        r.transfers_suppressed_fp = summary.perf.transfers_suppressed_fp;
       } else if (summary.perf.events_processed != r.events_processed ||
                  summary.perf.transfers != r.transfers ||
                  summary.perf.slots_lost != r.slots_lost ||
                  summary.perf.contacts_truncated != r.contacts_truncated ||
                  summary.perf.transfers_refused_full !=
-                     r.transfers_refused_full) {
+                     r.transfers_refused_full ||
+                 summary.perf.summary_ad_bytes != r.summary_ad_bytes ||
+                 summary.perf.transfers_suppressed_fp !=
+                     r.transfers_suppressed_fp) {
         std::fprintf(stderr, "non-deterministic repetition in %s\n",
                      r.name.c_str());
         std::exit(1);
@@ -129,9 +144,11 @@ void run_suite(std::vector<CaseResult>& results, std::string_view scenario_name,
                const char* const (&protocols)[N], std::uint32_t reps,
                const std::vector<epi::FlowSpec>& flows = {},
                const epi::fault::FaultPlan& fault = {},
-               epi::EvictionPolicy eviction = epi::EvictionPolicy::kDropTail) {
+               epi::EvictionPolicy eviction = epi::EvictionPolicy::kDropTail,
+               const epi::SummaryCodecParams& summary = {}) {
   run_suite_impl(results, scenario_name, scenario, protocols, reps, flows,
-                 fault, eviction, [&](const epi::exp::RunSpec& spec) {
+                 fault, eviction, summary,
+                 [&](const epi::exp::RunSpec& spec) {
                    return epi::exp::run_single(spec, trace);
                  });
 }
@@ -148,7 +165,7 @@ void run_suite_streamed(std::vector<CaseResult>& results,
                         const char* const (&protocols)[N], std::uint32_t reps,
                         const std::vector<epi::FlowSpec>& flows = {}) {
   run_suite_impl(results, scenario_name, scenario, protocols, reps, flows, {},
-                 epi::EvictionPolicy::kDropTail,
+                 epi::EvictionPolicy::kDropTail, {},
                  [&](const epi::exp::RunSpec& spec) {
                    const auto source = epi::exp::build_contact_source(
                        scenario, 42);
@@ -174,7 +191,10 @@ void write_json(const std::string& path, const std::vector<CaseResult>& results,
                  "\"peak_queue_depth\": %llu, \"transfers\": %llu, "
                  "\"slots_lost\": %llu, \"down_slots\": %llu, "
                  "\"control_dropped\": %llu, \"contacts_truncated\": %llu, "
-                 "\"transfers_refused_full\": %llu}%s\n",
+                 "\"transfers_refused_full\": %llu, "
+                 "\"summary_exchanges\": %llu, \"summary_ad_bytes\": %llu, "
+                 "\"control_bytes\": %llu, "
+                 "\"transfers_suppressed_fp\": %llu}%s\n",
                  r.name.c_str(), r.ns_per_run, r.events_per_sec,
                  static_cast<unsigned long long>(r.events_processed),
                  static_cast<unsigned long long>(r.peak_queue_depth),
@@ -184,6 +204,10 @@ void write_json(const std::string& path, const std::vector<CaseResult>& results,
                  static_cast<unsigned long long>(r.control_dropped),
                  static_cast<unsigned long long>(r.contacts_truncated),
                  static_cast<unsigned long long>(r.transfers_refused_full),
+                 static_cast<unsigned long long>(r.summary_exchanges),
+                 static_cast<unsigned long long>(r.summary_ad_bytes),
+                 static_cast<unsigned long long>(r.control_bytes),
+                 static_cast<unsigned long long>(r.transfers_suppressed_fp),
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -262,6 +286,15 @@ int main(int argc, char** argv) {
   constexpr const char* kEvictionProtocols[] = {"pure_epidemic"};
   run_suite(results, "trace+dropoldest", trace_spec, trace, kEvictionProtocols,
             reps, {}, {}, epi::EvictionPolicy::kDropOldest);
+  // Compact-advertisement suite (guarded as "new" by compare_bench.py until
+  // the committed baseline carries it): the Bloom codec at its 8 bits/bundle
+  // default on the trace scenario, exercising the per-slot re-advertisement
+  // path and the FP-suppression counter for every protocol family.
+  epi::SummaryCodecParams bloom8;
+  bloom8.mode = epi::SummaryMode::kBloom;
+  bloom8.filter_bits = 8;
+  run_suite(results, "trace+bloom8", trace_spec, trace, kTraceProtocols, reps,
+            {}, {}, epi::EvictionPolicy::kDropTail, bloom8);
   // Large-N stress entries (multi-flow; see exp::large_scenario): the cases
   // where per-contact exchange-set costs dominate instead of hiding.
   for (const std::uint32_t n : {128u, 512u}) {

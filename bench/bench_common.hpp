@@ -25,6 +25,14 @@
 //   --evict POLICY      receiver-side admission policy when a buffer is
 //                       full: drop_tail (default, the paper's behavior),
 //                       drop_oldest, drop_most_replicated, drop_largest_ec
+//   --summary-mode MODE summary-exchange codec: exact (default, the paper's
+//                       free advertisement) or bloom (compact Bloom-filter
+//                       advertisements with visible false positives)
+//   --filter-bits N     Bloom filter density in bits per buffered bundle,
+//                       1..64 (default 8; only meaningful with
+//                       --summary-mode=bloom)
+//   --filter-hashes K   Bloom hash count, 1..16; 0 (default) derives the
+//                       FP-optimal k = round(bits * ln 2)
 //
 // Flags taking a value accept both `--flag VALUE` and `--flag=VALUE`.
 #pragma once
@@ -167,6 +175,29 @@ inline Args parse_args(int argc, char** argv) {
         std::cerr << "invalid value for --evict: " << e.what() << "\n";
         std::exit(2);
       }
+    } else if (arg == "--summary-mode") {
+      try {
+        args.options.summary.mode = summary_mode_from_string(next());
+      } catch (const std::exception& e) {
+        std::cerr << "invalid value for --summary-mode: " << e.what() << "\n";
+        std::exit(2);
+      }
+    } else if (arg == "--filter-bits") {
+      args.options.summary.filter_bits =
+          parse_unsigned<std::uint32_t>(arg, next());
+      if (args.options.summary.filter_bits == 0 ||
+          args.options.summary.filter_bits > 64) {
+        std::cerr << "--filter-bits must be in 1..64 (bits per buffered "
+                     "bundle)\n";
+        std::exit(2);
+      }
+    } else if (arg == "--filter-hashes") {
+      args.options.summary.hashes = parse_unsigned<std::uint32_t>(arg, next());
+      if (args.options.summary.hashes > 16) {
+        std::cerr << "--filter-hashes must be in 0..16 (0 derives the "
+                     "FP-optimal count)\n";
+        std::exit(2);
+      }
     } else if (arg == "--help" || arg == "-h") {
       boolean();
       std::cout << "usage: " << argv[0]
@@ -174,7 +205,8 @@ inline Args parse_args(int argc, char** argv) {
                    " [--trace-out=FILE] [--chrome-trace=FILE]"
                    " [--stats-out=FILE] [--store=DIR] [--no-store]"
                    " [--store-stats] [--store-shards=N] [--claim]"
-                   " [--evict=POLICY]\n";
+                   " [--evict=POLICY] [--summary-mode=exact|bloom]"
+                   " [--filter-bits=N] [--filter-hashes=K]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown argument: " << arg << "\n";

@@ -40,7 +40,12 @@ EXACT_COUNTERS = ("events_processed", "peak_queue_depth", "transfers",
                   "contacts_truncated",
                   # Full-buffer refusal events: purely a function of seed and
                   # configuration, like the transfers they failed to become.
-                  "transfers_refused_full")
+                  "transfers_refused_full",
+                  # Summary-codec signaling counters: advertisement bytes are
+                  # a pure function of buffer contents and codec parameters,
+                  # FP suppressions of the deterministic double-hash filter.
+                  "summary_exchanges", "summary_ad_bytes", "control_bytes",
+                  "transfers_suppressed_fp")
 
 
 def load(path):

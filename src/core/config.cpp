@@ -113,6 +113,7 @@ void SimulationConfig::validate() const {
   if (encounter_session_gap <= 0.0)
     throw ConfigError("encounter_session_gap must be positive");
   protocol.validate();
+  summary.validate();
 }
 
 }  // namespace epi

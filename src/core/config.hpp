@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/eviction.hpp"
+#include "core/summary_mode.hpp"
 #include "core/types.hpp"
 
 namespace epi {
@@ -118,6 +119,12 @@ struct SimulationConfig {
   /// (drop-tail) reproduces the paper's implicit refuse-when-full behavior
   /// bit-identically.
   EvictionPolicy eviction_policy = EvictionPolicy::kDropTail;
+
+  /// How contacts advertise buffer contents to each other. The default
+  /// (exact) reproduces the paper's free summary-vector exchange
+  /// bit-identically; bloom mode pays advertisement bytes for a compact
+  /// filter whose false positives suppress transfers.
+  SummaryCodecParams summary;
 
   /// Number of bundles the source sends to the destination ("load" k).
   /// The paper's experiments are single-flow; these three fields describe

@@ -1,0 +1,65 @@
+#include "core/summary_mode.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "core/error.hpp"
+
+namespace epi {
+
+namespace {
+
+constexpr double kLn2 = 0.6931471805599453;
+
+// Bounds for the Bloom parameter block. 64 bits per bundle is already far
+// past the point of diminishing returns (FP rate ~1e-13 at optimal k); 16
+// probes likewise.
+constexpr std::uint32_t kMaxFilterBits = 64;
+constexpr std::uint32_t kMaxHashes = 16;
+
+}  // namespace
+
+std::string_view to_string(SummaryMode mode) noexcept {
+  switch (mode) {
+    case SummaryMode::kExact:
+      return "exact";
+    case SummaryMode::kBloom:
+      return "bloom";
+  }
+  return "?";
+}
+
+SummaryMode summary_mode_from_string(std::string_view name) {
+  if (name == "exact") return SummaryMode::kExact;
+  if (name == "bloom") return SummaryMode::kBloom;
+  throw ConfigError("unknown summary mode '" + std::string(name) +
+                    "' (expected exact or bloom)");
+}
+
+std::uint32_t SummaryCodecParams::resolved_hashes() const noexcept {
+  if (hashes != 0) return hashes;
+  const auto k = static_cast<std::uint32_t>(
+      std::lround(static_cast<double>(filter_bits) * kLn2));
+  return k < 1 ? 1 : k;
+}
+
+double SummaryCodecParams::analytic_fp_rate() const noexcept {
+  const double k = static_cast<double>(resolved_hashes());
+  const double bits = static_cast<double>(filter_bits);
+  return std::pow(1.0 - std::exp(-k / bits), k);
+}
+
+void SummaryCodecParams::validate() const {
+  if (filter_bits < 1 || filter_bits > kMaxFilterBits) {
+    throw ConfigError("SummaryCodecParams.filter_bits must be in [1, " +
+                      std::to_string(kMaxFilterBits) + "], got " +
+                      std::to_string(filter_bits));
+  }
+  if (hashes > kMaxHashes) {
+    throw ConfigError("SummaryCodecParams.hashes must be in [0, " +
+                      std::to_string(kMaxHashes) + "] (0 = derive), got " +
+                      std::to_string(hashes));
+  }
+}
+
+}  // namespace epi

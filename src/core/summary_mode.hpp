@@ -1,0 +1,67 @@
+// Summary-exchange codec selection and the signaling byte model.
+//
+// The enum and its parameter block live in core beside ProtocolKind and
+// EvictionPolicy so SimulationConfig, RunSpec and the store-key serializer
+// can all name them; the codec mechanics (ExactCodec, BloomCodec) live on
+// dtn::SummaryCodec (dtn/summary_codec.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace epi {
+
+// The signaling byte model shared by the engine counters and the streaming
+// stats collector. One summary-vector entry and one control record (an
+// anti-packet id or an immunity high-water mark) each cost four bytes on the
+// wire — a 32-bit bundle id. Advertised Bloom filters cost their bit length
+// rounded up to whole bytes.
+inline constexpr std::uint64_t kControlRecordBytes = 4;
+inline constexpr std::uint64_t kSummaryEntryBytes = 4;
+
+/// How a contact advertises its buffer contents to the peer.
+enum class SummaryMode : std::uint8_t {
+  kExact = 0,  ///< word-packed exact set (the paper's free summary vector)
+  kBloom = 1,  ///< Bloom filter: m/n bits per bundle, false positives
+};
+
+[[nodiscard]] std::string_view to_string(SummaryMode mode) noexcept;
+
+/// Parses "exact" / "bloom"; throws ConfigError on anything else.
+[[nodiscard]] SummaryMode summary_mode_from_string(std::string_view name);
+
+/// Parameters of the summary codec. Defaults reproduce the legacy exact
+/// exchange; the Bloom fields follow Marandi et al.'s m/n (bits-per-bundle)
+/// and k (hash count) parameterisation.
+struct SummaryCodecParams {
+  SummaryMode mode = SummaryMode::kExact;
+
+  /// Bloom filter size as bits per buffered bundle (m/n). The filter built
+  /// for a buffer of n bundles has m = filter_bits * n bits.
+  std::uint32_t filter_bits = 8;
+
+  /// Number of hash probes k; 0 derives the FP-optimal k = round(m/n · ln 2)
+  /// (clamped to at least one probe).
+  std::uint32_t hashes = 0;
+
+  /// True when advertisements are compact (lossy) rather than exact sets.
+  [[nodiscard]] bool compact() const noexcept {
+    return mode == SummaryMode::kBloom;
+  }
+
+  /// The hash count actually used: `hashes`, or the derived optimum when 0.
+  [[nodiscard]] std::uint32_t resolved_hashes() const noexcept;
+
+  /// Analytic false-positive probability (1 - e^{-kn/m})^k of the resolved
+  /// configuration, independent of buffer size by the m/n parameterisation.
+  [[nodiscard]] double analytic_fp_rate() const noexcept;
+
+  /// Hard-errors (ConfigError) on out-of-range m/n or k, regardless of mode
+  /// so a bad Bloom block never rides silently under mode=exact.
+  void validate() const;
+
+  friend bool operator==(const SummaryCodecParams&,
+                         const SummaryCodecParams&) = default;
+};
+
+}  // namespace epi

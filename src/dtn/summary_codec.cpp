@@ -1,0 +1,93 @@
+#include "dtn/summary_codec.hpp"
+
+#include <cassert>
+
+namespace epi::dtn {
+
+namespace {
+
+/// splitmix64 finalizer: a full-avalanche mix so sequential bundle ids
+/// (flows number them 1..n) spread over the whole filter.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Second, independent stream for double hashing; forced odd so the probe
+/// sequence h1 + i*h2 visits distinct bits for any filter size.
+constexpr std::uint64_t mix64_odd(std::uint64_t x) noexcept {
+  return mix64(x ^ 0xda3e39cb94b95bdbULL) | 1ULL;
+}
+
+}  // namespace
+
+void BloomFilter::rebuild(const BundleBuffer& buffer,
+                          std::uint32_t bits_per_bundle,
+                          std::uint32_t hashes) {
+  bits_ = static_cast<std::uint64_t>(bits_per_bundle) * buffer.size();
+  hashes_ = hashes;
+  words_.assign((bits_ + 63) / 64, 0);
+  for (const StoredBundle& copy : buffer.entries()) insert(copy.id);
+}
+
+void BloomFilter::insert(BundleId id) noexcept {
+  if (bits_ == 0) return;
+  const std::uint64_t h1 = mix64(id);
+  const std::uint64_t h2 = mix64_odd(id);
+  for (std::uint32_t i = 0; i < hashes_; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) % bits_;
+    words_[bit / 64] |= 1ULL << (bit % 64);
+  }
+}
+
+bool BloomFilter::may_contain(BundleId id) const noexcept {
+  if (bits_ == 0) return false;
+  const std::uint64_t h1 = mix64(id);
+  const std::uint64_t h2 = mix64_odd(id);
+  for (std::uint32_t i = 0; i < hashes_; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) % bits_;
+    if ((words_[bit / 64] & (1ULL << (bit % 64))) == 0) return false;
+  }
+  return true;
+}
+
+std::uint64_t ExactCodec::advertise(int /*side*/, const BundleBuffer& buffer) {
+  return static_cast<std::uint64_t>(buffer.size()) * kSummaryEntryBytes;
+}
+
+bool ExactCodec::claims(int /*side*/, const BundleBuffer& buffer,
+                        BundleId id) const {
+  return buffer.contains(id);
+}
+
+BloomCodec::BloomCodec(const SummaryCodecParams& params)
+    : filter_bits_(params.filter_bits),
+      hashes_(params.resolved_hashes()) {}
+
+std::uint64_t BloomCodec::advertise(int side, const BundleBuffer& buffer) {
+  assert(side == 0 || side == 1);
+  BloomFilter& filter = filters_[side];
+  filter.rebuild(buffer, filter_bits_, hashes_);
+  return filter.byte_size();
+}
+
+bool BloomCodec::claims(int side, const BundleBuffer& /*buffer*/,
+                        BundleId id) const {
+  assert(side == 0 || side == 1);
+  return filters_[side].may_contain(id);
+}
+
+std::unique_ptr<SummaryCodec> make_summary_codec(
+    const SummaryCodecParams& params) {
+  switch (params.mode) {
+    case SummaryMode::kExact:
+      return std::make_unique<ExactCodec>();
+    case SummaryMode::kBloom:
+      return std::make_unique<BloomCodec>(params);
+  }
+  return std::make_unique<ExactCodec>();
+}
+
+}  // namespace epi::dtn

@@ -1,0 +1,111 @@
+// Pluggable summary-exchange codecs.
+//
+// A contact advertises each side's buffer contents to the peer; the transfer
+// loop consults the advertisement to skip bundles the receiver already
+// claims to hold. ExactCodec reproduces the legacy word-packed exact-set
+// semantics for free (the advertisement *is* the buffer); BloomCodec trades
+// advertisement bytes for false positives, which suppress offers the
+// receiver would in fact have accepted (Marandi et al., PAPERS.md).
+//
+// Codecs are engine-owned scratch: run_slot() re-encodes both sides before
+// consulting claims(), so no per-session filter state is ever stored.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/summary_mode.hpp"
+#include "core/types.hpp"
+#include "dtn/buffer.hpp"
+
+namespace epi::dtn {
+
+/// A word-packed Bloom filter over BundleId with deterministic double
+/// hashing: bit_i = (h1 + i*h2) mod m, h2 forced odd, both hashes derived
+/// from the id by a splitmix64-style finalizer. No RNG stream is consumed,
+/// so filters are a pure function of buffer contents and parameters.
+class BloomFilter {
+ public:
+  /// Rebuilds the filter from `buffer`'s contents at m = bits_per_bundle *
+  /// buffer.size() bits. An empty buffer yields an empty (0-bit) filter
+  /// that claims nothing.
+  void rebuild(const BundleBuffer& buffer, std::uint32_t bits_per_bundle,
+               std::uint32_t hashes);
+
+  [[nodiscard]] bool may_contain(BundleId id) const noexcept;
+
+  [[nodiscard]] std::uint64_t bit_count() const noexcept { return bits_; }
+
+  /// Wire size of the advertisement: the bit array rounded up to bytes.
+  [[nodiscard]] std::uint64_t byte_size() const noexcept {
+    return (bits_ + 7) / 8;
+  }
+
+  /// Inserts one id (exposed for the property tests; rebuild() uses it).
+  void insert(BundleId id) noexcept;
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::uint64_t bits_ = 0;
+  std::uint32_t hashes_ = 0;
+};
+
+/// The exchange seam: how one side's buffer contents are advertised and how
+/// the peer's transfer loop queries that advertisement. Side indices are 0
+/// for contact.a and 1 for contact.b.
+class SummaryCodec {
+ public:
+  virtual ~SummaryCodec() = default;
+
+  /// Re-encodes `side`'s advertisement from its current buffer contents and
+  /// returns the advertisement's wire size in bytes.
+  virtual std::uint64_t advertise(int side, const BundleBuffer& buffer) = 0;
+
+  /// Whether `side`'s advertisement claims `id`. May report false positives
+  /// (BloomCodec); never false negatives for the buffer it encoded.
+  [[nodiscard]] virtual bool claims(int side, const BundleBuffer& buffer,
+                                    BundleId id) const = 0;
+
+  /// True when advertisements go stale between transfer slots and must be
+  /// re-issued (and re-billed) at every slot.
+  [[nodiscard]] virtual bool per_slot_advertisements() const noexcept = 0;
+};
+
+/// The legacy exact-set exchange: the advertisement is the buffer itself,
+/// billed at kSummaryEntryBytes per stored bundle. Stateless, so claims()
+/// reads the live buffer and the engine's behaviour is byte-identical to
+/// the pre-codec hard-coded path by construction.
+class ExactCodec final : public SummaryCodec {
+ public:
+  std::uint64_t advertise(int side, const BundleBuffer& buffer) override;
+  [[nodiscard]] bool claims(int side, const BundleBuffer& buffer,
+                            BundleId id) const override;
+  [[nodiscard]] bool per_slot_advertisements() const noexcept override {
+    return false;
+  }
+};
+
+/// Bloom-filter advertisements: m/n bits per bundle, k hash probes.
+class BloomCodec final : public SummaryCodec {
+ public:
+  explicit BloomCodec(const SummaryCodecParams& params);
+
+  std::uint64_t advertise(int side, const BundleBuffer& buffer) override;
+  [[nodiscard]] bool claims(int side, const BundleBuffer& buffer,
+                            BundleId id) const override;
+  [[nodiscard]] bool per_slot_advertisements() const noexcept override {
+    return true;
+  }
+
+ private:
+  BloomFilter filters_[2];
+  std::uint32_t filter_bits_;
+  std::uint32_t hashes_;
+};
+
+/// Builds the codec for `params` (validated by the caller's config path).
+[[nodiscard]] std::unique_ptr<SummaryCodec> make_summary_codec(
+    const SummaryCodecParams& params);
+
+}  // namespace epi::dtn

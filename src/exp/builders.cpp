@@ -26,7 +26,7 @@ RunSpecBuilder& RunSpecBuilder::protocol(const ProtocolParams& params) {
 RunSpecBuilder& RunSpecBuilder::scenario(const ScenarioSpec& spec) {
   spec_.horizon = spec.horizon();
   spec_.session_gap = spec.session_gap;
-  spec_.node_capacities = spec.node_capacities;
+  spec_.options.node_capacities = spec.node_capacities;
   scenario_gap_ = true;
   return *this;
 }
@@ -68,13 +68,13 @@ RunSpecBuilder& RunSpecBuilder::session_gap(SimTime gap) {
 }
 
 RunSpecBuilder& RunSpecBuilder::eviction(EvictionPolicy policy) {
-  spec_.eviction = policy;
+  spec_.options.eviction = policy;
   return *this;
 }
 
 RunSpecBuilder& RunSpecBuilder::node_capacities(
     std::vector<std::uint32_t> capacities) {
-  spec_.node_capacities = std::move(capacities);
+  spec_.options.node_capacities = std::move(capacities);
   return *this;
 }
 
@@ -84,7 +84,17 @@ RunSpecBuilder& RunSpecBuilder::flows(std::vector<FlowSpec> pinned) {
 }
 
 RunSpecBuilder& RunSpecBuilder::fault(const fault::FaultPlan& plan) {
-  spec_.fault = plan;
+  spec_.options.fault = plan;
+  return *this;
+}
+
+RunSpecBuilder& RunSpecBuilder::summary(const SummaryCodecParams& params) {
+  spec_.options.summary = params;
+  return *this;
+}
+
+RunSpecBuilder& RunSpecBuilder::options(ProtocolOptions block) {
+  spec_.options = std::move(block);
   return *this;
 }
 
@@ -123,7 +133,7 @@ RunSpec RunSpecBuilder::build() const {
         spec_.session_gap, spec_.slot_seconds);
     throw ConfigError(msg);
   }
-  spec_.fault.validate();
+  spec_.options.validate();
   return spec_;
 }
 

@@ -44,7 +44,7 @@ class RunSpecBuilder {
   /// is rejected at build() time.
   RunSpecBuilder& session_gap(SimTime gap);
 
-  /// Receiver-side admission policy (see RunSpec::eviction).
+  /// Receiver-side admission policy (see ProtocolOptions::eviction).
   RunSpecBuilder& eviction(EvictionPolicy policy);
 
   /// Heterogeneous per-node capacities; validated against nothing here (the
@@ -54,6 +54,16 @@ class RunSpecBuilder {
 
   RunSpecBuilder& flows(std::vector<FlowSpec> pinned);
   RunSpecBuilder& fault(const fault::FaultPlan& plan);
+
+  /// Summary-exchange codec parameters (see ProtocolOptions::summary);
+  /// build() hard-errors on out-of-range filter_bits / hashes.
+  RunSpecBuilder& summary(const SummaryCodecParams& params);
+
+  /// Replaces the whole consolidated option block at once (eviction,
+  /// capacities, fault plan, summary codec); the per-member setters above
+  /// remain the fine-grained path and compose with it in call order.
+  RunSpecBuilder& options(ProtocolOptions block);
+
   RunSpecBuilder& trace_sink(obs::TraceSink* sink);
   RunSpecBuilder& collect_stats(bool enabled);
 

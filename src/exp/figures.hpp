@@ -46,9 +46,15 @@ struct FigureOptions {
   std::string progress_path;
 
   /// Receiver-side admission policy applied to every run (see
-  /// RunSpec::eviction). Drop-tail (the default) is the paper's behavior
-  /// and keeps every figure bit-identical to older builds.
+  /// ProtocolOptions::eviction). Drop-tail (the default) is the paper's
+  /// behavior and keeps every figure bit-identical to older builds.
   EvictionPolicy eviction = EvictionPolicy::kDropTail;
+
+  /// Summary-exchange codec applied to every run (see
+  /// ProtocolOptions::summary). Exact (the default) is the paper's free
+  /// advertisement and keeps every figure bit-identical to older builds;
+  /// bloom trades advertisement bytes for false-positive suppressed offers.
+  SummaryCodecParams summary;
 };
 
 // --- protocol parameter shorthands (the paper's configurations) -------------
@@ -138,6 +144,28 @@ inline constexpr std::uint32_t kCapacityLoad = 25;
 /// only as fallback). The returned Figure's x axis is the capacity
 /// ("capacity"), not bundle load; load is pinned at kCapacityLoad.
 [[nodiscard]] Figure run_capacity(const FigureOptions& o, Metric metric);
+
+// --- compact-advertisement sweeps -----------------------------------------------
+
+/// Bundle load every Bloom-codec sweep uses (mid-range, matching the
+/// robustness sweeps, so false-positive suppression effects are visible
+/// without saturating any protocol).
+inline constexpr std::uint32_t kBloomLoad = 25;
+
+/// Per-slot loss rate the faulted Bloom sweep applies as both transfer and
+/// control loss, so compaction is measured on an impaired channel too.
+inline constexpr double kBloomFaultLoss = 0.10;
+
+/// One metric vs Bloom-filter bits-per-bundle {2, 4, 6, 8, 12, 16} under
+/// the compact summary codec (hash count auto-derived, see
+/// SummaryCodecParams::resolved_hashes) for five protocol families on the
+/// trace scenario. The returned Figure's x axis is the filter density
+/// ("bits/bundle"), not bundle load; load is pinned at kBloomLoad. With
+/// `faulted`, every run additionally suffers kBloomFaultLoss slot and
+/// control loss (see fault::FaultPlan), so the figure shows whether
+/// compact advertisements amplify or absorb channel impairment.
+[[nodiscard]] Figure run_bloom(const FigureOptions& o, Metric metric,
+                               bool faulted);
 
 // --- city-scale sweeps ----------------------------------------------------------
 

@@ -24,6 +24,8 @@ std::string_view metric_name(Metric metric) noexcept {
       return "signaling records";
     case Metric::kTransmissions:
       return "bundle transmissions";
+    case Metric::kSignalingBytes:
+      return "signaling bytes";
   }
   return "?";
 }
@@ -45,6 +47,8 @@ const metrics::Aggregate& metric_of(const metrics::LoadPoint& point,
       return point.control_records;
     case Metric::kTransmissions:
       return point.bundle_transmissions;
+    case Metric::kSignalingBytes:
+      return point.signaling_bytes;
   }
   return point.delivery_ratio;
 }
@@ -65,6 +69,8 @@ double metric_value(const metrics::RunSummary& run, Metric metric) noexcept {
       return static_cast<double>(run.control_records);
     case Metric::kTransmissions:
       return static_cast<double>(run.bundle_transmissions);
+    case Metric::kSignalingBytes:
+      return static_cast<double>(run.perf.signaling_bytes());
   }
   return 0.0;
 }

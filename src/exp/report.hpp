@@ -23,6 +23,7 @@ enum class Metric {
   kDuplicationRate,
   kControlRecords,   ///< signaling overhead (records on the air)
   kTransmissions,    ///< bundle transmissions
+  kSignalingBytes,   ///< summary-advertisement + control bytes on the air
 };
 
 [[nodiscard]] std::string_view metric_name(Metric metric) noexcept;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "core/error.hpp"
 #include "core/rng.hpp"
 #include "exp/scenario.hpp"
 #include "obs/stats.hpp"
@@ -11,6 +12,16 @@
 #include "store/fingerprint.hpp"
 
 namespace epi::exp {
+
+void ProtocolOptions::validate() const {
+  fault.validate();
+  summary.validate();
+  for (const std::uint32_t c : node_capacities) {
+    if (c == 0) {
+      throw ConfigError("ProtocolOptions.node_capacities entries must be >= 1");
+    }
+  }
+}
 
 FlowEndpoints pick_endpoints(std::uint64_t master_seed, std::uint32_t load,
                              std::uint32_t replication,
@@ -33,8 +44,9 @@ SimulationConfig make_run_config(const RunSpec& spec,
   SimulationConfig config;
   config.node_count = std::max(node_count, 2u);
   config.buffer_capacity = spec.buffer_capacity;
-  config.node_capacities = spec.node_capacities;
-  config.eviction_policy = spec.eviction;
+  config.node_capacities = spec.options.node_capacities;
+  config.eviction_policy = spec.options.eviction;
+  config.summary = spec.options.summary;
   config.slot_seconds = spec.slot_seconds;
   config.horizon = spec.horizon;
   config.load = spec.load;
@@ -80,13 +92,13 @@ metrics::RunSummary execute_run(const RunSpec& spec,
   } else {
     engine.set_trace_sink(spec.trace_sink, spec.replication);
   }
-  if (spec.fault.any()) {
-    spec.fault.validate();
+  if (spec.options.fault.any()) {
+    spec.options.fault.validate();
     // Fault streams derive from the run coordinates (not run_seed) so they
     // are independent of the engine/protocol streams and identical at any
     // thread count or sweep order.
     engine.set_fault_injector(std::make_unique<fault::Injector>(
-        spec.fault, spec.master_seed, spec.load, spec.replication));
+        spec.options.fault, spec.master_seed, spec.load, spec.replication));
   }
   metrics::RunSummary summary = engine.run();
   if (stats != nullptr) {
@@ -247,14 +259,14 @@ std::string store_key(const ScenarioSpec& scenario, const RunSpec& run) {
   // Buffer-management extensions join the key only when they deviate from
   // the defaults, so every pre-existing key stays byte-identical (the same
   // discipline as the flows fragment above).
-  if (run.eviction != EvictionPolicy::kDropTail) {
+  if (run.options.eviction != EvictionPolicy::kDropTail) {
     key += "|evict=";
-    key += to_string(run.eviction);
+    key += to_string(run.options.eviction);
     key += ';';
   }
-  if (!run.node_capacities.empty()) {
+  if (!run.options.node_capacities.empty()) {
     key += "|caps=[";
-    for (const std::uint32_t c : run.node_capacities) {
+    for (const std::uint32_t c : run.options.node_capacities) {
       char buf[16];
       std::snprintf(buf, sizeof(buf), "%u;", c);
       key += buf;
@@ -262,10 +274,22 @@ std::string store_key(const ScenarioSpec& scenario, const RunSpec& run) {
     key += ']';
   }
 
+  // Summary codec: joins only when it departs from the exact default, with
+  // the *resolved* hash count so an explicit k equal to the derived optimum
+  // shares the derived configuration's cache entries.
+  if (run.options.summary.mode != SummaryMode::kExact) {
+    key += "|summary=";
+    key += to_string(run.options.summary.mode);
+    key += '{';
+    kv(key, "bpb", std::uint64_t{run.options.summary.filter_bits});
+    kv(key, "k", std::uint64_t{run.options.summary.resolved_hashes()});
+    key += '}';
+  }
+
   // Fault plan: always serialized, active or not, so a plan change can
   // never collide with a pre-fault key (schema v2 made the break anyway).
   key += '|';
-  fault::append_key(key, run.fault);
+  fault::append_key(key, run.options.fault);
   return key;
 }
 

@@ -21,16 +21,14 @@
 
 namespace epi::exp {
 
-struct RunSpec {
-  ProtocolParams protocol;
-  std::uint32_t load = 10;
-  std::uint32_t replication = 0;
-  std::uint64_t master_seed = 42;
-  std::uint32_t buffer_capacity = defaults::kBufferCapacity;
-  SimTime slot_seconds = defaults::kSlotSeconds;
-  SimTime horizon = defaults::kTraceHorizon;
-  SimTime session_gap = 1'800.0;  ///< see SimulationConfig
-
+/// The consolidated protocol-environment option block: everything that
+/// shapes how the routing protocol experiences the network beyond the
+/// scenario itself — admission policy, per-node capacities, injected
+/// impairments, and the summary-exchange codec. One validated block instead
+/// of loose fields scattered over RunSpec; each member keeps its "default is
+/// bit-identical to the legacy behavior and stays out of the store key"
+/// discipline.
+struct ProtocolOptions {
   /// Receiver-side admission policy when a buffer is full. The default
   /// (drop-tail) is the paper's implicit refuse-when-full behavior and
   /// keeps every pre-existing store key and RunSummary bit-identical; any
@@ -42,17 +40,40 @@ struct RunSpec {
   /// only when non-empty.
   std::vector<std::uint32_t> node_capacities;
 
+  /// Impairments this run injects. The all-zero default injects nothing and
+  /// keeps results bit-identical to a run without the fault layer; an active
+  /// plan joins the run-store key (see fault::append_key).
+  fault::FaultPlan fault;
+
+  /// Summary-exchange codec (exact set vs Bloom filter). The exact default
+  /// is bit-identical to the pre-codec engine; bloom mode joins the store
+  /// key with its resolved m/n and k.
+  SummaryCodecParams summary;
+
+  /// Hard-errors (ConfigError) on any invalid member, regardless of which
+  /// of them is active.
+  void validate() const;
+};
+
+struct RunSpec {
+  ProtocolParams protocol;
+  std::uint32_t load = 10;
+  std::uint32_t replication = 0;
+  std::uint64_t master_seed = 42;
+  std::uint32_t buffer_capacity = defaults::kBufferCapacity;
+  SimTime slot_seconds = defaults::kSlotSeconds;
+  SimTime horizon = defaults::kTraceHorizon;
+  SimTime session_gap = 1'800.0;  ///< see SimulationConfig
+
+  /// Eviction / capacities / faults / summary codec, as one validated block.
+  ProtocolOptions options;
+
   /// Optional explicit multi-flow workload. Empty (the default) means the
   /// paper's single randomized flow: endpoints from pick_endpoints(), `load`
   /// bundles. Non-empty pins the flows verbatim (e.g. the large-N scenario's
   /// spread flows); `load` is then only a seed/reporting coordinate and
   /// should be set to the total load.
   std::vector<FlowSpec> flows;
-
-  /// Impairments this run injects. The all-zero default injects nothing and
-  /// keeps results bit-identical to a run without the fault layer; an active
-  /// plan joins the run-store key (see fault::append_key).
-  fault::FaultPlan fault;
 
   /// Optional event-level trace sink (non-owning; nullptr = tracing off).
   /// Records are stamped with this spec's replication index.

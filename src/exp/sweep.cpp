@@ -67,6 +67,7 @@ SweepResult run_sweep_on(const SweepSpec& spec,
                            .buffer_capacity(spec.buffer_capacity)
                            .eviction(spec.eviction)
                            .fault(spec.fault)
+                           .summary(spec.summary)
                            .trace_sink(spec.trace_sink)
                            .collect_stats(spec.collect_stats)
                            .build();

@@ -53,6 +53,11 @@ struct SweepSpec {
   /// All-zero (the default) injects nothing.
   fault::FaultPlan fault;
 
+  /// Summary-exchange codec applied to every run of the sweep (see
+  /// ProtocolOptions::summary). Exact (the default) is the paper's free
+  /// advertisement.
+  SummaryCodecParams summary;
+
   // --- observability (all non-owning, all optional) -------------------------
   obs::TraceSink* trace_sink = nullptr;        ///< per-event records
   obs::ProgressReporter* progress = nullptr;   ///< ticked per replication

@@ -53,7 +53,11 @@ bool deterministic_equal(const RunSummary& a, const RunSummary& b) noexcept {
          a.perf.down_slots == b.perf.down_slots &&
          a.perf.control_dropped == b.perf.control_dropped &&
          a.perf.contacts_truncated == b.perf.contacts_truncated &&
-         a.perf.transfers_refused_full == b.perf.transfers_refused_full;
+         a.perf.transfers_refused_full == b.perf.transfers_refused_full &&
+         a.perf.summary_exchanges == b.perf.summary_exchanges &&
+         a.perf.summary_ad_bytes == b.perf.summary_ad_bytes &&
+         a.perf.control_bytes == b.perf.control_bytes &&
+         a.perf.transfers_suppressed_fp == b.perf.transfers_suppressed_fp;
 }
 
 double Aggregate::ci95_half_width() const {
@@ -115,6 +119,8 @@ LoadPoint aggregate_runs(std::span<const RunSummary> runs) {
       collect([](const RunSummary& r) { return r.control_records; });
   p.bundle_transmissions =
       collect([](const RunSummary& r) { return r.bundle_transmissions; });
+  p.signaling_bytes =
+      collect([](const RunSummary& r) { return r.perf.signaling_bytes(); });
   return p;
 }
 

@@ -98,6 +98,7 @@ struct LoadPoint {
   Aggregate duplication_rate;
   Aggregate control_records;
   Aggregate bundle_transmissions;
+  Aggregate signaling_bytes;  ///< perf.signaling_bytes() under the byte model
 };
 
 [[nodiscard]] LoadPoint aggregate_runs(std::span<const RunSummary> runs);

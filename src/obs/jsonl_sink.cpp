@@ -90,6 +90,7 @@ std::size_t format_event(const TraceEvent& event, char* out,
   if (event.kind == EventKind::kControl ||
       event.kind == EventKind::kSummaryVector) {
     append(R"(,"count":%llu)", static_cast<unsigned long long>(event.count));
+    append(R"(,"bytes":%llu)", static_cast<unsigned long long>(event.bytes));
   }
   append("}\n");
   return failed ? kError : n;

@@ -36,6 +36,25 @@ struct PerfCounters {
   /// run-store encoding.
   std::uint64_t transfers_refused_full = 0;
 
+  // Signaling accounting under the byte model in core/summary_mode.hpp.
+  // Advertisement and control traffic are pure functions of seed and
+  // configuration (no RNG stream is consumed by a codec), so all four
+  // participate in deterministic_equal() and in the run-store encoding.
+  std::uint64_t summary_exchanges = 0;  ///< advertisement rounds (both sides)
+  std::uint64_t summary_ad_bytes = 0;   ///< advertisement bytes, both sides
+  std::uint64_t control_bytes = 0;      ///< control-record bytes (anti-packets
+                                        ///< and immunity high-water marks)
+
+  /// Transfers suppressed because a compact advertisement falsely claimed
+  /// the receiver already held the bundle — zero under the exact codec by
+  /// construction.
+  std::uint64_t transfers_suppressed_fp = 0;
+
+  /// Total signaling cost of the run under the byte model.
+  [[nodiscard]] std::uint64_t signaling_bytes() const noexcept {
+    return summary_ad_bytes + control_bytes;
+  }
+
   // Contact-path allocation accounting: each use of an engine-owned scratch
   // buffer is booked as a reuse (its capacity sufficed — no heap traffic) or
   // an alloc (it had to grow). A warmed-up run reports scratch_allocs == 0;

@@ -281,8 +281,10 @@ void StatsProfile::merge(const StatsProfile& other) {
   }
   control_exchanges += other.control_exchanges;
   control_records += other.control_records;
+  control_byte_total += other.control_byte_total;
   sv_exchanges += other.sv_exchanges;
   sv_entries += other.sv_entries;
+  sv_byte_total += other.sv_byte_total;
   // Quantiles do not merge; aggregate consumers report them per run.
   intercontact_p50 = 0.0;
   intercontact_p90 = 0.0;
@@ -492,11 +494,13 @@ void StatsCollector::observe(const TraceEvent& event) noexcept {
     case EventKind::kControl: {
       ++profile_.control_exchanges;
       profile_.control_records += event.count;
+      profile_.control_byte_total += event.bytes;
       break;
     }
     case EventKind::kSummaryVector: {
       ++profile_.sv_exchanges;
       profile_.sv_entries += event.count;
+      profile_.sv_byte_total += event.bytes;
       break;
     }
     case EventKind::kCreated:

@@ -18,6 +18,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "core/summary_mode.hpp"
 #include "core/types.hpp"
 #include "obs/trace_sink.hpp"
 
@@ -26,12 +27,12 @@ namespace epi::obs {
 // --- signaling byte model -----------------------------------------------------
 //
 // The paper reports signaling cost in *records* (anti-packets, i-list
-// entries, cumulative-table rows); bytes follow from a fixed per-record
-// model: each control record and each summary-vector entry names one 32-bit
-// bundle (or horizon) id. The constants are the model, not a wire format —
-// change them and every byte figure rescales without touching counts.
-inline constexpr std::uint64_t kControlRecordBytes = 4;
-inline constexpr std::uint64_t kSummaryEntryBytes = 4;
+// entries, cumulative-table rows); bytes follow from the fixed per-record
+// model that now lives in core/summary_mode.hpp beside the codec parameters
+// — the engine's counters and this collector must agree on it. Re-exported
+// under the historical obs names for the existing call sites.
+inline constexpr std::uint64_t kControlRecordBytes = epi::kControlRecordBytes;
+inline constexpr std::uint64_t kSummaryEntryBytes = epi::kSummaryEntryBytes;
 
 /// Log-binned streaming histogram for positive durations (inter-contact
 /// gaps, contact durations). Fixed bin layout chosen at construction: one
@@ -180,16 +181,22 @@ struct StatsProfile {
   /// Per-session used/offered ratio, 11 linear bins (0-10% ... 100%).
   std::array<std::uint64_t, 11> utilization_hist{};
 
-  // signaling accounting (records observed, bytes from the model above)
+  // signaling accounting: records and bytes both observed from the events
+  // themselves (each kControl/kSummaryVector event carries its wire cost),
+  // so the profile reconciles with the engine's deterministic counters under
+  // any codec. Under the exact codec the byte totals still equal the
+  // records-times-model products they historically were.
   std::uint64_t control_exchanges = 0;
   std::uint64_t control_records = 0;
+  std::uint64_t control_byte_total = 0;
   std::uint64_t sv_exchanges = 0;
   std::uint64_t sv_entries = 0;
+  std::uint64_t sv_byte_total = 0;
   [[nodiscard]] std::uint64_t control_bytes() const noexcept {
-    return control_records * kControlRecordBytes;
+    return control_byte_total;
   }
   [[nodiscard]] std::uint64_t sv_bytes() const noexcept {
-    return sv_entries * kSummaryEntryBytes;
+    return sv_byte_total;
   }
 
   // per-run quantiles (reservoir-sampled nearest-rank; zeroed by merge())

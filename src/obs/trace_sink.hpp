@@ -27,10 +27,12 @@ enum class EventKind : std::uint8_t {
   kTransferred,  ///< one bundle transmission (a = sender, b = receiver)
   kRemoved,      ///< a copy left a buffer (a = holder; see reason)
   kDelivered,    ///< the destination consumed the bundle (a = sender, b = dst)
-  kControl,      ///< control-plane records crossed the air (count)
+  kControl,      ///< control-plane records crossed the air (count, bytes)
   kFault,        ///< an injected fault fired (a, b; see TraceEvent::fault)
-  kSummaryVector,  ///< both sides advertised their buffer contents at
-                   ///< contact start (a, b; count = advertised entries)
+  kSummaryVector,  ///< both sides advertised their buffer contents (a, b;
+                   ///< count = advertised entries, bytes = wire cost). Once
+                   ///< at contact start under the exact codec; compact
+                   ///< codecs re-advertise at every surviving transfer slot.
 };
 
 /// Which impairment model produced a kFault event (see fault::FaultPlan).
@@ -57,6 +59,7 @@ struct TraceEvent {
   BundleId bundle = kInvalidBundle;  ///< kInvalidBundle when n/a
   dtn::RemoveReason reason = dtn::RemoveReason::kExpired;  ///< kRemoved only
   std::uint64_t count = 0;        ///< record count, kControl/kSummaryVector
+  std::uint64_t bytes = 0;        ///< wire bytes, kControl/kSummaryVector
   FaultKind fault = FaultKind::kSlotLoss;  ///< kFault only
 };
 

@@ -18,7 +18,8 @@ void AntiPacketBase::on_contact_start(Engine& engine, SessionId,
   // records per direction — N tables must be received to delete N bundles,
   // which is the slow, load-proportional dissemination the cumulative
   // enhancement eliminates.
-  engine.count_control_records(a.ilist().size() + b.ilist().size());
+  const std::uint64_t records = a.ilist().size() + b.ilist().size();
+  engine.count_signaling(records, records * kControlRecordBytes);
   const std::size_t to_a =
       a.ilist().merge_limited(b.ilist(), records_per_contact_);
   const std::size_t to_b =
@@ -35,7 +36,7 @@ void AntiPacketBase::on_delivered(Engine& engine, dtn::DtnNode& sender,
   // The deliverer learns immediately (it is mid-contact with the
   // destination): one anti-packet crosses back.
   if (sender.ilist().add(id)) {
-    engine.count_control_records(1);
+    engine.count_signaling(1, kControlRecordBytes);
     apply_records(engine, sender, now);
   }
 }

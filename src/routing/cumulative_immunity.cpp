@@ -13,7 +13,8 @@ void CumulativeImmunityEpidemic::on_contact_start(Engine& engine, SessionId,
   // of per-bundle immunity.
   const BundleId ha = a.cumulative().horizon();
   const BundleId hb = b.cumulative().horizon();
-  engine.count_control_records((ha > 0 ? 1u : 0u) + (hb > 0 ? 1u : 0u));
+  const std::uint64_t records = (ha > 0 ? 1u : 0u) + (hb > 0 ? 1u : 0u);
+  engine.count_signaling(records, records * kControlRecordBytes);
   if (ha > hb) {
     offer_table(engine, b, ha, now);
   } else if (hb > ha) {
@@ -28,7 +29,8 @@ void CumulativeImmunityEpidemic::on_delivered(Engine& engine,
   // mark_delivered (already done by the engine) advanced the destination's
   // delivered prefix; fold it into the table it advertises.
   destination.cumulative().adopt(destination.delivered_prefix());
-  engine.count_control_records(1);  // the table pushed back to the deliverer
+  // the table pushed back to the deliverer
+  engine.count_signaling(1, kControlRecordBytes);
   offer_table(engine, sender, destination.cumulative().horizon(), now);
 }
 

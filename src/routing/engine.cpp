@@ -18,6 +18,8 @@ Engine::Engine(FromSource, SimulationConfig config,
   config_.validate();
   if (!protocol_) throw ConfigError("engine needs a protocol");
   protocol_name_ = to_string(protocol_->kind());
+  codec_ = dtn::make_summary_codec(config_.summary);
+  compact_ads_ = config_.summary.compact();
 
   // Per-node state splits hot from cold: the encounter history every contact
   // event touches lives in the struct-of-arrays table, the nodes themselves
@@ -189,6 +191,10 @@ metrics::RunSummary Engine::run() {
   summary.perf.control_dropped = control_dropped_;
   summary.perf.contacts_truncated = contacts_truncated_;
   summary.perf.transfers_refused_full = transfers_refused_;
+  summary.perf.summary_exchanges = summary_exchanges_;
+  summary.perf.summary_ad_bytes = summary_ad_bytes_;
+  summary.perf.control_bytes = control_bytes_;
+  summary.perf.transfers_suppressed_fp = transfers_suppressed_fp_;
   summary.flow_delivery.reserve(flows_.size());
   for (std::size_t f = 0; f < flows_.size(); ++f) {
     summary.flow_delivery.push_back(
@@ -238,19 +244,11 @@ void Engine::start_contact(const mobility::Contact& contact) {
   dtn::DtnNode& a = node(contact.a);
   dtn::DtnNode& b = node(contact.b);
   const SimTime now = sim_.now();
-  // Summary-vector advertisement: at contact start each side tells the peer
-  // what it buffers (the anti-entropy substrate the offer rules implement
-  // implicitly). Observability only — it never feeds the recorder, so the
-  // golden control_records metric is untouched and the disabled path stays
-  // the single branch above.
-  if (sink_ != nullptr) {
-    trace([&](obs::TraceEvent& ev) {
-      ev.kind = obs::EventKind::kSummaryVector;
-      ev.a = contact.a;
-      ev.b = contact.b;
-      ev.count = std::uint64_t{a.buffer().size()} + b.buffer().size();
-    });
-  }
+  // Summary advertisement: at contact start each side tells the peer what it
+  // buffers (the anti-entropy substrate the offer rules implement). The
+  // codec bills the exchange into the summary PerfCounters — never into the
+  // recorder, so the golden control_records metric is untouched.
+  advertise_summaries(contact);
   // One SoA write pair instead of scattering over both nodes' members.
   encounters_.on_contact_start(contact.a, contact.b, now);
 
@@ -360,6 +358,12 @@ void Engine::run_slot(SessionId session, std::uint32_t slot_index) {
     }
   }
 
+  // Compact advertisements go stale between slots — every concurrent
+  // contact mutates both buffers — so a lossy codec re-issues (and re-bills)
+  // them at each surviving transfer slot. The exact codec reads the live
+  // buffers and advertises only at contact start, as it always did.
+  if (codec_->per_slot_advertisements()) advertise_summaries(contact);
+
   // "The node with the lower ID will send first"; directions alternate so
   // both sides get slots. If the designated sender has nothing to offer the
   // slot is not wasted: the other side may use it.
@@ -369,8 +373,8 @@ void Engine::run_slot(SessionId session, std::uint32_t slot_index) {
   dtn::DtnNode& first = low_first ? low : high;
   dtn::DtnNode& second = low_first ? high : low;
 
-  if (!try_transfer(session, first, second, now)) {
-    try_transfer(session, second, first, now);
+  if (!try_transfer(session, first, second, now, low_first ? 1 : 0)) {
+    try_transfer(session, second, first, now, low_first ? 0 : 1);
   }
   // A transfer may have made the source's buffer admissible again (a fresh
   // EC-evictable copy, a vaccinated copy, a purge).
@@ -393,8 +397,27 @@ void Engine::end_contact(SessionId session) {
   free_slots_.push_back(static_cast<std::uint32_t>(session & kSessionSlotMask));
 }
 
+void Engine::advertise_summaries(const mobility::Contact& contact) {
+  dtn::DtnNode& a = node(contact.a);
+  dtn::DtnNode& b = node(contact.b);
+  const std::uint64_t bytes =
+      codec_->advertise(0, a.buffer()) + codec_->advertise(1, b.buffer());
+  ++summary_exchanges_;
+  summary_ad_bytes_ += bytes;
+  if (sink_ != nullptr) {
+    trace([&](obs::TraceEvent& ev) {
+      ev.kind = obs::EventKind::kSummaryVector;
+      ev.a = contact.a;
+      ev.b = contact.b;
+      ev.count = std::uint64_t{a.buffer().size()} + b.buffer().size();
+      ev.bytes = bytes;
+    });
+  }
+}
+
 bool Engine::try_transfer(SessionId session, dtn::DtnNode& sender,
-                          dtn::DtnNode& receiver, SimTime now) {
+                          dtn::DtnNode& receiver, SimTime now,
+                          int receiver_side) {
   // Deterministic fair offer order: never-transmitted copies first (by id),
   // then least-recently-transmitted. A slot budget of 1-2 bundles per
   // contact would otherwise starve high ids behind low ones forever. The
@@ -415,9 +438,22 @@ bool Engine::try_transfer(SessionId session, dtn::DtnNode& sender,
   bool receiver_rejected_for_space = false;
   for (const BundleId id : offer_scratch_) {
     // Anti-entropy: never transmit a bundle either side knows is
-    // delivered/immune, nor one the peer already has.
+    // delivered/immune, nor one the peer's advertisement claims it holds.
     if (sender.knows_immune(id)) continue;
-    if (receiver.buffer().contains(id)) continue;
+    if (compact_ads_) {
+      if (codec_->claims(receiver_side, receiver.buffer(), id)) {
+        // A compact claim may be a false positive; the offer is suppressed
+        // either way, but only the FP case lost a real transfer (or even a
+        // delivery — the filter cannot tell the destination apart).
+        if (!receiver.buffer().contains(id)) ++transfers_suppressed_fp_;
+        continue;
+      }
+      // A same-slot store (source refill via purge/try_inject) can outrun
+      // the advertisement; the live set still guards insert().
+      if (receiver.buffer().contains(id)) continue;
+    } else if (receiver.buffer().contains(id)) {
+      continue;
+    }
     if (receiver.has_delivered(id)) continue;
     if (receiver.knows_immune(id)) continue;
 

@@ -33,6 +33,7 @@
 #include "core/simulator.hpp"
 #include "dtn/encounter_state.hpp"
 #include "dtn/node.hpp"
+#include "dtn/summary_codec.hpp"
 #include "fault/injector.hpp"
 #include "metrics/recorder.hpp"
 #include "metrics/summary.hpp"
@@ -116,13 +117,18 @@ class Engine {
                   SimTime now);
 
   /// Overhead accounting: control-plane records (anti-packets, i-list
-  /// entries, cumulative tables) moved across the air.
-  void count_control_records(std::uint64_t records) {
+  /// entries, cumulative tables) moved across the air, plus their wire cost
+  /// under the byte model (core/summary_mode.hpp). One surface for every
+  /// protocol and both summary codecs: `records` feeds the paper's
+  /// control_records metric, `bytes` the deterministic signaling counters.
+  void count_signaling(std::uint64_t records, std::uint64_t bytes) {
     recorder_.on_control_records(records);
+    control_bytes_ += bytes;
     if (sink_ != nullptr) {
       trace([&](obs::TraceEvent& ev) {
         ev.kind = obs::EventKind::kControl;
         ev.count = records;
+        ev.bytes = bytes;
       });
     }
   }
@@ -293,9 +299,16 @@ class Engine {
     return sim_.at(time, klass, std::forward<F>(action));
   }
 
+  /// Re-encodes both sides' buffer advertisements through the summary codec
+  /// and books the exchange: one summary_exchanges tick, the ad bytes, and
+  /// (sink attached) one kSummaryVector event carrying entry count + bytes.
+  void advertise_summaries(const mobility::Contact& contact);
+
   /// Tries to move one bundle from `sender` to `receiver`; true on transfer.
+  /// `receiver_side` is the receiver's codec side (0 = contact.a, 1 =
+  /// contact.b) so the offer loop queries the right advertisement.
   bool try_transfer(SessionId session, dtn::DtnNode& sender,
-                    dtn::DtnNode& receiver, SimTime now);
+                    dtn::DtnNode& receiver, SimTime now, int receiver_side);
 
   void deliver(dtn::DtnNode& sender, dtn::DtnNode& destination,
                dtn::StoredBundle& sender_copy, SimTime now);
@@ -371,6 +384,17 @@ class Engine {
   /// Live copies per bundle id (see replica_counts()); index 0 unused.
   std::vector<std::uint32_t> replica_counts_;
   std::uint64_t transfers_refused_ = 0;  ///< full-buffer refusal events
+
+  /// The summary-exchange codec (always constructed; ExactCodec by default)
+  /// and its cached mode bit, hoisted out of the offer loop. The codec is
+  /// engine scratch — run_slot re-encodes before consulting it, so no
+  /// advertisement state is stored per session.
+  std::unique_ptr<dtn::SummaryCodec> codec_;
+  bool compact_ads_ = false;
+  std::uint64_t summary_exchanges_ = 0;
+  std::uint64_t summary_ad_bytes_ = 0;
+  std::uint64_t control_bytes_ = 0;
+  std::uint64_t transfers_suppressed_fp_ = 0;
 };
 
 }  // namespace epi::routing

@@ -54,8 +54,8 @@ class Protocol {
 
   /// Control-plane exchange at contact start (both directions). Runs after
   /// the engine updated both nodes' encounter histories. Implementations
-  /// must report transferred control records through
-  /// Engine::count_control_records().
+  /// must report transferred control records (and their wire bytes) through
+  /// Engine::count_signaling().
   virtual void on_contact_start(Engine& engine, SessionId session,
                                 dtn::DtnNode& a, dtn::DtnNode& b, SimTime now);
 

@@ -122,6 +122,10 @@ std::string encode_record(const std::string& key,
   field_u64("perf_control_dropped", s.perf.control_dropped);
   field_u64("perf_contacts_truncated", s.perf.contacts_truncated);
   field_u64("perf_transfers_refused_full", s.perf.transfers_refused_full);
+  field_u64("perf_summary_exchanges", s.perf.summary_exchanges);
+  field_u64("perf_summary_ad_bytes", s.perf.summary_ad_bytes);
+  field_u64("perf_control_bytes", s.perf.control_bytes);
+  field_u64("perf_transfers_suppressed_fp", s.perf.transfers_suppressed_fp);
   out += "}\n";
   return out;
 }
@@ -212,6 +216,14 @@ class RecordParser {
         s.perf.contacts_truncated = parse_u64();
       } else if (name == "perf_transfers_refused_full") {
         s.perf.transfers_refused_full = parse_u64();
+      } else if (name == "perf_summary_exchanges") {
+        s.perf.summary_exchanges = parse_u64();
+      } else if (name == "perf_summary_ad_bytes") {
+        s.perf.summary_ad_bytes = parse_u64();
+      } else if (name == "perf_control_bytes") {
+        s.perf.control_bytes = parse_u64();
+      } else if (name == "perf_transfers_suppressed_fp") {
+        s.perf.transfers_suppressed_fp = parse_u64();
       } else {
         skip_value();  // forward compatibility
       }

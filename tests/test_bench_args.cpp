@@ -108,6 +108,37 @@ TEST(BenchArgsDeathTest, DuplicateFlagRejected) {
               "duplicate flag --csv");
 }
 
+TEST(BenchArgs, SummaryCodecFlagsParseBothSpellings) {
+  const Args defaults = parse({});
+  EXPECT_EQ(defaults.options.summary.mode, SummaryMode::kExact);
+  EXPECT_EQ(defaults.options.summary.filter_bits, 8u);
+  EXPECT_EQ(defaults.options.summary.hashes, 0u);
+
+  const Args args = parse({"--summary-mode", "bloom", "--filter-bits=12",
+                           "--filter-hashes", "5"});
+  EXPECT_EQ(args.options.summary.mode, SummaryMode::kBloom);
+  EXPECT_EQ(args.options.summary.filter_bits, 12u);
+  EXPECT_EQ(args.options.summary.hashes, 5u);
+  EXPECT_EQ(parse({"--summary-mode=exact"}).options.summary.mode,
+            SummaryMode::kExact);
+}
+
+TEST(BenchArgsDeathTest, SummaryCodecFlagsRejectBadValues) {
+  EXPECT_EXIT(parse({"--summary-mode", "huffman"}),
+              ::testing::ExitedWithCode(2),
+              "invalid value for --summary-mode");
+  EXPECT_EXIT(parse({"--filter-bits", "0"}), ::testing::ExitedWithCode(2),
+              "--filter-bits must be in 1..64");
+  EXPECT_EXIT(parse({"--filter-bits=65"}), ::testing::ExitedWithCode(2),
+              "--filter-bits must be in 1..64");
+  EXPECT_EXIT(parse({"--filter-bits", "abc"}), ::testing::ExitedWithCode(2),
+              "invalid value for --filter-bits");
+  EXPECT_EXIT(parse({"--filter-hashes=17"}), ::testing::ExitedWithCode(2),
+              "--filter-hashes must be in 0..16");
+  EXPECT_EXIT(parse({"--summary-mode=bloom", "--summary-mode=exact"}),
+              ::testing::ExitedWithCode(2), "duplicate flag --summary-mode");
+}
+
 TEST(BenchArgsDeathTest, UnknownFlagRejected) {
   EXPECT_EXIT(parse({"--bogus"}), ::testing::ExitedWithCode(2),
               "unknown argument");

@@ -44,7 +44,7 @@ TEST(RunSpecBuilder, DefaultsBuildAndMatchAggregateDefaults) {
   EXPECT_EQ(built.master_seed, plain.master_seed);
   EXPECT_DOUBLE_EQ(built.horizon, plain.horizon);
   EXPECT_DOUBLE_EQ(built.session_gap, plain.session_gap);
-  EXPECT_FALSE(built.fault.any());
+  EXPECT_FALSE(built.options.fault.any());
 }
 
 TEST(RunSpecBuilder, AdoptsScenarioHorizonAndGap) {

@@ -95,7 +95,7 @@ TEST(Eviction, DropTailMatchesImplicitDefaultAcrossSeeds) {
     implicit.session_gap = scenario.session_gap;
 
     exp::RunSpec explicit_tail = implicit;
-    explicit_tail.eviction = EvictionPolicy::kDropTail;
+    explicit_tail.options.eviction = EvictionPolicy::kDropTail;
 
     const auto a = exp::run_single(implicit, trace);
     const auto b = exp::run_single(explicit_tail, trace);
@@ -182,17 +182,17 @@ TEST(Eviction, StoreKeyStableUnderDefaults) {
   EXPECT_EQ(base_key.find("|caps="), std::string::npos);
 
   exp::RunSpec explicit_tail = implicit;
-  explicit_tail.eviction = EvictionPolicy::kDropTail;
+  explicit_tail.options.eviction = EvictionPolicy::kDropTail;
   EXPECT_EQ(exp::store_key(scenario, explicit_tail), base_key);
 
   exp::RunSpec oldest = implicit;
-  oldest.eviction = EvictionPolicy::kDropOldest;
+  oldest.options.eviction = EvictionPolicy::kDropOldest;
   const std::string oldest_key = exp::store_key(scenario, oldest);
   EXPECT_NE(oldest_key.find("|evict=drop_oldest;"), std::string::npos);
   EXPECT_NE(oldest_key, base_key);
 
   exp::RunSpec capped = implicit;
-  capped.node_capacities.assign(scenario.node_count(), 10);
+  capped.options.node_capacities.assign(scenario.node_count(), 10);
   const std::string capped_key = exp::store_key(scenario, capped);
   EXPECT_NE(capped_key.find("|caps=["), std::string::npos);
   EXPECT_NE(capped_key, base_key);
@@ -250,7 +250,7 @@ TEST(Eviction, UniformCapacityVectorMatchesHomogeneousRun) {
                                    .replication(1)
                                    .build();
   exp::RunSpec vectored = uniform;
-  vectored.node_capacities.assign(scenario.node_count(),
+  vectored.options.node_capacities.assign(scenario.node_count(),
                                   uniform.buffer_capacity);
 
   const auto a = exp::run_single(uniform, trace);

@@ -70,8 +70,8 @@ class ZeroPlanGolden : public ::testing::TestWithParam<GoldenCase> {};
 TEST_P(ZeroPlanGolden, ReproducesEveryPin) {
   const GoldenCase& c = GetParam();
   exp::RunSpec spec = golden_spec(c);
-  spec.fault = fault::FaultPlanBuilder().build();  // explicit all-zero plan
-  ASSERT_FALSE(spec.fault.any());
+  spec.options.fault = fault::FaultPlanBuilder().build();  // explicit all-zero plan
+  ASSERT_FALSE(spec.options.fault.any());
   const auto s = exp::run_single(
       spec, shared_trace(std::string_view(c.scenario) == "rwp"));
 
@@ -105,7 +105,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(FaultDeterminism, RepeatedRunsAreBitIdentical) {
   exp::RunSpec spec = golden_spec(kGolden[1]);  // trace / pq_epidemic
-  spec.fault = composite_plan();
+  spec.options.fault = composite_plan();
   const auto a = exp::run_single(spec, shared_trace(false));
   const auto b = exp::run_single(spec, shared_trace(false));
   EXPECT_TRUE(metrics::deterministic_equal(a, b));
@@ -144,7 +144,7 @@ TEST(FaultDeterminism, SweepIdenticalAcrossThreadCounts) {
 
 TEST(FaultModels, SlotLossOnlyMovesSlotCounter) {
   exp::RunSpec spec = golden_spec(kGolden[0]);  // trace / pure_epidemic
-  spec.fault = fault::FaultPlanBuilder().slot_loss(0.3).build();
+  spec.options.fault = fault::FaultPlanBuilder().slot_loss(0.3).build();
   const auto s = exp::run_single(spec, shared_trace(false));
   EXPECT_GT(s.perf.slots_lost, 0u);
   EXPECT_EQ(s.perf.down_slots, 0u);
@@ -154,7 +154,7 @@ TEST(FaultModels, SlotLossOnlyMovesSlotCounter) {
 
 TEST(FaultModels, TruncationOnlyMovesTruncationCounter) {
   exp::RunSpec spec = golden_spec(kGolden[0]);
-  spec.fault = fault::FaultPlanBuilder().truncation(0.5).build();
+  spec.options.fault = fault::FaultPlanBuilder().truncation(0.5).build();
   const auto s = exp::run_single(spec, shared_trace(false));
   EXPECT_GT(s.perf.contacts_truncated, 0u);
   EXPECT_EQ(s.perf.slots_lost, 0u);
@@ -164,7 +164,7 @@ TEST(FaultModels, TruncationOnlyMovesTruncationCounter) {
 
 TEST(FaultModels, DutyCycleOnlyMovesDownSlotCounter) {
   exp::RunSpec spec = golden_spec(kGolden[0]);
-  spec.fault = fault::FaultPlanBuilder().duty_cycle(0.5, 7'200.0).build();
+  spec.options.fault = fault::FaultPlanBuilder().duty_cycle(0.5, 7'200.0).build();
   const auto s = exp::run_single(spec, shared_trace(false));
   EXPECT_GT(s.perf.down_slots, 0u);
   EXPECT_EQ(s.perf.slots_lost, 0u);
@@ -174,7 +174,7 @@ TEST(FaultModels, DutyCycleOnlyMovesDownSlotCounter) {
 
 TEST(FaultModels, ControlLossOnlyMovesControlCounter) {
   exp::RunSpec spec = golden_spec(kGolden[6]);  // trace / immunity
-  spec.fault = fault::FaultPlanBuilder().control_loss(0.5).build();
+  spec.options.fault = fault::FaultPlanBuilder().control_loss(0.5).build();
   const auto s = exp::run_single(spec, shared_trace(false));
   EXPECT_GT(s.perf.control_dropped, 0u);
   EXPECT_EQ(s.perf.slots_lost, 0u);
@@ -186,7 +186,7 @@ TEST(FaultModels, EveryModelEmitsItsTraceRecord) {
   std::ostringstream out;
   obs::JsonlSink sink(out);
   exp::RunSpec spec = golden_spec(kGolden[1]);  // trace / pq_epidemic
-  spec.fault = composite_plan();
+  spec.options.fault = composite_plan();
   spec.trace_sink = &sink;
   (void)exp::run_single(spec, shared_trace(false));
   const std::string trace = out.str();
@@ -205,7 +205,7 @@ TEST(FaultStore, PlanChangesKeyAndRoundTrips) {
   spec.load = 25;
 
   const std::string clean_key = exp::store_key(scenario, spec);
-  spec.fault = composite_plan();
+  spec.options.fault = composite_plan();
   const std::string faulted_key = exp::store_key(scenario, spec);
   EXPECT_NE(clean_key, faulted_key);
   EXPECT_NE(faulted_key.find("fault{"), std::string::npos);
